@@ -1,0 +1,56 @@
+"""Ablation A3 (§8): one-pass (hash-grouped) vs naive quadratic stitching.
+
+Stitching happens host-side after the SQL queries return; the paper lists
+"implementing stitching in one pass" among its optimisations.  We time
+stitching alone on pre-executed shredded results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.executor import execute_compiled
+from repro.data.queries import NESTED_QUERIES
+from repro.pipeline.shredder import ShreddingPipeline
+from repro.shred.packages import package_from
+from repro.shred.stitch import stitch
+
+QUERIES = ["Q1", "Q6"]
+
+
+def _prepared(db, query_name):
+    query = NESTED_QUERIES[query_name]
+    compiled = ShreddingPipeline(db.schema).compile(query)
+    results = package_from(
+        compiled.result_type,
+        lambda path: execute_compiled(db, compiled.sql_at(path)),
+    )
+    return compiled, results
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_stitch_one_pass(benchmark, bench_db, query_name):
+    compiled, results = _prepared(bench_db, query_name)
+    benchmark.group = f"ablation-stitch:{query_name}"
+    out = benchmark(
+        stitch, results, compiled._top_index_fn(), True
+    )
+    assert isinstance(out, list)
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_stitch_naive(benchmark, bench_db, query_name):
+    compiled, results = _prepared(bench_db, query_name)
+    benchmark.group = f"ablation-stitch:{query_name}"
+    out = benchmark(
+        stitch, results, compiled._top_index_fn(), False
+    )
+    assert isinstance(out, list)
+
+
+def test_stitch_modes_identical(bench_db):
+    for query_name in QUERIES:
+        compiled, results = _prepared(bench_db, query_name)
+        fast = stitch(results, compiled._top_index_fn(), one_pass=True)
+        slow = stitch(results, compiled._top_index_fn(), one_pass=False)
+        assert fast == slow

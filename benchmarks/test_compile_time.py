@@ -1,0 +1,67 @@
+"""Translation-time benchmarks: normalise / shred / SQL-generate, no DB.
+
+App. C remarks that "query normalisation time is almost always dominated by
+SQL execution time"; these benches measure each compile stage in isolation
+so that claim is checkable, and so regressions in the (data-independent)
+translation show up separately from engine behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.organisation import ORGANISATION_SCHEMA
+from repro.data.queries import NESTED_QUERIES
+from repro.normalise import normalise
+from repro.normalise.hoist import hoist_ifs
+from repro.normalise.rewrite import symbolic_eval
+from repro.nrc.typecheck import infer
+from repro.pipeline.shredder import ShreddingPipeline
+from repro.shred.paths import paths
+from repro.shred.translate import shred_query
+
+QUERIES = ["Q2", "Q6"]  # heaviest normalisation (higher-order) + 3 levels
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_stage1_symbolic_evaluation(benchmark, query_name):
+    query = NESTED_QUERIES[query_name]
+    benchmark.group = f"compile:{query_name}"
+    benchmark(lambda: hoist_ifs(symbolic_eval(query)))
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_full_normalisation(benchmark, query_name):
+    query = NESTED_QUERIES[query_name]
+    benchmark.group = f"compile:{query_name}"
+    benchmark(normalise, query, ORGANISATION_SCHEMA)
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_shredding_translation(benchmark, query_name):
+    query = NESTED_QUERIES[query_name]
+    nf = normalise(query, ORGANISATION_SCHEMA)
+    result_type = infer(query, ORGANISATION_SCHEMA)
+    all_paths = paths(result_type)
+    benchmark.group = f"compile:{query_name}"
+    benchmark(lambda: [shred_query(nf, p) for p in all_paths])
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_full_compile_to_sql(benchmark, query_name):
+    query = NESTED_QUERIES[query_name]
+    pipeline = ShreddingPipeline(ORGANISATION_SCHEMA)
+    benchmark.group = f"compile:{query_name}"
+    compiled = benchmark(pipeline.compile, query)
+    assert compiled.query_count >= 1
+
+
+def test_compilation_is_data_independent(bench_db, small_bench_db):
+    """Compiled queries are reusable across database sizes: the SQL text is
+    a function of the query alone (the N+1 evaluator cannot say the same)."""
+    pipeline = ShreddingPipeline(ORGANISATION_SCHEMA)
+    compiled = pipeline.compile(NESTED_QUERIES["Q6"])
+    sql_before = [sql for _, sql in compiled.sql_by_path]
+    compiled.run(small_bench_db)
+    compiled.run(bench_db)
+    assert [sql for _, sql in compiled.sql_by_path] == sql_before

@@ -1,0 +1,38 @@
+"""Figure 10: flat queries QF1-QF6 × {default, shredding, loop-lifting}.
+
+The paper's finding: shredding has low per-query overhead versus Links'
+default flat evaluation, while loop-lifting pays a per-query plan cost and
+extra sorting (QF4/QF5).  Full scale sweeps (the log-log series of the
+figure) are produced by ``python -m repro.bench.figures --figure 10``; the
+pytest benchmarks here time every (query, system) cell at one scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SYSTEMS
+from repro.data.queries import FLAT_QUERIES
+
+FLAT_SYSTEMS = ["default", "shredding", "loop-lifting"]
+
+
+@pytest.mark.parametrize("system", FLAT_SYSTEMS)
+@pytest.mark.parametrize("query_name", sorted(FLAT_QUERIES))
+def test_fig10_cell(benchmark, bench_db, query_name, system):
+    query = FLAT_QUERIES[query_name]
+    runner = SYSTEMS[system]
+    benchmark.group = f"fig10:{query_name}"
+    result = benchmark(runner, query, bench_db)
+    assert isinstance(result, list)
+
+
+def test_fig10_shredding_overhead_is_bounded(bench_db):
+    """Sanity assertion behind the figure: for flat queries, shredding's
+    query is a single SELECT like the default pipeline's (no OLAP)."""
+    from repro.pipeline.shredder import shred_sql
+
+    for name, query in FLAT_QUERIES.items():
+        pairs = shred_sql(query, bench_db.schema)
+        assert len(pairs) == 1, name
+        assert "ROW_NUMBER" not in pairs[0][1], name

@@ -1,0 +1,40 @@
+"""Figure 11: nested queries Q1-Q6 × {shredding, loop-lifting}.
+
+The paper's headline: shredding matches or beats loop-lifting; on the
+3-level queries Q1 and Q6 loop-lifting degrades pathologically (ROW_NUMBER
+over Cartesian products the optimiser cannot remove).  Scale sweeps:
+``python -m repro.bench.figures --figure 11``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SYSTEMS
+from repro.data.queries import NESTED_QUERIES
+
+NESTED_SYSTEMS = ["shredding", "loop-lifting"]
+
+
+@pytest.mark.parametrize("system", NESTED_SYSTEMS)
+@pytest.mark.parametrize("query_name", sorted(NESTED_QUERIES))
+def test_fig11_cell(benchmark, bench_db, query_name, system):
+    query = NESTED_QUERIES[query_name]
+    runner = SYSTEMS[system]
+    benchmark.group = f"fig11:{query_name}"
+    result = benchmark(runner, query, bench_db)
+    assert isinstance(result, list)
+
+
+def test_fig11_shredding_beats_looplifting_on_q6(bench_db):
+    """The headline comparison, asserted (not just timed): on the 3-level
+    Q6 shredding is faster than loop-lifting at benchmark scale."""
+    from repro.bench.harness import time_run
+
+    query = NESTED_QUERIES["Q6"]
+    shredding = time_run(SYSTEMS["shredding"], query, bench_db, repeats=3)
+    loop_lifting = time_run(SYSTEMS["loop-lifting"], query, bench_db, repeats=3)
+    assert shredding < loop_lifting, (
+        f"expected shredding ({shredding:.1f}ms) < loop-lifting "
+        f"({loop_lifting:.1f}ms) on Q6"
+    )

@@ -1,0 +1,50 @@
+"""§1 motivation: query avalanches — round trips and time, naive vs shredding.
+
+Shredding issues exactly nesting_degree(A) queries regardless of data; the
+naive evaluator issues 1 + one query per row per nested bag.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.executor import ExecutionStats
+from repro.baselines.naive import AvalanchePipeline
+from repro.data.queries import NESTED_QUERIES
+from repro.nrc.types import nesting_degree
+from repro.pipeline.shredder import ShreddingPipeline
+
+QUERIES = ["Q1", "Q4", "Q6"]
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_shredding_round_trips(benchmark, small_bench_db, query_name):
+    query = NESTED_QUERIES[query_name]
+    pipeline = ShreddingPipeline(small_bench_db.schema)
+    compiled = pipeline.compile(query)
+    benchmark.group = f"counts:{query_name}"
+
+    def run():
+        stats = ExecutionStats()
+        compiled.run(small_bench_db, stats=stats)
+        return stats
+
+    stats = benchmark(run)
+    assert stats.queries == nesting_degree(compiled.result_type)
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_avalanche_round_trips(benchmark, small_bench_db, query_name):
+    query = NESTED_QUERIES[query_name]
+    pipeline = AvalanchePipeline(small_bench_db.schema)
+    compiled = pipeline.compile(query)
+    benchmark.group = f"counts:{query_name}"
+
+    def run():
+        stats = ExecutionStats()
+        compiled.run(small_bench_db, stats=stats)
+        return stats
+
+    stats = benchmark(run)
+    # The avalanche: strictly more round trips than the shredded pipeline.
+    assert stats.queries > nesting_degree(compiled.result_type)

@@ -1,0 +1,127 @@
+"""Query shredding on a different domain: a social feed with 3-level nesting.
+
+    python examples/social_feed.py
+
+The library is schema-agnostic — nothing in the pipeline is tied to the
+paper's organisation tables.  This example defines a users/posts/comments
+schema, builds a per-city feed where every user carries their posts and
+every post its comments (nesting degree 4 → 4 flat queries), and runs it.
+"""
+
+from __future__ import annotations
+
+from repro.backend.database import Database
+from repro.nrc import builders as b
+from repro.nrc.schema import Schema, TableSchema
+from repro.nrc.types import INT, STRING
+from repro.pipeline.shredder import ShreddingPipeline
+from repro.values import render
+
+SOCIAL_SCHEMA = Schema(
+    (
+        TableSchema("users", (("id", INT), ("name", STRING), ("city", STRING)), key=("id",)),
+        TableSchema("posts", (("id", INT), ("author", STRING), ("title", STRING)), key=("id",)),
+        TableSchema(
+            "comments",
+            (("id", INT), ("post_id", INT), ("commenter", STRING), ("text", STRING)),
+            key=("id",),
+        ),
+        TableSchema("cities", (("id", INT), ("name", STRING)), key=("id",)),
+    )
+)
+
+
+def sample_database() -> Database:
+    return Database(
+        SOCIAL_SCHEMA,
+        {
+            "cities": [
+                {"id": 1, "name": "Edinburgh"},
+                {"id": 2, "name": "Glasgow"},
+            ],
+            "users": [
+                {"id": 1, "name": "ada", "city": "Edinburgh"},
+                {"id": 2, "name": "brendan", "city": "Edinburgh"},
+                {"id": 3, "name": "carol", "city": "Glasgow"},
+            ],
+            "posts": [
+                {"id": 1, "author": "ada", "title": "On shredding"},
+                {"id": 2, "author": "ada", "title": "Bags, not sets"},
+                {"id": 3, "author": "carol", "title": "Hello Clyde"},
+            ],
+            "comments": [
+                {"id": 1, "post_id": 1, "commenter": "carol", "text": "nice"},
+                {"id": 2, "post_id": 1, "commenter": "brendan", "text": "+1"},
+                {"id": 3, "post_id": 2, "commenter": "carol", "text": "hm"},
+            ],
+        },
+    )
+
+
+def feed_query():
+    """Cities → users → posts → comments: nesting degree 4."""
+    return b.for_(
+        "c",
+        b.table("cities"),
+        lambda c: b.ret(
+            b.record(
+                city=c["name"],
+                people=b.for_(
+                    "u",
+                    b.table("users"),
+                    lambda u: b.where(
+                        b.eq(u["city"], c["name"]),
+                        b.ret(
+                            b.record(
+                                user=u["name"],
+                                posts=b.for_(
+                                    "p",
+                                    b.table("posts"),
+                                    lambda p: b.where(
+                                        b.eq(p["author"], u["name"]),
+                                        b.ret(
+                                            b.record(
+                                                title=p["title"],
+                                                comments=b.for_(
+                                                    "k",
+                                                    b.table("comments"),
+                                                    lambda k: b.where(
+                                                        b.eq(
+                                                            k["post_id"],
+                                                            p["id"],
+                                                        ),
+                                                        b.ret(k["text"]),
+                                                    ),
+                                                ),
+                                            )
+                                        ),
+                                    ),
+                                ),
+                            )
+                        ),
+                    ),
+                ),
+            )
+        ),
+    )
+
+
+def main() -> None:
+    db = sample_database()
+    pipeline = ShreddingPipeline(SOCIAL_SCHEMA)
+    compiled = pipeline.compile(feed_query())
+    print(
+        f"feed query: nesting degree {compiled.query_count} "
+        f"→ {compiled.query_count} flat queries\n"
+    )
+    for path, sql in compiled.sql_by_path:
+        print(f"-- {path}")
+        print(sql[:200] + ("…" if len(sql) > 200 else ""))
+        print()
+    result = compiled.run(db)
+    print("the stitched feed:")
+    print(render(sorted(result, key=lambda r: r["city"])))
+
+
+if __name__ == "__main__":
+    main()

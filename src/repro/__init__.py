@@ -1,0 +1,27 @@
+"""Query shredding: efficient relational evaluation of queries over nested
+multisets — a reproduction of Cheney, Lindley & Wadler (SIGMOD 2014).
+
+The headline API lives in :mod:`repro.pipeline`:
+
+>>> from repro import shred_run
+>>> from repro.data import figure3_database
+>>> # build a λNRC query with repro.nrc.builders, then:
+>>> # result = shred_run(query, figure3_database())
+
+See README.md for a guided tour and DESIGN.md for the system inventory.
+"""
+
+from repro.values import bag_equal, render
+
+__version__ = "1.0.0"
+
+__all__ = ["bag_equal", "render", "__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports so importing `repro` stays cheap and avoids cycles.
+    if name in {"shred_run", "shred_sql", "ShreddingPipeline"}:
+        from repro.pipeline import shredder
+
+        return getattr(shredder, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,101 @@
+"""Command-line interface.
+
+    python -m repro sql Q6               # the SQL a paper query shreds into
+    python -m repro run Q6               # run it on the Fig. 3 instance
+    python -m repro normal-form Q2       # show the normal form
+    python -m repro figures --figure 11  # regenerate an evaluation figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.organisation import ORGANISATION_SCHEMA, figure3_database
+from repro.data.queries import FLAT_QUERIES, NESTED_QUERIES
+
+ALL_QUERIES = {**FLAT_QUERIES, **NESTED_QUERIES}
+
+
+def _query(name: str):
+    try:
+        return ALL_QUERIES[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_QUERIES))
+        raise SystemExit(f"unknown query {name!r}; one of: {known}")
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.pipeline.shredder import shred_sql
+    from repro.sql.codegen import SqlOptions
+
+    options = SqlOptions(
+        scheme=args.scheme,
+        inline_with=args.inline_with,
+        order_by_keys=args.order_by_keys,
+        dedup_cte=args.dedup_cte,
+    )
+    for path, sql in shred_sql(_query(args.query), ORGANISATION_SCHEMA, options):
+        print(f"-- query at path {path}")
+        print(sql)
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.pipeline.shredder import shred_run
+    from repro.values import render
+
+    result = shred_run(_query(args.query), figure3_database())
+    print(render(result))
+    return 0
+
+
+def _cmd_normal_form(args: argparse.Namespace) -> int:
+    from repro.normalise import normalise, pretty_nf
+
+    print(pretty_nf(normalise(_query(args.query), ORGANISATION_SCHEMA)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sql = sub.add_parser("sql", help="show the shredded SQL of a paper query")
+    sql.add_argument("query")
+    sql.add_argument("--scheme", choices=["flat", "natural"], default="flat")
+    sql.add_argument("--inline-with", action="store_true")
+    sql.add_argument("--order-by-keys", action="store_true")
+    sql.add_argument("--dedup-cte", action="store_true")
+    sql.set_defaults(fn=_cmd_sql)
+
+    run = sub.add_parser("run", help="run a paper query on the Fig. 3 data")
+    run.add_argument("query")
+    run.set_defaults(fn=_cmd_run)
+
+    nf = sub.add_parser("normal-form", help="show a query's normal form")
+    nf.add_argument("query")
+    nf.set_defaults(fn=_cmd_normal_form)
+
+    figures = sub.add_parser("figures", help="regenerate evaluation figures")
+    figures.add_argument(
+        "--figure", choices=["10", "11", "A", "counts", "ablations"]
+    )
+    figures.add_argument("--all", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "figures":
+        from repro.bench.figures import main as figures_main
+
+        forwarded = []
+        if args.figure:
+            forwarded += ["--figure", args.figure]
+        if getattr(args, "all", False):
+            forwarded += ["--all"]
+        return figures_main(forwarded)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

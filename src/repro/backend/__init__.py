@@ -1,0 +1,5 @@
+"""Database substrate: in-memory canonical tables + SQLite materialisation."""
+
+from repro.backend.database import Database, quote_identifier
+
+__all__ = ["Database", "quote_identifier"]

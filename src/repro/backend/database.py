@@ -1,0 +1,206 @@
+"""In-memory + SQLite database substrate (§8 experimental setup).
+
+A :class:`Database` holds a :class:`~repro.nrc.schema.Schema` and the rows of
+each table.  It serves two roles:
+
+* the fixed table interpretation ⟦t⟧ for the in-memory semantics — the paper
+  imposes a *canonical row order* ("we order by all of the columns arranged
+  in lexicographic order", §2.1) so that ``row_number`` is deterministic;
+* a materialised SQLite database for executing the generated SQL.
+
+The paper ran PostgreSQL 9.2; we substitute SQLite (see DESIGN.md §3): both
+engines support the SQL:1999 features the translation targets.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import BackendError
+from repro.nrc.schema import Schema, TableSchema
+from repro.nrc.types import BOOL, BaseType
+
+__all__ = ["Database", "quote_identifier"]
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an SQL identifier (double quotes, doubling embedded quotes)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+_SQL_TYPES = {"Int": "INTEGER", "Bool": "INTEGER", "String": "TEXT", "Unit": "INTEGER"}
+
+
+def _sql_type(base: BaseType) -> str:
+    try:
+        return _SQL_TYPES[base.name]
+    except KeyError:
+        raise BackendError(f"no SQL column type for base type {base}") from None
+
+
+def _to_sql_value(value: object, ctype: BaseType) -> object:
+    if ctype == BOOL:
+        return 1 if value else 0
+    return value
+
+
+def _from_sql_value(value: object, ctype: BaseType) -> object:
+    if ctype == BOOL:
+        return bool(value)
+    return value
+
+
+class Database:
+    """A schema plus table contents, queryable in memory and via SQLite."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        tables: Mapping[str, Iterable[Mapping[str, object]]] | None = None,
+    ) -> None:
+        self.schema = schema
+        self._rows: dict[str, list[dict]] = {
+            table.name: [] for table in schema.tables
+        }
+        self._canonical: dict[str, list[dict]] = {}
+        self._connection: sqlite3.Connection | None = None
+        if tables:
+            for name, rows in tables.items():
+                self.insert(name, rows)
+
+    # ------------------------------------------------------------------ rows
+
+    def insert(self, table: str, rows: Iterable[Mapping[str, object]]) -> None:
+        """Insert ``rows`` into ``table`` (validated against the schema)."""
+        table_schema = self.schema.table(table)
+        expected = set(table_schema.column_names)
+        target = self._rows[table]
+        for row in rows:
+            if set(row) != expected:
+                raise BackendError(
+                    f"row for table {table!r} has columns {sorted(row)}, "
+                    f"expected {sorted(expected)}"
+                )
+            target.append(dict(row))
+        self._canonical.pop(table, None)
+        self._dispose_connection()
+
+    def raw_rows(self, table: str) -> list[dict]:
+        """Rows in insertion order (no canonicalisation)."""
+        self.schema.table(table)
+        return [dict(row) for row in self._rows[table]]
+
+    def rows(self, table: str) -> list[dict]:
+        """⟦t⟧: rows in the canonical order (all columns, lexicographic).
+
+        This is the deterministic list interpretation of tables from §2.1;
+        both the in-memory semantics and ``row_number`` generation rely on it.
+        """
+        if table not in self._canonical:
+            table_schema = self.schema.table(table)
+            columns = sorted(table_schema.column_names)
+            ordered = sorted(
+                self._rows[table],
+                key=lambda row: tuple(_sort_key(row[c]) for c in columns),
+            )
+            self._canonical[table] = ordered
+        return [dict(row) for row in self._canonical[table]]
+
+    def row_count(self, table: str) -> int:
+        self.schema.table(table)
+        return len(self._rows[table])
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self._rows.values())
+
+    # --------------------------------------------------------------- sqlite
+
+    def connection(self) -> sqlite3.Connection:
+        """A SQLite connection with all tables materialised (cached)."""
+        if self._connection is None:
+            self._connection = self._build_connection()
+        return self._connection
+
+    def _build_connection(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(":memory:")
+        for table_schema in self.schema.tables:
+            self._create_table(connection, table_schema)
+            self._load_table(connection, table_schema)
+        connection.commit()
+        return connection
+
+    def _create_table(
+        self, connection: sqlite3.Connection, table_schema: TableSchema
+    ) -> None:
+        columns = ", ".join(
+            f"{quote_identifier(name)} {_sql_type(ctype)}"
+            for name, ctype in table_schema.columns
+        )
+        ddl = f"CREATE TABLE {quote_identifier(table_schema.name)} ({columns})"
+        connection.execute(ddl)
+        if table_schema.has_declared_key:
+            key_cols = ", ".join(
+                quote_identifier(c) for c in table_schema.key_columns
+            )
+            connection.execute(
+                f"CREATE UNIQUE INDEX "
+                f"{quote_identifier('key_' + table_schema.name)} "
+                f"ON {quote_identifier(table_schema.name)} ({key_cols})"
+            )
+
+    def _load_table(
+        self, connection: sqlite3.Connection, table_schema: TableSchema
+    ) -> None:
+        rows = self._rows[table_schema.name]
+        if not rows:
+            return
+        names = table_schema.column_names
+        placeholders = ", ".join("?" for _ in names)
+        column_list = ", ".join(quote_identifier(name) for name in names)
+        statement = (
+            f"INSERT INTO {quote_identifier(table_schema.name)} "
+            f"({column_list}) VALUES ({placeholders})"
+        )
+        types = dict(table_schema.columns)
+        connection.executemany(
+            statement,
+            (
+                tuple(_to_sql_value(row[name], types[name]) for name in names)
+                for row in rows
+            ),
+        )
+
+    def execute_sql(self, sql: str, params: Sequence[object] = ()) -> list[tuple]:
+        """Run a query against the SQLite materialisation; returns raw rows."""
+        try:
+            cursor = self.connection().execute(sql, tuple(params))
+        except sqlite3.Error as error:
+            raise BackendError(f"SQL execution failed: {error}\n{sql}") from error
+        return cursor.fetchall()
+
+    def _dispose_connection(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    # --------------------------------------------------------------- helpers
+
+    def decode_row(self, table: str, values: Sequence[object]) -> dict:
+        """Convert a raw SQLite row of ``table`` back to a typed dict."""
+        table_schema = self.schema.table(table)
+        return {
+            name: _from_sql_value(value, ctype)
+            for (name, ctype), value in zip(table_schema.columns, values)
+        }
+
+
+def _sort_key(value: object) -> tuple:
+    """Total order across SQL base values (bools sort as ints)."""
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, int):
+        return (0, value)
+    if isinstance(value, str):
+        return (1, value)
+    return (2, repr(value))

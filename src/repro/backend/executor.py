@@ -1,0 +1,35 @@
+"""SQL execution helpers: run compiled shredded queries and count round
+trips (the intro's N+1 "query avalanche" metric is #queries issued)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.database import Database
+from repro.sql.codegen import CompiledSql
+
+__all__ = ["ExecutionStats", "execute_compiled"]
+
+
+@dataclass
+class ExecutionStats:
+    """Counts queries and rows moved between database and host."""
+
+    queries: int = 0
+    rows_fetched: int = 0
+    per_query_rows: list[int] = field(default_factory=list)
+
+    def record(self, rows: int) -> None:
+        self.queries += 1
+        self.rows_fetched += rows
+        self.per_query_rows.append(rows)
+
+
+def execute_compiled(
+    db: Database, compiled: CompiledSql, stats: ExecutionStats | None = None
+) -> list[tuple[object, object]]:
+    """Run one compiled shredded query and decode its ⟨index, value⟩ pairs."""
+    raw = db.execute_sql(compiled.sql)
+    if stats is not None:
+        stats.record(len(raw))
+    return compiled.decode_rows(raw)

@@ -1,0 +1,138 @@
+"""Import/export for :class:`~repro.backend.database.Database`.
+
+Adopters rarely start from Python literals: this module loads a database
+from a directory of CSV files (one per table, header row required) or from
+an existing SQLite file, and writes both formats back out.  Values are
+decoded against the schema's column types (Bool columns accept 0/1 and
+true/false spellings).
+"""
+
+from __future__ import annotations
+
+import csv
+import sqlite3
+from pathlib import Path
+
+from repro.backend.database import Database, quote_identifier
+from repro.errors import BackendError
+from repro.nrc.schema import Schema
+from repro.nrc.types import BOOL, INT, BaseType
+
+__all__ = [
+    "load_csv_dir",
+    "dump_csv_dir",
+    "to_sqlite_file",
+    "from_sqlite_file",
+]
+
+
+def _decode_cell(text: str, ctype: BaseType, context: str) -> object:
+    if ctype == INT:
+        try:
+            return int(text)
+        except ValueError:
+            raise BackendError(f"{context}: {text!r} is not an integer")
+    if ctype == BOOL:
+        lowered = text.strip().lower()
+        if lowered in ("1", "true", "t", "yes"):
+            return True
+        if lowered in ("0", "false", "f", "no"):
+            return False
+        raise BackendError(f"{context}: {text!r} is not a boolean")
+    return text
+
+
+def load_csv_dir(schema: Schema, directory: str | Path) -> Database:
+    """Build a database from ``<directory>/<table>.csv`` files.
+
+    Missing files mean empty tables; extra files are ignored.  Each CSV
+    must have a header row naming exactly the table's columns (any order).
+    """
+    directory = Path(directory)
+    db = Database(schema)
+    for table in schema.tables:
+        path = directory / f"{table.name}.csv"
+        if not path.exists():
+            continue
+        types = dict(table.columns)
+        with path.open(newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None:
+                continue
+            header = set(reader.fieldnames)
+            expected = set(table.column_names)
+            if header != expected:
+                raise BackendError(
+                    f"{path}: header {sorted(header)} does not match "
+                    f"columns {sorted(expected)}"
+                )
+            rows = [
+                {
+                    name: _decode_cell(
+                        row[name], types[name], f"{path}:{line}"
+                    )
+                    for name in table.column_names
+                }
+                for line, row in enumerate(reader, start=2)
+            ]
+        db.insert(table.name, rows)
+    return db
+
+
+def dump_csv_dir(db: Database, directory: str | Path) -> None:
+    """Write every table of ``db`` to ``<directory>/<table>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for table in db.schema.tables:
+        path = directory / f"{table.name}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.column_names)
+            for row in db.raw_rows(table.name):
+                writer.writerow(
+                    [_encode_cell(row[name]) for name in table.column_names]
+                )
+
+
+def _encode_cell(value: object) -> object:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return value
+
+
+def to_sqlite_file(db: Database, path: str | Path) -> None:
+    """Materialise the database as a SQLite file on disk."""
+    target = sqlite3.connect(str(path))
+    try:
+        db.connection().backup(target)
+        target.commit()
+    finally:
+        target.close()
+
+
+def from_sqlite_file(schema: Schema, path: str | Path) -> Database:
+    """Load the tables named by ``schema`` from a SQLite file."""
+    if not Path(path).exists():
+        raise BackendError(f"no such SQLite file: {path}")
+    source = sqlite3.connect(str(path))
+    try:
+        db = Database(schema)
+        for table in schema.tables:
+            columns = ", ".join(
+                quote_identifier(name) for name in table.column_names
+            )
+            try:
+                cursor = source.execute(
+                    f"SELECT {columns} FROM {quote_identifier(table.name)}"
+                )
+            except sqlite3.Error as error:
+                raise BackendError(
+                    f"cannot read table {table.name!r}: {error}"
+                ) from error
+            db.insert(
+                table.name,
+                (db.decode_row(table.name, raw) for raw in cursor),
+            )
+        return db
+    finally:
+        source.close()

@@ -1,0 +1,2 @@
+"""Comparator systems: loop-lifting (Ferry), Van den Bussche's simulation,
+and the naive N+1 "query avalanche" evaluator."""

@@ -1,0 +1,32 @@
+"""Loop-lifting baseline (Ferry/Ulrich [12, 30]): algebra plans, a
+mini-Pathfinder optimiser, plan-shaped SQL and adjacent-level surrogates.
+
+See DESIGN.md §3 for exactly which behaviours of the real system this
+substitution reproduces (products under OLAP operators, union
+materialisation, list-order maintenance, per-query plan overhead) and which
+it does not (Pathfinder's inter-process cost)."""
+
+from repro.baselines.looplifting.algebra import plan_size
+from repro.baselines.looplifting.compile import compile_levels, parent_path
+from repro.baselines.looplifting.pathfinder import (
+    deserialise,
+    optimise,
+    serialise,
+)
+from repro.baselines.looplifting.runner import (
+    CompiledLoopLifted,
+    LoopLiftingPipeline,
+    loop_lift_run,
+)
+
+__all__ = [
+    "plan_size",
+    "compile_levels",
+    "parent_path",
+    "deserialise",
+    "optimise",
+    "serialise",
+    "CompiledLoopLifted",
+    "LoopLiftingPipeline",
+    "loop_lift_run",
+]

@@ -1,0 +1,242 @@
+"""Table-algebra plans for the loop-lifting baseline (§8, [12, 30]).
+
+Ulrich's loop-lifting implementation compiles Links queries to SQL:1999
+*algebra plans* (à la Ferry), ships them to the Pathfinder optimiser, and
+renders the optimised plans to SQL.  We reproduce that architecture with a
+small algebra:
+
+    Plan ::= Scan(t)                       -- table scan
+           | Product(l, r)                 -- Cartesian product
+           | Select(child, pred)           -- filter
+           | Attach(child, col, const)     -- constant column
+           | ProjectCols(child, keep)      -- column pruning / reordering
+           | RowNum(child, col, order)     -- ROW_NUMBER() OVER (ORDER BY …)
+           | UnionAll(l, r)                -- append
+
+Every node tracks its output column list.  Predicates reuse the normal-form
+base terms (:class:`~repro.normalise.normal_form.BaseExpr`): a ``x.ℓ``
+reference denotes the plan column ``x_ℓ``.
+
+The crucial structural property (mirroring real loop-lifted plans): inner
+queries *embed* the outer query's plan — including its RowNum operator —
+then product it with their own generators and renumber.  Selections cannot
+be pushed below RowNum (filtering would change the numbering), so products
+stay trapped under OLAP operators; this is exactly the pathology the paper
+observes on Q1/Q6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ReproError
+from repro.normalise.normal_form import BaseExpr
+
+__all__ = [
+    "Plan",
+    "Scan",
+    "Unit",
+    "Product",
+    "Select",
+    "Attach",
+    "Derive",
+    "ProjectCols",
+    "RowNum",
+    "UnionAll",
+    "column_for",
+    "plan_size",
+    "iter_nodes",
+]
+
+
+class LoopLiftingError(ReproError):
+    """Internal error in the loop-lifting baseline."""
+
+
+def column_for(var: str, label: str) -> str:
+    """The plan column holding generator ``var``'s field ``label``."""
+    return f"{var}_{label}"
+
+
+#: Predicates over plans are normal-form base terms; generator references
+#: ``x.ℓ`` denote the column ``x_ℓ``.  Plan-internal columns (pos, branch,
+#: iter) are referenced through a reserved variable namespace.
+_COLUMN_VAR = "#col"
+
+
+def column_ref(column: str):
+    """A direct reference to a plan column, as a BaseExpr."""
+    from repro.normalise.normal_form import VarField
+
+    return VarField(_COLUMN_VAR, column)
+
+
+def as_column(var: str, label: str) -> str:
+    """The plan column an ``x.ℓ`` reference denotes (handles column refs)."""
+    if var == _COLUMN_VAR:
+        return label
+    return column_for(var, label)
+
+
+class Plan:
+    """Abstract base class; subclasses are immutable dataclasses."""
+
+    __slots__ = ()
+
+    @property
+    def columns(self) -> tuple[str, ...]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """Scan of table ``table`` bound to generator ``var``.
+
+    Output columns are ``var_col`` for every table column (so distinct
+    generators over the same table never clash).
+    """
+
+    table: str
+    var: str
+    table_columns: tuple[str, ...]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(column_for(self.var, c) for c in self.table_columns)
+
+
+@dataclass(frozen=True)
+class Unit(Plan):
+    """A single row with no columns (source for generator-less branches)."""
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Derive(Plan):
+    """A computed column: ``SELECT *, expr AS column`` (π with arithmetic)."""
+
+    child: Plan
+    column: str
+    expr: BaseExpr
+
+    def __post_init__(self) -> None:
+        if self.column in self.child.columns:
+            raise LoopLiftingError(f"derive of existing column {self.column!r}")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns + (self.column,)
+
+
+@dataclass(frozen=True)
+class Product(Plan):
+    left: Plan
+    right: Plan
+
+    def __post_init__(self) -> None:
+        overlap = set(self.left.columns) & set(self.right.columns)
+        if overlap:
+            raise LoopLiftingError(f"product with overlapping columns {overlap}")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.left.columns + self.right.columns
+
+
+@dataclass(frozen=True)
+class Select(Plan):
+    child: Plan
+    predicate: BaseExpr
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns
+
+
+@dataclass(frozen=True)
+class Attach(Plan):
+    """Attach a constant column (branch discriminators, padding NULLs)."""
+
+    child: Plan
+    column: str
+    value: object  # int | str | bool | None
+
+    def __post_init__(self) -> None:
+        if self.column in self.child.columns:
+            raise LoopLiftingError(f"attach of existing column {self.column!r}")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns + (self.column,)
+
+
+@dataclass(frozen=True)
+class ProjectCols(Plan):
+    """Keep (and reorder to) exactly ``keep`` columns."""
+
+    child: Plan
+    keep: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        missing = set(self.keep) - set(self.child.columns)
+        if missing:
+            raise LoopLiftingError(f"projection of unknown columns {missing}")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.keep
+
+
+@dataclass(frozen=True)
+class RowNum(Plan):
+    """``ROW_NUMBER() OVER (ORDER BY order)`` as a new column."""
+
+    child: Plan
+    column: str
+    order: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.column in self.child.columns:
+            raise LoopLiftingError(f"rownum over existing column {self.column!r}")
+        missing = set(self.order) - set(self.child.columns)
+        if missing:
+            raise LoopLiftingError(f"rownum orders by unknown columns {missing}")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns + (self.column,)
+
+
+@dataclass(frozen=True)
+class UnionAll(Plan):
+    left: Plan
+    right: Plan
+
+    def __post_init__(self) -> None:
+        if set(self.left.columns) != set(self.right.columns):
+            raise LoopLiftingError(
+                "union of mismatched schemas: "
+                f"{self.left.columns} vs {self.right.columns}"
+            )
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.left.columns
+
+
+def iter_nodes(plan: Plan) -> Iterator[Plan]:
+    """All nodes of the plan DAG, pre-order."""
+    yield plan
+    if isinstance(plan, (Product, UnionAll)):
+        yield from iter_nodes(plan.left)
+        yield from iter_nodes(plan.right)
+    elif isinstance(plan, (Select, Attach, Derive, ProjectCols, RowNum)):
+        yield from iter_nodes(plan.child)
+
+
+def plan_size(plan: Plan) -> int:
+    return sum(1 for _ in iter_nodes(plan))

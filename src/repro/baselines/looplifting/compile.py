@@ -1,0 +1,341 @@
+"""Compile an annotated normal form into loop-lifted algebra plans.
+
+One plan per nesting level (same paths as shredding), but with Ferry's
+structure [12]:
+
+* the level-k plan **embeds** the level-(k−1) plan — including its
+  ROW_NUMBER — filters it to the parent branch, products it with the
+  level's own generators, and renumbers the union of all branches;
+* surrogates link *adjacent* levels only: a child row's ``iter`` column is
+  the embedded parent plan's position column, and a parent row's nested
+  field is its own position — plain integers, no static tags in the data;
+* the union is materialised *before* numbering (surrogates must be unique
+  across branches), so branch schemas are padded to a common column set —
+  the data-movement overhead the paper observes;
+* positions give list semantics (results are ordered by iter, pos).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.looplifting.algebra import (
+    Attach,
+    Derive,
+    LoopLiftingError,
+    Plan,
+    Product,
+    RowNum,
+    Scan,
+    Select,
+    Unit,
+    UnionAll,
+    column_for,
+)
+from repro.normalise.normal_form import (
+    BaseExpr,
+    NormQuery,
+    TRUE_NF,
+)
+from repro.nrc.schema import Schema
+from repro.nrc.types import BagType, BaseType, RecordType, Type
+from repro.shred.paths import DOWN, Path, paths, type_at
+from repro.shred.shred_types import IndexType, inner_shred
+from repro.shred.shredded_ast import IndexRef, ShredComp, SRecord
+from repro.shred.translate import shred_query
+
+__all__ = ["PayloadColumn", "LevelPlan", "compile_levels", "parent_path"]
+
+
+@dataclass(frozen=True)
+class PayloadColumn:
+    """How to rebuild one item column of a level's rows.
+
+    Column names are depth-qualified (``it2_name``): the level-k plan embeds
+    the level-(k−1) plan, so its payload columns coexist with the parent's.
+    """
+
+    item_path: tuple[str, ...]
+    kind: str  # "base" or "surrogate"
+    depth: int
+    base: BaseType | None = None
+
+    @property
+    def column(self) -> str:
+        stem = "_".join(self.item_path) if self.item_path else "value"
+        return f"it{self.depth}_{stem}"
+
+
+@dataclass
+class LevelPlan:
+    """The loop-lifted plan of one nesting level."""
+
+    path: Path
+    depth: int  # 1 for ε, 2 for ↓.ℓ, …
+    plan: Plan
+    payload: tuple[PayloadColumn, ...]
+    element_type: Type
+
+    @property
+    def iter_column(self) -> str:
+        return f"iter{self.depth}"
+
+    @property
+    def pos_column(self) -> str:
+        return f"pos{self.depth}"
+
+    @property
+    def branch_column(self) -> str:
+        return f"branch{self.depth}"
+
+
+def parent_path(path: Path) -> Path | None:
+    """The path of the enclosing bag (None for ε): strip the trailing
+    ↓.labels segment."""
+    if path.is_empty:
+        return None
+    steps = list(path.steps)
+    while steps and steps[-1] is not DOWN:
+        steps.pop()
+    assert steps and steps[-1] is DOWN
+    steps.pop()
+    return Path(tuple(steps))
+
+
+def compile_levels(
+    normal_form: NormQuery, result_type: Type, schema: Schema
+) -> dict[Path, LevelPlan]:
+    """Build the loop-lifted plan for every nesting level of the query."""
+    levels: dict[Path, LevelPlan] = {}
+    for path in paths(result_type):
+        bag = type_at(result_type, path)
+        if not isinstance(bag, BagType):
+            raise LoopLiftingError(f"path {path} is not a bag")
+        parent = parent_path(path)
+        parent_level = levels[parent] if parent is not None else None
+        levels[path] = _compile_level(
+            normal_form, path, bag.element, parent_level, schema
+        )
+    return levels
+
+
+def _compile_level(
+    normal_form: NormQuery,
+    path: Path,
+    element_type: Type,
+    parent: LevelPlan | None,
+    schema: Schema,
+) -> LevelPlan:
+    shredded = shred_query(normal_form, path)
+    depth = sum(1 for step in path.steps if step is DOWN) + 1
+    item_type = inner_shred(element_type)
+    payload = tuple(_payload_columns(item_type, depth))
+
+    iter_column = f"iter{depth}"
+    branch_column = f"branch{depth}"
+    pos_column = f"pos{depth}"
+    # The Pathfinder limitation the paper observes on Q1/Q6 ("3 levels of
+    # nesting … Cartesian products inside OLAP operators such as DENSE_RANK
+    # or ROW_NUMBER that Pathfinder was not able to remove"): rownum
+    # elimination rewrites through one nesting seam, but when the embedded
+    # parent is *itself* a numbered seam (depth ≥ 3), the innermost query
+    # keeps its candidate numbering — a ROW_NUMBER over the unfiltered
+    # loop × table product, applied before the seam's join condition.
+    candidate_column = (
+        f"cand{depth}" if parent is not None and parent.depth >= 2 else None
+    )
+
+    branches: list[Plan] = []
+    branch_gen_columns: list[set[str]] = []
+    for comp in shredded.comps:
+        branch = _branch_plan(
+            comp,
+            parent,
+            schema,
+            iter_column,
+            branch_column,
+            payload,
+            candidate_column,
+        )
+        branches.append(branch)
+        branch_gen_columns.append(set(branch.columns))
+
+    if not branches:
+        # The level normalised to ∅ (constant-false conditions): a plan
+        # producing zero rows with the right columns.
+        empty: Plan = Unit()
+        empty = Attach(empty, iter_column, None)
+        empty = Attach(empty, branch_column, None)
+        for column in payload:
+            if column.kind == "base":
+                empty = Attach(empty, column.column, None)
+        from repro.normalise.normal_form import ConstNF
+
+        empty = Select(empty, ConstNF(False))
+        empty = RowNum(empty, pos_column, ())
+        return LevelPlan(
+            path=path,
+            depth=depth,
+            plan=empty,
+            payload=payload,
+            element_type=element_type,
+        )
+
+    # Common schema: every branch is padded (NULL-attached) to the union of
+    # all branch columns, then projected into one canonical order.
+    common = sorted(set().union(*branch_gen_columns))
+    aligned = [_pad_to(branch, common) for branch in branches]
+    union: Plan = aligned[0]
+    for branch in aligned[1:]:
+        union = UnionAll(union, branch)
+
+    # Number the materialised union: surrogates are unique across branches.
+    if candidate_column is not None:
+        order = [iter_column, branch_column, candidate_column]
+    else:
+        order = [iter_column, branch_column] + [
+            c for c in common if c not in (iter_column, branch_column)
+        ]
+    numbered = RowNum(union, pos_column, tuple(order))
+
+    return LevelPlan(
+        path=path,
+        depth=depth,
+        plan=numbered,
+        payload=payload,
+        element_type=element_type,
+    )
+
+
+def _branch_plan(
+    comp: ShredComp,
+    parent: LevelPlan | None,
+    schema: Schema,
+    iter_column: str,
+    branch_column: str,
+    payload: tuple[PayloadColumn, ...],
+    candidate_column: str | None = None,
+) -> Plan:
+    own_block = comp.blocks[-1]
+
+    if parent is None:
+        if len(comp.blocks) != 1:
+            raise LoopLiftingError("top level must have exactly one block")
+        source = _scan_product(own_block.generators, schema)
+        plan = _select(source, own_block.where)
+        plan = Attach(plan, iter_column, 1)
+    else:
+        # Embed the parent plan (with its RowNum!), keep only this branch.
+        parent_branch = Select(
+            parent.plan,
+            _branch_predicate(parent.branch_column, comp.outer.tag),
+        )
+        own = _scan_product(own_block.generators, schema)
+        joined = (
+            parent_branch
+            if own is None
+            else Product(parent_branch, own)
+        )
+        if candidate_column is not None:
+            # Depth ≥ 3: candidate positions numbered on the *unfiltered*
+            # loop × table product — the seam condition below cannot be
+            # pushed under this window (the paper's Q1/Q6 pathology).
+            own_order = [
+                column_for(g.var, column)
+                for g in own_block.generators
+                for column in sorted(
+                    schema.table(g.table).column_names
+                )
+            ]
+            joined = RowNum(
+                joined,
+                candidate_column,
+                tuple([parent.pos_column] + own_order),
+            )
+        plan = _select(joined, own_block.where)
+        # iter = the parent's position (adjacent-level surrogate).
+        plan = Derive(
+            plan, iter_column, _column_ref(parent.pos_column)
+        )
+
+    plan = Attach(plan, branch_column, comp.tag)
+
+    # Materialise the payload columns (base fields; surrogates are the
+    # post-union position and need no column here).
+    for column in payload:
+        if column.kind != "base":
+            continue
+        expr = _item_base_expr(comp.inner, column.item_path)
+        plan = Derive(plan, column.column, expr)
+    return plan
+
+
+def _scan_product(generators, schema: Schema) -> Plan | None:
+    plans = [
+        Scan(g.table, g.var, schema.table(g.table).column_names)
+        for g in generators
+    ]
+    if not plans:
+        return None
+    plan = plans[0]
+    for scan in plans[1:]:
+        plan = Product(plan, scan)
+    return plan
+
+
+def _select(plan: Plan | None, predicate: BaseExpr) -> Plan:
+    base: Plan = plan if plan is not None else Unit()
+    if predicate == TRUE_NF:
+        return base
+    return Select(base, predicate)
+
+
+def _pad_to(plan: Plan, common: list[str]) -> Plan:
+    padded = plan
+    for column in common:
+        if column not in padded.columns:
+            padded = Attach(padded, column, None)
+    from repro.baselines.looplifting.algebra import ProjectCols
+
+    return ProjectCols(padded, tuple(common))
+
+
+def _payload_columns(item_type: Type, depth: int):
+    def go(ftype: Type, path: tuple[str, ...]):
+        if isinstance(ftype, IndexType):
+            yield PayloadColumn(path, "surrogate", depth)
+            return
+        if isinstance(ftype, BaseType):
+            yield PayloadColumn(path, "base", depth, ftype)
+            return
+        if isinstance(ftype, RecordType):
+            for label, sub in ftype.fields:
+                yield from go(sub, path + (label,))
+            return
+        raise LoopLiftingError(f"cannot lay out item type {ftype}")
+
+    yield from go(item_type, ())
+
+
+def _item_base_expr(inner, item_path: tuple[str, ...]) -> BaseExpr:
+    current = inner
+    for label in item_path:
+        if not isinstance(current, SRecord):
+            raise LoopLiftingError(f"no record at item path {item_path}")
+        current = current.field(label)
+    if isinstance(current, IndexRef) or not isinstance(current, BaseExpr):
+        raise LoopLiftingError(f"expected base item at {item_path}")
+    return current
+
+
+def _branch_predicate(branch_column: str, tag: str) -> BaseExpr:
+    from repro.baselines.looplifting.algebra import column_ref
+    from repro.normalise.normal_form import ConstNF, PrimNF
+
+    return PrimNF("=", (column_ref(branch_column), ConstNF(tag)))
+
+
+def _column_ref(column: str) -> BaseExpr:
+    from repro.baselines.looplifting.algebra import column_ref
+
+    return column_ref(column)

@@ -1,0 +1,298 @@
+"""Render loop-lifted algebra plans to SQL.
+
+A naive one-subquery-per-operator rendering overflows SQLite's parser
+stack (NULL padding alone adds a layer per column), so the renderer works
+in *layers*: consecutive column-wise operators (Attach / Derive /
+ProjectCols / Select) collapse into a single SELECT by tracking, for every
+output column, its SQL snippet relative to the layer's FROM sources.  A
+layer is wrapped into a subquery only when forced:
+
+* ROW_NUMBER cannot be stacked on a layer that already computes a window
+  or whose ordering columns are window results;
+* WHERE cannot reference window results (SQL evaluates WHERE first);
+* unions and products always start fresh layers.
+
+The essential loop-lifting shape is preserved exactly: each level's SQL
+still contains the parent's full numbered union as a nested subquery, with
+its own ROW_NUMBER over the product on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.database import quote_identifier as qi
+from repro.baselines.looplifting.algebra import (
+    Attach,
+    Derive,
+    LoopLiftingError,
+    Plan,
+    Product,
+    ProjectCols,
+    RowNum,
+    Scan,
+    Select,
+    Unit,
+    UnionAll,
+    as_column,
+)
+from repro.normalise.normal_form import (
+    BaseExpr,
+    ConstNF,
+    EmptyNF,
+    PrimNF,
+    TRUE_NF,
+    VarField,
+)
+
+__all__ = ["plan_to_sql", "render_level_sql"]
+
+_OPS = {
+    "=": "=",
+    "<>": "<>",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "div": "/",
+    "mod": "%",
+    "and": "AND",
+    "or": "OR",
+    "^": "||",
+}
+
+
+class _Aliases:
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def fresh(self) -> str:
+        self._counter += 1
+        return f"p{self._counter}"
+
+
+@dataclass
+class _Snippet:
+    sql: str
+    windowed: bool = False
+
+
+@dataclass
+class _Layer:
+    """One SELECT under construction."""
+
+    from_sql: list[str]  # rendered FROM items ("tbl AS a" / "(…) AS a")
+    columns: dict[str, _Snippet]  # output column → snippet
+    order: list[str]  # column emission order
+    where: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        if self.order:
+            items = ", ".join(
+                f"{self.columns[name].sql} AS {qi(name)}" for name in self.order
+            )
+        else:
+            items = "1 AS \"__unit\""
+        sql = f"SELECT {items}"
+        if self.from_sql:
+            sql += " FROM " + ", ".join(self.from_sql)
+        if self.where:
+            sql += " WHERE " + " AND ".join(self.where)
+        return sql
+
+    @property
+    def has_window(self) -> bool:
+        return any(snippet.windowed for snippet in self.columns.values())
+
+
+def _literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise LoopLiftingError(f"cannot render literal {value!r}")
+
+
+def _wrap(layer: _Layer, aliases: _Aliases) -> _Layer:
+    """Materialise a layer as a subquery and start a fresh one over it."""
+    alias = aliases.fresh()
+    from_item = f"({layer.render()}) AS {qi(alias)}"
+    columns = {
+        name: _Snippet(f"{qi(alias)}.{qi(name)}") for name in layer.order
+    }
+    return _Layer([from_item], columns, list(layer.order))
+
+
+def _pred_sql(
+    expr: BaseExpr, resolve: dict[str, _Snippet], local_vars: frozenset[str]
+) -> tuple[str, bool]:
+    """Render a predicate; returns (sql, references-a-window-column)."""
+    windowed = False
+
+    def go(e: BaseExpr, locals_: frozenset[str]) -> str:
+        nonlocal windowed
+        if isinstance(e, VarField):
+            if e.var in locals_:
+                return f"{qi(e.var)}.{qi(e.label)}"
+            column = as_column(e.var, e.label)
+            snippet = resolve.get(column)
+            if snippet is None:
+                raise LoopLiftingError(
+                    f"predicate references unknown column {column!r}"
+                )
+            windowed = windowed or snippet.windowed
+            return snippet.sql
+        if isinstance(e, ConstNF):
+            return _literal(e.value)
+        if isinstance(e, PrimNF):
+            if e.op == "not":
+                return f"(NOT {go(e.args[0], locals_)})"
+            op = _OPS.get(e.op)
+            if op is None or len(e.args) != 2:
+                raise LoopLiftingError(f"no SQL spelling for {e.op!r}")
+            return f"({go(e.args[0], locals_)} {op} {go(e.args[1], locals_)})"
+        if isinstance(e, EmptyNF):
+            from repro.shred.shredded_ast import empty_probe_parts
+
+            probes = []
+            for generators, conditions in empty_probe_parts(e.query):
+                tables = ", ".join(
+                    f"{qi(g.table)} AS {qi(g.var)}" for g in generators
+                )
+                inner_locals = locals_ | {g.var for g in generators}
+                conjuncts = [
+                    go(condition, inner_locals)
+                    for condition in conditions
+                    if condition != TRUE_NF
+                ]
+                where = f" WHERE {' AND '.join(conjuncts)}" if conjuncts else ""
+                from_clause = f" FROM {tables}" if tables else ""
+                probes.append(f"(NOT EXISTS (SELECT 1{from_clause}{where}))")
+            return "(" + " AND ".join(probes) + ")" if probes else "1"
+        raise LoopLiftingError(f"cannot render predicate {e!r}")
+
+    sql = go(expr, local_vars)
+    return sql, windowed
+
+
+def _build(plan: Plan, aliases: _Aliases) -> _Layer:
+    if isinstance(plan, Scan):
+        alias = aliases.fresh()
+        columns = {
+            as_column(plan.var, c): _Snippet(f"{qi(alias)}.{qi(c)}")
+            for c in plan.table_columns
+        }
+        return _Layer(
+            [f"{qi(plan.table)} AS {qi(alias)}"],
+            columns,
+            list(columns),
+        )
+
+    if isinstance(plan, Unit):
+        return _Layer([], {}, [])
+
+    if isinstance(plan, Product):
+        left = _wrap(_build(plan.left, aliases), aliases)
+        right = _wrap(_build(plan.right, aliases), aliases)
+        columns = dict(left.columns)
+        columns.update(right.columns)
+        return _Layer(
+            left.from_sql + right.from_sql,
+            columns,
+            list(plan.columns),
+        )
+
+    if isinstance(plan, UnionAll):
+        left_layer = _build(plan.left, aliases)
+        right_layer = _build(plan.right, aliases)
+        # Align the right side's emission order with the left's.
+        right_layer.order = list(left_layer.order)
+        union_sql = f"{left_layer.render()} UNION ALL {right_layer.render()}"
+        alias = aliases.fresh()
+        columns = {
+            name: _Snippet(f"{qi(alias)}.{qi(name)}")
+            for name in left_layer.order
+        }
+        return _Layer(
+            [f"({union_sql}) AS {qi(alias)}"], columns, list(left_layer.order)
+        )
+
+    if isinstance(plan, Select):
+        layer = _build(plan.child, aliases)
+        # A WHERE in the same SELECT runs *before* window functions; if the
+        # layer already computes one (e.g. the parent's pos), merging the
+        # filter would renumber the filtered rows — wrap instead.
+        if layer.has_window:
+            layer = _wrap(layer, aliases)
+        sql, windowed = _pred_sql(plan.predicate, layer.columns, frozenset())
+        assert not windowed, "wrapped layer cannot expose window snippets"
+        layer.where.append(sql)
+        return layer
+
+    if isinstance(plan, Attach):
+        layer = _build(plan.child, aliases)
+        layer.columns[plan.column] = _Snippet(_literal(plan.value))
+        layer.order.append(plan.column)
+        return layer
+
+    if isinstance(plan, Derive):
+        layer = _build(plan.child, aliases)
+        sql, windowed = _pred_sql(plan.expr, layer.columns, frozenset())
+        layer.columns[plan.column] = _Snippet(sql, windowed)
+        layer.order.append(plan.column)
+        return layer
+
+    if isinstance(plan, ProjectCols):
+        layer = _build(plan.child, aliases)
+        layer.order = list(plan.keep)
+        layer.columns = {
+            name: layer.columns[name] for name in plan.keep
+        }
+        return layer
+
+    if isinstance(plan, RowNum):
+        layer = _build(plan.child, aliases)
+        order_snippets = [layer.columns[c] for c in plan.order]
+        if layer.has_window or any(s.windowed for s in order_snippets):
+            layer = _wrap(layer, aliases)
+            order_snippets = [layer.columns[c] for c in plan.order]
+        order = ", ".join(s.sql for s in order_snippets)
+        over = f"OVER (ORDER BY {order})" if order else "OVER ()"
+        layer.columns[plan.column] = _Snippet(
+            f"ROW_NUMBER() {over}", windowed=True
+        )
+        layer.order.append(plan.column)
+        return layer
+
+    raise LoopLiftingError(f"cannot render plan node {plan!r}")
+
+
+def plan_to_sql(plan: Plan) -> str:
+    """Render ``plan`` to a SELECT producing exactly ``plan.columns``."""
+    layer = _build(plan, _Aliases())
+    layer.order = list(plan.columns)
+    return layer.render()
+
+
+def render_level_sql(
+    plan: Plan,
+    select_columns: list[tuple[str, str]],
+    order_by: list[str],
+) -> str:
+    """The final per-level statement: payload + iter + pos, list-ordered."""
+    alias = "lvl"
+    items = ", ".join(
+        f"{qi(alias)}.{qi(src)} AS {qi(out)}" for out, src in select_columns
+    )
+    order = ", ".join(f"{qi(alias)}.{qi(c)}" for c in order_by)
+    return (
+        f"SELECT {items} FROM ({plan_to_sql(plan)}) AS {qi(alias)} "
+        f"ORDER BY {order}"
+    )

@@ -1,0 +1,183 @@
+"""Van den Bussche's simulation of nested queries by flat queries [31],
+and its failure under multiset semantics (App. A).
+
+The simulation represents a nested relation of type ``Bag ⟨A:Int, B:Bag Int⟩``
+by two flat tables
+
+    R1(A, id)      R2(id, B)
+
+and — crucially — *eschews value invention* (no ROW_NUMBER).  To union two
+nested relations it disambiguates overlapping ids by pairing every tuple
+with elements of the **active domain** ``adom``: tuples from R carry equal
+pairs (x, x), tuples from S distinct pairs (x, x′):
+
+    T1 = R1 × {(id1: x, id2: x)  | x ∈ adom}
+       ∪ S1 × {(id1: x, id2: x′) | x ≠ x′ ∈ adom}
+
+This is correct for *sets* but blows up quadratically and is wrong for
+*bags*: the paper's example has |T1| = 72 where the natural representation
+needs 9 tuples, and the simulated multiplicities of R ∪ S and S ∪ R differ.
+This module implements the simulation exactly so the Appendix-A numbers can
+be reproduced and benchmarked (experiment E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.values import canonical
+
+__all__ = [
+    "NestedRelation",
+    "FlatRep",
+    "flat_rep",
+    "active_domain",
+    "vdb_union",
+    "decode_sets",
+    "direct_union",
+    "natural_tuple_count",
+    "paper_example",
+]
+
+
+@dataclass(frozen=True)
+class NestedRelation:
+    """A nested value of type Bag ⟨A : Int, B : Bag Int⟩."""
+
+    rows: tuple[tuple[int, tuple[int, ...]], ...]  # (A, B-bag)
+
+    @property
+    def tuple_count(self) -> int:
+        """Tuples in the natural flat representation: outer + inner."""
+        return len(self.rows) + sum(len(b) for _, b in self.rows)
+
+
+@dataclass(frozen=True)
+class FlatRep:
+    """The two-table flat representation (ids are abstract values)."""
+
+    outer: tuple[tuple[int, object], ...]  # (A, id)
+    inner: tuple[tuple[object, int], ...]  # (id, B)
+
+    @property
+    def tuple_count(self) -> int:
+        return len(self.outer) + len(self.inner)
+
+
+def flat_rep(relation: NestedRelation, prefix: str) -> FlatRep:
+    """Represent a nested relation flatly, with ids ``prefix0, prefix1, …``.
+
+    Distinct outer tuples get distinct ids (even when equal as values —
+    that is what a *bag* representation requires going in)."""
+    outer = []
+    inner = []
+    for position, (a, b_bag) in enumerate(relation.rows):
+        row_id = f"{prefix}{position}"
+        outer.append((a, row_id))
+        for b in b_bag:
+            inner.append((row_id, b))
+    return FlatRep(tuple(outer), tuple(inner))
+
+
+def active_domain(*reps: FlatRep) -> tuple[object, ...]:
+    """adom: every value (data or id) appearing in the given tables."""
+    domain: set[object] = set()
+    for rep in reps:
+        for a, row_id in rep.outer:
+            domain.add(a)
+            domain.add(row_id)
+        for row_id, b in rep.inner:
+            domain.add(row_id)
+            domain.add(b)
+    return tuple(sorted(domain, key=repr))
+
+
+def vdb_union(r: FlatRep, s: FlatRep) -> FlatRep:
+    """The simulation of R ∪ S (App. A).
+
+    New ids are triples ⟨old id, x, x′⟩; R-tuples take x = x′, S-tuples
+    x ≠ x′, both ranging over the active domain — |T1| grows as
+    O(|adom|·|R1| + |adom|²·|S1|).
+    """
+    adom = active_domain(r, s)
+    equal_pairs = [(x, x) for x in adom]
+    distinct_pairs = [
+        (x, y) for x in adom for y in adom if x != y
+    ]
+    outer = tuple(
+        [(a, (i, x1, x2)) for a, i in r.outer for (x1, x2) in equal_pairs]
+        + [(a, (i, x1, x2)) for a, i in s.outer for (x1, x2) in distinct_pairs]
+    )
+    inner = tuple(
+        [((i, x1, x2), b) for i, b in r.inner for (x1, x2) in equal_pairs]
+        + [((i, x1, x2), b) for i, b in s.inner for (x1, x2) in distinct_pairs]
+    )
+    return FlatRep(outer, inner)
+
+
+def decode_sets(rep: FlatRep) -> set:
+    """Decode a flat representation under *set* semantics.
+
+    Correct for Van den Bussche's simulation: duplicates introduced by the
+    active-domain products collapse.  (Under bag semantics there is no
+    such decoding — that is the point of App. A.)
+    """
+    inner_by_id: dict[object, set] = {}
+    for row_id, b in rep.inner:
+        inner_by_id.setdefault(row_id, set()).add(b)
+    return {
+        (a, frozenset(inner_by_id.get(row_id, frozenset())))
+        for a, row_id in rep.outer
+    }
+
+
+def direct_union(r: NestedRelation, s: NestedRelation) -> NestedRelation:
+    """The semantically-correct bag union (what shredding computes)."""
+    return NestedRelation(r.rows + s.rows)
+
+
+def natural_tuple_count(r: NestedRelation, s: NestedRelation) -> int:
+    """Tuples needed by a natural (shredding-style) representation of R∪S."""
+    return direct_union(r, s).tuple_count
+
+
+def nested_set(relation: NestedRelation) -> set:
+    """The set-semantics reading of a nested relation."""
+    return {(a, frozenset(b)) for a, b in relation.rows}
+
+
+def bag_canonical(relation: NestedRelation):
+    """The multiset reading (for inequality checks)."""
+    return canonical([{"A": a, "B": list(b)} for a, b in relation.rows])
+
+
+def simulated_bag(rep: FlatRep) -> NestedRelation:
+    """Read the simulation's tables *as if* they were a bag representation
+    (each outer tuple paired with its inner bag) — the naive reading that
+    App. A shows is wrong."""
+    inner_by_id: dict[object, list[int]] = {}
+    for row_id, b in rep.inner:
+        inner_by_id.setdefault(row_id, []).append(b)
+    return NestedRelation(
+        tuple(
+            (a, tuple(sorted(inner_by_id.get(row_id, ()))))
+            for a, row_id in rep.outer
+        )
+    )
+
+
+def paper_example() -> tuple[NestedRelation, NestedRelation]:
+    """The R and S of App. A:
+
+        R = {⟨1, {1}⟩, ⟨2, {2}⟩}      S = {⟨1, {3,4}⟩, ⟨2, {2}⟩}
+    """
+    r = NestedRelation(((1, (1,)), (2, (2,))))
+    s = NestedRelation(((1, (3, 4)), (2, (2,))))
+    return r, s
+
+
+def paper_flat_reps() -> tuple[FlatRep, FlatRep]:
+    """The flat representations of App. A, with **overlapping ids** a, b —
+    the situation the (x, x′) construction exists to disambiguate.  With
+    adom = {1, 2, 3, 4, a, b} (6 values), |T1| = 2·6 + 2·30 = 72."""
+    r, s = paper_example()
+    return flat_rep(r, "id"), flat_rep(s, "id")

@@ -1,0 +1,25 @@
+"""Benchmark harness regenerating the paper's figures (§8)."""
+
+from repro.bench.harness import (
+    BenchConfig,
+    CellResult,
+    SYSTEMS,
+    default_scales,
+    run_system,
+    sweep,
+    time_run,
+)
+from repro.bench.reporting import format_speedups, format_tables, series
+
+__all__ = [
+    "BenchConfig",
+    "CellResult",
+    "SYSTEMS",
+    "default_scales",
+    "run_system",
+    "sweep",
+    "time_run",
+    "format_speedups",
+    "format_tables",
+    "series",
+]

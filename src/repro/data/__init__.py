@@ -1,0 +1,9 @@
+"""Workloads: the organisation schema, sample + random data, paper queries."""
+
+from repro.data.organisation import (
+    ORGANISATION_SCHEMA,
+    empty_database,
+    figure3_database,
+)
+
+__all__ = ["ORGANISATION_SCHEMA", "empty_database", "figure3_database"]

@@ -1,0 +1,401 @@
+"""The paper's queries: the §3 running example, QF1–QF6 (Fig. 8) and
+Q1–Q6 (Fig. 9), over the standardised organisation schema (DESIGN.md §6).
+
+Two encodings are provided:
+
+* λNRC terms (``QF1 … QF6``, ``Q1 … Q6``) — built with the higher-order
+  combinators of §3 exactly as the paper defines them, so normalisation has
+  real work to do (β-redexes, commuting conversions, if-hoisting);
+* raw SQL (``QF_SQL``) — the Fig. 8 queries, used by the "default" flat
+  system.  Note Fig. 8's ``MINUS`` is set-difference; the λNRC versions of
+  QF5/QF6 express the same anti-join with ``empty`` subqueries, which under
+  *bag* semantics keeps duplicates of the left-hand side.  Result
+  comparisons across the two must therefore be set-based for QF5/QF6.
+"""
+
+from __future__ import annotations
+
+from repro.nrc import builders as b
+from repro.nrc import stdlib
+from repro.nrc.ast import App, Term
+
+__all__ = [
+    "tasks_of_emp",
+    "contacts_of_dept",
+    "employees_by_task",
+    "employees_of_dept",
+    "q_org",
+    "outliers",
+    "clients",
+    "get_tasks",
+    "q_people",
+    "QF1",
+    "QF2",
+    "QF3",
+    "QF4",
+    "QF5",
+    "QF6",
+    "Q1",
+    "Q2",
+    "Q3",
+    "Q4",
+    "Q5",
+    "Q6",
+    "FLAT_QUERIES",
+    "NESTED_QUERIES",
+    "QF_SQL",
+]
+
+
+# --------------------------------------------------------------------------
+# §3 — auxiliary query functions (meta-level: Python functions over terms).
+
+
+def tasks_of_emp(e: Term) -> Term:
+    """for (t ← tasks) where (t.employee = e.name) return t.task"""
+    return b.for_(
+        "t",
+        b.table("tasks"),
+        lambda t: b.where(b.eq(t["employee"], e["name"]), b.ret(t["task"])),
+    )
+
+
+def contacts_of_dept(d: Term) -> Term:
+    """for (c ← contacts) where (d.name = c.dept) return ⟨name, client⟩"""
+    return b.for_(
+        "c",
+        b.table("contacts"),
+        lambda c: b.where(
+            b.eq(d["name"], c["dept"]),
+            b.ret(b.record(name=c["name"], client=c["client"])),
+        ),
+    )
+
+
+def employees_by_task(t: Term) -> Term:
+    """for (e ← employees, d ← departments)
+    where (e.name = t.employee ∧ e.dept = d.name) return ⟨b = e.name, c = d.name⟩
+    """
+    return b.for_(
+        "e",
+        b.table("employees"),
+        lambda e: b.for_(
+            "d",
+            b.table("departments"),
+            lambda d: b.where(
+                b.and_(
+                    b.eq(e["name"], t["employee"]), b.eq(e["dept"], d["name"])
+                ),
+                b.ret(b.record(b=e["name"], c=d["name"])),
+            ),
+        ),
+    )
+
+
+def employees_of_dept(d: Term) -> Term:
+    """Nested: employees of ``d`` with their task bags."""
+    return b.for_(
+        "e",
+        b.table("employees"),
+        lambda e: b.where(
+            b.eq(d["name"], e["dept"]),
+            b.ret(
+                b.record(
+                    name=e["name"], salary=e["salary"], tasks=tasks_of_emp(e)
+                )
+            ),
+        ),
+    )
+
+
+def q_org() -> Term:
+    """Qorg: the nested organisation view (flat schema → Organisation)."""
+    return b.for_(
+        "d",
+        b.table("departments"),
+        lambda d: b.ret(
+            b.record(
+                name=d["name"],
+                employees=employees_of_dept(d),
+                contacts=contacts_of_dept(d),
+            )
+        ),
+    )
+
+
+# Higher-order helpers (object-level lambdas, eliminated by normalisation).
+
+_IS_POOR = b.lam("p", lambda p: b.lt(p["salary"], b.const(1000)))
+_IS_RICH = b.lam("r", lambda r: b.gt(r["salary"], b.const(1000000)))
+
+
+def outliers(xs: Term) -> Term:
+    """filter (λx. isRich x ∨ isPoor x) xs"""
+    predicate = b.lam(
+        "o", lambda o: b.or_(App(_IS_RICH, o), App(_IS_POOR, o))
+    )
+    return stdlib.filter_(predicate, xs)
+
+
+def clients(xs: Term) -> Term:
+    """filter (λx. x.client) xs"""
+    return stdlib.filter_(b.lam("c", lambda c: c["client"]), xs)
+
+
+def get_tasks(xs: Term, f: Term) -> Term:
+    """getTasks xs f = for (x ← xs) return ⟨name = x.name, tasks = f x⟩"""
+    return b.for_(
+        "g",
+        xs,
+        lambda g: b.ret(b.record(name=g["name"], tasks=App(f, g))),
+    )
+
+
+def q_people(organisation: Term) -> Term:
+    """Q: departments with their outliers and clients, and their tasks (§3)."""
+    return b.for_(
+        "x",
+        organisation,
+        lambda x: b.ret(
+            b.record(
+                department=x["name"],
+                people=b.union(
+                    get_tasks(
+                        outliers(x["employees"]),
+                        b.lam("y", lambda y: y["tasks"]),
+                    ),
+                    get_tasks(
+                        clients(x["contacts"]),
+                        b.lam("y", lambda y: b.ret(b.const("buy"))),
+                    ),
+                ),
+            )
+        ),
+    )
+
+
+# --------------------------------------------------------------------------
+# Fig. 8 — flat queries QF1–QF6 (λNRC versions).
+
+QF1 = b.for_(
+    "e",
+    b.table("employees"),
+    lambda e: b.where(
+        b.gt(e["salary"], b.const(10000)), b.ret(b.record(emp=e["name"]))
+    ),
+)
+
+QF2 = b.for_(
+    "e",
+    b.table("employees"),
+    lambda e: b.for_(
+        "t",
+        b.table("tasks"),
+        lambda t: b.where(
+            b.eq(e["name"], t["employee"]),
+            b.ret(b.record(emp=e["name"], tsk=t["task"])),
+        ),
+    ),
+)
+
+QF3 = b.for_(
+    "e1",
+    b.table("employees"),
+    lambda e1: b.for_(
+        "e2",
+        b.table("employees"),
+        lambda e2: b.where(
+            b.and_(
+                b.eq(e1["dept"], e2["dept"]),
+                b.eq(e1["salary"], e2["salary"]),
+                b.ne(e1["name"], e2["name"]),
+            ),
+            b.ret(b.record(emp1=e1["name"], emp2=e2["name"])),
+        ),
+    ),
+)
+
+
+def _abstract_tasks() -> Term:
+    return b.for_(
+        "t",
+        b.table("tasks"),
+        lambda t: b.where(
+            b.eq(t["task"], b.const("abstract")), b.ret(b.record(emp=t["employee"]))
+        ),
+    )
+
+
+def _high_earners(threshold: int) -> Term:
+    return b.for_(
+        "e",
+        b.table("employees"),
+        lambda e: b.where(
+            b.gt(e["salary"], b.const(threshold)), b.ret(b.record(emp=e["name"]))
+        ),
+    )
+
+
+QF4 = b.union(_abstract_tasks(), _high_earners(50000))
+
+
+def _minus(left: Term, right_probe) -> Term:
+    """Bag-calculus anti-join: keep x ∈ left with no match in right.
+
+    ``right_probe(x)`` must build the correlated right-hand side probe
+    (λNRC has no difference operator; cf. DESIGN.md §7 on MINUS).
+    """
+    return b.for_(
+        "m", left, lambda m: b.where(b.is_empty(right_probe(m)), b.ret(m))
+    )
+
+
+QF5 = _minus(
+    _abstract_tasks(),
+    lambda m: b.for_(
+        "e",
+        b.table("employees"),
+        lambda e: b.where(
+            b.and_(
+                b.gt(e["salary"], b.const(50000)), b.eq(e["name"], m["emp"])
+            ),
+            b.ret(b.record()),
+        ),
+    ),
+)
+
+
+def _enthuse_tasks_probe(m: Term) -> Term:
+    return b.for_(
+        "t",
+        b.table("tasks"),
+        lambda t: b.where(
+            b.and_(
+                b.eq(t["task"], b.const("enthuse")),
+                b.eq(t["employee"], m["emp"]),
+            ),
+            b.ret(b.record()),
+        ),
+    )
+
+
+def _earner_probe(m: Term, threshold: int) -> Term:
+    return b.for_(
+        "e",
+        b.table("employees"),
+        lambda e: b.where(
+            b.and_(
+                b.gt(e["salary"], b.const(threshold)),
+                b.eq(e["name"], m["emp"]),
+            ),
+            b.ret(b.record()),
+        ),
+    )
+
+
+QF6 = _minus(
+    b.union(_abstract_tasks(), _high_earners(50000)),
+    lambda m: b.union(_enthuse_tasks_probe(m), _earner_probe(m, 10000)),
+)
+
+
+# --------------------------------------------------------------------------
+# Fig. 9 — nested queries Q1–Q6.
+
+Q1 = q_org()
+
+Q2 = b.for_(
+    "d",
+    Q1,
+    lambda d: b.where(
+        stdlib.all_(
+            d["employees"],
+            b.lam(
+                "x", lambda x: stdlib.contains(x["tasks"], b.const("abstract"))
+            ),
+        ),
+        b.ret(b.record(dept=d["name"])),
+    ),
+)
+
+Q3 = b.for_(
+    "e",
+    b.table("employees"),
+    lambda e: b.ret(b.record(name=e["name"], tasks=tasks_of_emp(e))),
+)
+
+Q4 = b.for_(
+    "d",
+    b.table("departments"),
+    lambda d: b.ret(
+        b.record(
+            dept=d["name"],
+            employees=b.for_(
+                "e",
+                b.table("employees"),
+                lambda e: b.where(
+                    b.eq(d["name"], e["dept"]), b.ret(e["name"])
+                ),
+            ),
+        )
+    ),
+)
+
+Q5 = b.for_(
+    "t",
+    b.table("tasks"),
+    lambda t: b.ret(b.record(a=t["task"], b=employees_by_task(t))),
+)
+
+Q6 = q_people(Q1)
+
+FLAT_QUERIES = {
+    "QF1": QF1,
+    "QF2": QF2,
+    "QF3": QF3,
+    "QF4": QF4,
+    "QF5": QF5,
+    "QF6": QF6,
+}
+
+NESTED_QUERIES = {"Q1": Q1, "Q2": Q2, "Q3": Q3, "Q4": Q4, "Q5": Q5, "Q6": Q6}
+
+
+# --------------------------------------------------------------------------
+# Fig. 8 — raw SQL (SQLite spelling: MINUS → EXCEPT; compound operands
+# wrapped in subselects because SQLite rejects parenthesised compounds).
+
+QF_SQL = {
+    "QF1": "SELECT e.name AS emp FROM employees e WHERE e.salary > 10000",
+    "QF2": (
+        "SELECT e.name AS emp, t.task AS tsk FROM employees e, tasks t "
+        "WHERE e.name = t.employee"
+    ),
+    "QF3": (
+        "SELECT e1.name AS emp1, e2.name AS emp2 "
+        "FROM employees e1, employees e2 "
+        "WHERE e1.dept = e2.dept AND e1.salary = e2.salary "
+        "AND e1.name <> e2.name"
+    ),
+    "QF4": (
+        "SELECT t.employee AS emp FROM tasks t WHERE t.task = 'abstract' "
+        "UNION ALL "
+        "SELECT e.name AS emp FROM employees e WHERE e.salary > 50000"
+    ),
+    "QF5": (
+        "SELECT t.employee AS emp FROM tasks t WHERE t.task = 'abstract' "
+        "EXCEPT "
+        "SELECT e.name AS emp FROM employees e WHERE e.salary > 50000"
+    ),
+    "QF6": (
+        "SELECT emp FROM ("
+        "SELECT t.employee AS emp FROM tasks t WHERE t.task = 'abstract' "
+        "UNION ALL "
+        "SELECT e.name AS emp FROM employees e WHERE e.salary > 50000) "
+        "EXCEPT "
+        "SELECT emp FROM ("
+        "SELECT t.employee AS emp FROM tasks t WHERE t.task = 'enthuse' "
+        "UNION ALL "
+        "SELECT e.name AS emp FROM employees e WHERE e.salary > 10000)"
+    ),
+}

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the query-shredding library.
+
+Every stage of the pipeline raises a dedicated subclass of
+:class:`ReproError`, so callers can distinguish user mistakes (ill-typed
+queries, unknown tables) from internal invariant violations (which indicate
+a bug in a translation stage).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TypeCheckError(ReproError):
+    """The query is ill-typed with respect to the λNRC type system."""
+
+
+class UnknownTableError(TypeCheckError):
+    """A ``table t`` expression references a table not present in Σ."""
+
+    def __init__(self, table: str) -> None:
+        super().__init__(f"unknown table: {table!r}")
+        self.table = table
+
+
+class UnknownPrimitiveError(TypeCheckError):
+    """A primitive application references an operator not in Σ(c)."""
+
+    def __init__(self, op: str) -> None:
+        super().__init__(f"unknown primitive operator: {op!r}")
+        self.op = op
+
+
+class UnboundVariableError(TypeCheckError):
+    """A variable occurs free where no binder is in scope."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unbound variable: {name!r}")
+        self.name = name
+
+
+class EvaluationError(ReproError):
+    """Runtime failure while evaluating a query in-memory."""
+
+
+class NormalisationError(ReproError):
+    """The normaliser was given a term outside its domain.
+
+    Normalisation (Theorem 1) is defined for closed flat–nested queries:
+    the query must read only from flat tables and produce a nested result
+    without function types.
+    """
+
+
+class NotNormalisableError(NormalisationError):
+    """The query cannot be brought into the paper's normal form."""
+
+
+class ShreddingError(ReproError):
+    """Internal error in the shredding translation (§4)."""
+
+
+class InvalidPathError(ShreddingError):
+    """A shredding path does not point at a bag constructor of the type."""
+
+
+class StitchError(ReproError):
+    """Shredded results cannot be stitched back into a nested value."""
+
+
+class LetInsertionError(ReproError):
+    """Internal error in the let-insertion translation (§6.2)."""
+
+
+class FlatteningError(ReproError):
+    """Internal error in record flattening / unflattening (App. E)."""
+
+
+class SqlGenerationError(ReproError):
+    """The SQL code generator was handed a construct it cannot express."""
+
+
+class BackendError(ReproError):
+    """Failure in the database backend (schema mismatch, execution error)."""
+
+
+class IndexingError(ReproError):
+    """An indexing scheme is invalid for the query (not injective/defined)."""

@@ -1,0 +1,23 @@
+"""Record flattening and value unflattening (App. E)."""
+
+from repro.flatten.flatten import (
+    FlatColumn,
+    KIND_BASE,
+    KIND_INDEX_DYN,
+    KIND_INDEX_TAG,
+    column_name,
+    flatten_type,
+)
+from repro.flatten.unflatten import decode_base, flatten_value, unflatten_value
+
+__all__ = [
+    "FlatColumn",
+    "KIND_BASE",
+    "KIND_INDEX_DYN",
+    "KIND_INDEX_TAG",
+    "column_name",
+    "flatten_type",
+    "decode_base",
+    "flatten_value",
+    "unflatten_value",
+]

@@ -1,0 +1,100 @@
+"""Record flattening (App. E) — types.
+
+SQL rows cannot contain nested records, so flat shredded types
+
+    F ::= O | ⟨ℓ : F⟩ | Index
+
+are flattened to a list of columns whose names concatenate the labels of
+their ancestors (the paper's ``ℓ₁_ℓ₂`` convention).  Base leaves are the
+paper's ⟨• : O⟩ wrapping: a leaf at the empty path is a single column
+named ``value``.  An ``Index`` leaf becomes one ``…tag`` column (the static
+component) plus ``width`` dynamic columns (one for flat indexes —
+``ROW_NUMBER`` — or the key arity for natural indexes, §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union as PyUnion
+
+from repro.errors import FlatteningError
+from repro.nrc.types import BaseType, RecordType, Type
+from repro.shred.shred_types import IndexType
+
+__all__ = ["FlatColumn", "flatten_type", "column_name", "index_width_one"]
+
+#: Column kinds.
+KIND_BASE = "base"
+KIND_INDEX_TAG = "index_tag"
+KIND_INDEX_DYN = "index_dyn"
+
+
+@dataclass(frozen=True)
+class FlatColumn:
+    """One SQL column of a flattened row."""
+
+    path: tuple[str, ...]  # record labels from the root to the leaf
+    kind: str  # KIND_BASE / KIND_INDEX_TAG / KIND_INDEX_DYN
+    base: BaseType | None = None  # for KIND_BASE
+    dyn_position: int = 0  # for KIND_INDEX_DYN (1-based)
+
+    @property
+    def name(self) -> str:
+        return column_name(self)
+
+
+def column_name(column: FlatColumn) -> str:
+    """The SQL column name (labels joined by ``_``)."""
+    stem = "_".join(column.path) if column.path else "value"
+    if column.kind == KIND_BASE:
+        return stem
+    if column.kind == KIND_INDEX_TAG:
+        return f"{stem}_tag" if column.path else "tag"
+    if column.kind == KIND_INDEX_DYN:
+        suffix = f"dyn{column.dyn_position}"
+        return f"{stem}_{suffix}" if column.path else suffix
+    raise FlatteningError(f"unknown column kind {column.kind!r}")
+
+
+WidthFn = PyUnion[int, Callable[[tuple[str, ...]], int]]
+
+
+def index_width_one(_path: tuple[str, ...]) -> int:
+    """The flat indexing scheme: one dynamic column per index (§6.2)."""
+    return 1
+
+
+def flatten_type(f: Type, index_width: WidthFn = 1) -> list[FlatColumn]:
+    """Flatten a shredded flat type F into its column list.
+
+    ``index_width`` gives the number of dynamic columns per Index leaf
+    (an int, or a function of the leaf's path for natural indexes whose
+    key arity varies by position).
+    """
+    columns = list(_flatten(f, (), index_width))
+    names = [column.name for column in columns]
+    if len(set(names)) != len(names):
+        raise FlatteningError(
+            f"flattened column names collide: {sorted(names)} — "
+            f"rename the record labels involved"
+        )
+    return columns
+
+
+def _flatten(f: Type, path: tuple[str, ...], index_width: WidthFn):
+    if isinstance(f, IndexType):
+        yield FlatColumn(path, KIND_INDEX_TAG)
+        width = index_width if isinstance(index_width, int) else index_width(path)
+        if width < 1:
+            raise FlatteningError(f"index width must be ≥1, got {width}")
+        for position in range(1, width + 1):
+            yield FlatColumn(path, KIND_INDEX_DYN, dyn_position=position)
+        return
+    if isinstance(f, BaseType):
+        yield FlatColumn(path, KIND_BASE, base=f)
+        return
+    if isinstance(f, RecordType):
+        for label, ftype in f.fields:
+            yield from _flatten(ftype, path + (label,), index_width)
+        return
+    raise FlatteningError(f"cannot flatten non-flat type {f}")

@@ -1,0 +1,28 @@
+"""Let-insertion (§6.2): flat indexes via let-bound subqueries + `index`."""
+
+from repro.letins.ast import (
+    IndexPrim,
+    LetComp,
+    LetIndex,
+    LetQuery,
+    OuterSubquery,
+    ZIndex,
+    ZProj,
+    pretty_let,
+)
+from repro.letins.semantics import run_let, run_let_package
+from repro.letins.translate import let_insert
+
+__all__ = [
+    "IndexPrim",
+    "LetComp",
+    "LetIndex",
+    "LetQuery",
+    "OuterSubquery",
+    "ZIndex",
+    "ZProj",
+    "pretty_let",
+    "run_let",
+    "run_let_package",
+    "let_insert",
+]

@@ -1,0 +1,188 @@
+"""Let-inserted terms (§6.2).
+
+    Query terms    L, M ::= ⊎ C̄
+    Comprehensions C ::= let q = S in S'
+    Subqueries     S ::= for (Ḡ where X) return N
+    Data sources   u ::= t | q
+    Generators     G ::= x ← u
+    Inner terms    N ::= X | R | index
+    Base terms     X ::= x.ℓ̄ | c(X̄) | empty L
+
+After let-insertion, indexes are pairs ⟨a, d⟩ of a static tag and a flat
+dynamic integer.  The dynamic component is either the ``index`` primitive
+(the position of the current row within its subquery — SQL's
+``ROW_NUMBER``), the outer query's stored index ``z.2``, or the constant 1
+for the distinguished top-level context.
+
+New leaf forms (all :class:`~repro.normalise.normal_form.BaseExpr`
+subclasses so they can appear inside conditions):
+
+* :class:`ZProj` — the n-ary projection ``z.1.i.ℓ`` into the i-th expanded
+  outer row;
+* :class:`ZIndex` — ``z.2``, the outer subquery's index value;
+* :class:`IndexPrim` — the ``index`` primitive of the current subquery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union as PyUnion
+
+from repro.errors import LetInsertionError
+from repro.normalise.normal_form import BaseExpr, Generator
+from repro.shred.shredded_ast import SRecord
+
+__all__ = [
+    "ZProj",
+    "ZIndex",
+    "IndexPrim",
+    "LetIndex",
+    "OuterSubquery",
+    "LetComp",
+    "LetQuery",
+    "LetInner",
+]
+
+#: Key under which the let-bound tuple (rows, index) is stored in
+#: evaluation environments.
+Z_KEY = "__z__"
+
+
+@dataclass(frozen=True)
+class ZProj(BaseExpr):
+    """``z.1.i.ℓ`` — field ℓ of the i-th outer generator row (1-based)."""
+
+    position: int
+    label: str
+
+    def eval_in_env(self, env: dict, tables) -> object:
+        rows, _ = env[Z_KEY]
+        return rows[self.position - 1][self.label]
+
+    def __str__(self) -> str:
+        return f"z.1.{self.position}.{self.label}"
+
+
+@dataclass(frozen=True)
+class ZIndex(BaseExpr):
+    """``z.2`` — the index stored by the outer subquery."""
+
+    def eval_in_env(self, env: dict, tables) -> object:
+        _, index = env[Z_KEY]
+        return index
+
+    def __str__(self) -> str:
+        return "z.2"
+
+
+@dataclass(frozen=True)
+class IndexPrim(BaseExpr):
+    """The ``index`` primitive: the current row's position (ROW_NUMBER)."""
+
+    def __str__(self) -> str:
+        return "index"
+
+
+@dataclass(frozen=True)
+class LetIndex:
+    """A flat index pair ⟨tag, dyn⟩ with dyn ∈ {index, z.2, 1}."""
+
+    tag: str
+    dyn: PyUnion[IndexPrim, ZIndex, int]
+
+    def __str__(self) -> str:
+        return f"⟨{self.tag}, {self.dyn}⟩"
+
+
+LetInner = PyUnion[BaseExpr, SRecord, LetIndex]
+"""Inner terms of let-inserted bodies (SRecord fields may hold LetIndex)."""
+
+
+@dataclass(frozen=True)
+class OuterSubquery:
+    """``q = for (Ḡout where Xout) return ⟨⟨expand(y₁,t₁), …⟩, index⟩``.
+
+    The body is implicit: it exposes every column of every outer generator
+    row plus the subquery's index.
+    """
+
+    generators: tuple[Generator, ...]
+    where: BaseExpr
+    # Zero generators is legal: a constant nested literal (e.g.
+    # ``return ⟨xs = [1, 2]⟩``) produces an outer context of exactly one
+    # row, and ``index`` evaluates to 1.
+
+
+@dataclass(frozen=True)
+class LetComp:
+    """``let q = Sout in for (z ← q, Ḡin where Xin) return ⟨I, N⟩``.
+
+    ``outer`` is ``None`` for top-level comprehensions (single-block), in
+    which case the body's outer index is the constant ⟨⊤, 1⟩.
+    """
+
+    outer: OuterSubquery | None
+    generators: tuple[Generator, ...]  # Ḡin
+    where: BaseExpr  # L_ȳ(Xin)
+    tag: str
+    body_outer: LetIndex
+    body_value: LetInner
+
+    def __post_init__(self) -> None:
+        if self.outer is None and isinstance(self.body_outer.dyn, ZIndex):
+            raise LetInsertionError("z.2 outer index without a let-bound query")
+
+
+@dataclass(frozen=True)
+class LetQuery:
+    """⊎ C̄ of let-inserted comprehensions (one shredded query)."""
+
+    comps: tuple[LetComp, ...]
+
+
+def pretty_let(query: LetQuery) -> str:
+    """Render a let-inserted query (documentation / examples)."""
+    from repro.shred.shredded_ast import _pretty_inner  # shared renderer
+
+    pieces = []
+    for comp in query.comps:
+        lines = []
+        if comp.outer is not None:
+            gens = ", ".join(
+                f"{g.var} ← {g.table}" for g in comp.outer.generators
+            )
+            lines.append(
+                f"let q = for ({gens} where {_pretty_pred(comp.outer.where)}) "
+                f"return ⟨expand, index⟩ in"
+            )
+        gens = ", ".join(
+            ["z ← q"] * (comp.outer is not None)
+            + [f"{g.var} ← {g.table}" for g in comp.generators]
+        )
+        body_value = _pretty_letinner(comp.body_value)
+        lines.append(
+            f"for ({gens} where {_pretty_pred(comp.where)}) "
+            f"return ⟨{comp.body_outer}, {body_value}⟩"
+        )
+        pieces.append("\n".join(lines))
+    return "\n⊎\n".join(pieces) if pieces else "∅"
+
+
+def _pretty_pred(expr: BaseExpr) -> str:
+    from repro.shred.shredded_ast import _pretty_inner
+
+    try:
+        return _pretty_inner(expr)
+    except Exception:
+        return str(expr)
+
+
+def _pretty_letinner(term: LetInner) -> str:
+    if isinstance(term, LetIndex):
+        return str(term)
+    if isinstance(term, SRecord):
+        inner = ", ".join(
+            f"{label} = {_pretty_letinner(value)}" for label, value in term.fields
+        )
+        return f"⟨{inner}⟩"
+    return _pretty_pred(term)

@@ -1,0 +1,125 @@
+"""Semantics of let-inserted queries L⟦−⟧ (Fig. 6).
+
+Rather than threading a canonical dynamic index, each subquery enumerates
+its own rows and the ``index`` primitive denotes the current position —
+which is exactly what ``ROW_NUMBER`` computes in SQL.  Index values are
+:class:`~repro.shred.indexes.FlatIndex` pairs ⟨tag, i⟩, so Theorem 6
+(S♭⟦M⟧ = L⟦L(M)⟧) is directly testable against the shredded semantics
+under the flat indexing scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import LetInsertionError
+from repro.letins.ast import (
+    IndexPrim,
+    LetComp,
+    LetIndex,
+    LetInner,
+    LetQuery,
+    OuterSubquery,
+    Z_KEY,
+    ZIndex,
+)
+from repro.normalise.normal_form import BaseExpr, Generator, eval_base
+from repro.nrc.semantics import TableProvider
+from repro.shred.indexes import FlatIndex
+from repro.shred.shredded_ast import SRecord
+
+__all__ = ["run_let", "run_let_package"]
+
+
+def run_let(
+    query: LetQuery, tables: TableProvider
+) -> list[tuple[FlatIndex, object]]:
+    """L⟦L⟧: evaluate one let-inserted query to ⟨index, value⟩ pairs."""
+    rows: list[tuple[FlatIndex, object]] = []
+    for comp in query.comps:
+        rows.extend(_run_comp(comp, tables))
+    return rows
+
+
+def run_let_package(package, tables: TableProvider):
+    """Map :func:`run_let` over a package of let-inserted queries."""
+    from repro.shred.packages import pmap
+
+    return pmap(lambda q: run_let(q, tables), package)
+
+
+def _run_comp(
+    comp: LetComp, tables: TableProvider
+) -> Iterator[tuple[FlatIndex, object]]:
+    if comp.outer is not None:
+        z_rows = list(_outer_rows(comp.outer, tables))
+    else:
+        z_rows = [None]
+
+    position = 0
+    for z_value in z_rows:
+        env: dict = {}
+        if z_value is not None:
+            env[Z_KEY] = z_value
+        for bound in _generator_rows(comp.generators, env, tables):
+            if not eval_base(comp.where, bound, tables):
+                continue
+            position += 1
+            index = _eval_index(comp.body_outer, bound, position)
+            value = _eval_inner(comp.body_value, bound, position, tables)
+            yield (index, value)
+
+
+def _outer_rows(
+    outer: OuterSubquery, tables: TableProvider
+) -> Iterator[tuple[tuple[dict, ...], int]]:
+    """Enumerate ⟨expanded outer rows, index⟩ — the let-bound query q."""
+    position = 0
+    for bound in _generator_rows(outer.generators, {}, tables):
+        if not eval_base(outer.where, bound, tables):
+            continue
+        position += 1
+        rows = tuple(bound[g.var] for g in outer.generators)
+        yield (rows, position)
+
+
+def _generator_rows(
+    generators: tuple[Generator, ...], env: dict, tables: TableProvider
+) -> Iterator[dict]:
+    def go(index: int, scope: dict) -> Iterator[dict]:
+        if index == len(generators):
+            yield dict(scope)
+            return
+        generator = generators[index]
+        for row in tables.rows(generator.table):
+            inner = dict(scope)
+            inner[generator.var] = row
+            yield from go(index + 1, inner)
+
+    yield from go(0, dict(env))
+
+
+def _eval_index(index: LetIndex, env: dict, position: int) -> FlatIndex:
+    if isinstance(index.dyn, IndexPrim):
+        return FlatIndex(index.tag, position)
+    if isinstance(index.dyn, ZIndex):
+        _, z_index = env[Z_KEY]
+        return FlatIndex(index.tag, z_index)
+    if isinstance(index.dyn, int):
+        return FlatIndex(index.tag, index.dyn)
+    raise LetInsertionError(f"bad dynamic index: {index.dyn!r}")
+
+
+def _eval_inner(
+    term: LetInner, env: dict, position: int, tables: TableProvider
+) -> object:
+    if isinstance(term, LetIndex):
+        return _eval_index(term, env, position)
+    if isinstance(term, SRecord):
+        return {
+            label: _eval_inner(value, env, position, tables)
+            for label, value in term.fields
+        }
+    if isinstance(term, BaseExpr):
+        return eval_base(term, env, tables)
+    raise LetInsertionError(f"not a let-inserted inner term: {term!r}")

@@ -1,0 +1,179 @@
+"""The let-insertion translation L(−) (Fig. 7, §6.2).
+
+Each shredded comprehension ``for (B₁) … for (Bₙ) returnᵃ ⟨I, N⟩`` is
+rearranged into two subqueries:
+
+* the *outer* query gathers the generators and conditions of blocks
+  1 … n−1 and returns every outer row expanded, paired with ``index`` —
+  its enumeration yields exactly the flat dynamic indexes of the enclosing
+  context (Theorem 6);
+* the *inner* query joins the outer query (bound to ``z``) with block n's
+  generators; references to outer variables become n-ary projections
+  ``z.1.i.ℓ``, the outer index ``a·out`` becomes ⟨a, z.2⟩ and the inner
+  index ``a·in`` becomes ⟨a, index⟩.
+
+Top-level comprehensions (one block) need no let: their outer index is the
+constant ⟨⊤, 1⟩.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LetInsertionError
+from repro.letins.ast import (
+    IndexPrim,
+    LetComp,
+    LetIndex,
+    LetInner,
+    LetQuery,
+    OuterSubquery,
+    ZIndex,
+    ZProj,
+)
+from repro.normalise.normal_form import (
+    BaseExpr,
+    Comprehension,
+    ConstNF,
+    EmptyNF,
+    NormQuery,
+    PrimNF,
+    VarField,
+    conj,
+)
+from repro.shred.shredded_ast import (
+    IN,
+    OUT,
+    Block,
+    IndexRef,
+    ShredComp,
+    ShredQuery,
+    SRecord,
+)
+
+__all__ = ["let_insert"]
+
+
+def let_insert(query: ShredQuery) -> LetQuery:
+    """L(⊎ C̄) = ⊎ L(C̄)."""
+    return LetQuery(tuple(_let_comp(comp) for comp in query.comps))
+
+
+def _let_comp(comp: ShredComp) -> LetComp:
+    if not comp.blocks:
+        raise LetInsertionError("comprehension with no blocks")
+
+    outer_blocks = comp.blocks[:-1]
+    inner_block = comp.blocks[-1]
+
+    if outer_blocks:
+        outer_generators = tuple(
+            g for block in outer_blocks for g in block.generators
+        )
+        outer_where = _conj_all([block.where for block in outer_blocks])
+        outer = OuterSubquery(outer_generators, outer_where)
+        # ȳ = the outer generator variables, positionally (for z.1.i.ℓ).
+        positions = {
+            g.var: i for i, g in enumerate(outer_generators, start=1)
+        }
+        body_outer = LetIndex(comp.outer.tag, ZIndex())
+    else:
+        outer = None
+        positions = {}
+        body_outer = LetIndex(comp.outer.tag, 1)
+
+    rewriter = _Rewriter(positions)
+    where = rewriter.base(inner_block.where)
+    body_value = rewriter.inner(comp.inner)
+
+    return LetComp(
+        outer=outer,
+        generators=inner_block.generators,
+        where=where,
+        tag=comp.tag,
+        body_outer=body_outer,
+        body_value=body_value,
+    )
+
+
+def _conj_all(conditions: list[BaseExpr]) -> BaseExpr:
+    from repro.normalise.normal_form import TRUE_NF
+
+    result: BaseExpr = TRUE_NF
+    for condition in conditions:
+        result = conj(result, condition)
+    return result
+
+
+class _Rewriter:
+    """L_ȳ(−): rewrite references to outer generators into z-projections."""
+
+    def __init__(self, positions: dict[str, int]) -> None:
+        self.positions = positions
+
+    def inner(self, term) -> LetInner:
+        if isinstance(term, IndexRef):
+            if term.kind == IN:
+                # a·in ↦ ⟨a, index⟩.
+                return LetIndex(term.tag, IndexPrim())
+            if term.kind == OUT:
+                raise LetInsertionError(
+                    "a·out may only appear as a comprehension's outer index"
+                )
+        if isinstance(term, SRecord):
+            return SRecord(
+                tuple(
+                    (label, self.inner(value)) for label, value in term.fields
+                )
+            )
+        if isinstance(term, BaseExpr):
+            return self.base(term)
+        raise LetInsertionError(f"not a shredded inner term: {term!r}")
+
+    def base(self, expr: BaseExpr) -> BaseExpr:
+        if isinstance(expr, VarField):
+            position = self.positions.get(expr.var)
+            if position is None:
+                return expr
+            return ZProj(position, expr.label)
+        if isinstance(expr, ConstNF):
+            return expr
+        if isinstance(expr, PrimNF):
+            return PrimNF(expr.op, tuple(self.base(arg) for arg in expr.args))
+        if isinstance(expr, EmptyNF):
+            return EmptyNF(self.query_like(expr.query))
+        raise LetInsertionError(f"not a shredded base term: {expr!r}")
+
+    def query_like(self, query):
+        """Rewrite outer references inside an emptiness-test subquery.
+
+        Only generators and conditions matter for emptiness; bodies are
+        rewritten where cheap (NormQuery bodies may reference ȳ but are
+        never inspected by `empty`, so they are left untouched).
+        """
+        if isinstance(query, NormQuery):
+            return NormQuery(
+                tuple(
+                    Comprehension(
+                        comp.generators,
+                        self.base(comp.where),
+                        comp.body,
+                        comp.tag,
+                    )
+                    for comp in query.comprehensions
+                )
+            )
+        if isinstance(query, ShredQuery):
+            return ShredQuery(
+                tuple(
+                    ShredComp(
+                        tuple(
+                            Block(block.generators, self.base(block.where))
+                            for block in comp.blocks
+                        ),
+                        comp.tag,
+                        comp.outer,
+                        comp.inner,
+                    )
+                    for comp in query.comps
+                )
+            )
+        raise LetInsertionError(f"not a query inside empty: {query!r}")

@@ -1,0 +1,174 @@
+"""Typing for let-inserted terms — Theorem 5 runnable.
+
+    ⊢ M : Bag ⟨Index, F⟩  ⟹  ⊢ L(M) : L(Bag ⟨Index, F⟩)
+
+After let-insertion, Index is the pair ⟨Int, Int⟩ (tag, dynamic); we keep
+tags as strings at the value level, which does not affect the typing
+discipline checked here: z-projections must target an actual outer
+generator column, ``z.2``/``index`` only occur where an index is expected,
+and the body matches L(F) (Index leaves become LetIndex pairs).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeCheckError
+from repro.letins.ast import (
+    IndexPrim,
+    LetComp,
+    LetIndex,
+    LetQuery,
+    ZIndex,
+    ZProj,
+)
+from repro.normalise.normal_form import (
+    BaseExpr,
+    ConstNF,
+    EmptyNF,
+    PrimNF,
+    VarField,
+)
+from repro.nrc.primitives import check_prim
+from repro.nrc.schema import Schema
+from repro.nrc.types import BOOL, BagType, BaseType, RecordType, Type
+from repro.shred.shred_types import IndexType
+from repro.shred.shredded_ast import SRecord
+
+__all__ = ["check_let_query"]
+
+
+def check_let_query(
+    query: LetQuery, expected: BagType, schema: Schema
+) -> None:
+    """⊢ L(M) : L(Bag ⟨Index, F⟩) (Theorem 5)."""
+    element = expected.element
+    if not isinstance(element, RecordType) or element.labels != ("#1", "#2"):
+        raise TypeCheckError(f"expected Bag ⟨Index, F⟩, got {expected}")
+    item_type = element.field_type("#2")
+    for comp in query.comps:
+        _check_comp(comp, item_type, schema)
+
+
+def _check_comp(comp: LetComp, item_type: Type, schema: Schema) -> None:
+    outer_rows: list[RecordType] = []
+    if comp.outer is not None:
+        outer_env: dict[str, RecordType] = {}
+        for generator in comp.outer.generators:
+            row = schema.table(generator.table).row_type
+            if generator.var in outer_env:
+                raise TypeCheckError(f"duplicate binder {generator.var!r}")
+            outer_env[generator.var] = row
+            outer_rows.append(row)
+        _check_base(comp.outer.where, BOOL, outer_env, outer_rows, schema)
+
+    env: dict[str, RecordType] = {}
+    for generator in comp.generators:
+        env[generator.var] = schema.table(generator.table).row_type
+
+    _check_base(comp.where, BOOL, env, outer_rows, schema)
+    _check_index(comp.body_outer, comp, "outer")
+    _check_inner(comp.body_value, item_type, env, outer_rows, comp, schema)
+
+
+def _check_index(index: LetIndex, comp: LetComp, role: str) -> None:
+    if isinstance(index.dyn, ZIndex) and comp.outer is None:
+        raise TypeCheckError(f"{role} index uses z.2 without a let-bound query")
+    if not isinstance(index.dyn, (ZIndex, IndexPrim, int)):
+        raise TypeCheckError(f"bad dynamic index {index.dyn!r}")
+
+
+def _check_inner(
+    term,
+    expected: Type,
+    env: dict[str, RecordType],
+    outer_rows: list[RecordType],
+    comp: LetComp,
+    schema: Schema,
+) -> None:
+    if isinstance(term, LetIndex):
+        if not isinstance(expected, IndexType):
+            raise TypeCheckError(f"index pair used where {expected} expected")
+        _check_index(term, comp, "inner")
+        return
+    if isinstance(term, SRecord):
+        if not isinstance(expected, RecordType):
+            raise TypeCheckError(f"record used where {expected} expected")
+        if term.labels != expected.labels:
+            raise TypeCheckError(
+                f"labels {term.labels} do not match {expected.labels}"
+            )
+        for label, value in term.fields:
+            _check_inner(
+                value, expected.field_type(label), env, outer_rows, comp, schema
+            )
+        return
+    if isinstance(term, BaseExpr):
+        if not isinstance(expected, BaseType):
+            raise TypeCheckError(f"base term used where {expected} expected")
+        _check_base(term, expected, env, outer_rows, schema)
+        return
+    raise TypeCheckError(f"not a let-inserted inner term: {term!r}")
+
+
+def _check_base(
+    expr: BaseExpr,
+    expected: BaseType,
+    env: dict[str, RecordType],
+    outer_rows: list[RecordType],
+    schema: Schema,
+) -> None:
+    actual = _infer_base(expr, env, outer_rows, schema)
+    if actual != expected:
+        raise TypeCheckError(f"expected {expected}, got {actual} for {expr!r}")
+
+
+def _infer_base(
+    expr: BaseExpr,
+    env: dict[str, RecordType],
+    outer_rows: list[RecordType],
+    schema: Schema,
+) -> BaseType:
+    from repro.nrc.types import INT, STRING
+
+    if isinstance(expr, ZProj):
+        # z.1.i.ℓ — i must address an outer generator, ℓ one of its columns.
+        if not 1 <= expr.position <= len(outer_rows):
+            raise TypeCheckError(
+                f"z-projection position {expr.position} out of range "
+                f"(outer arity {len(outer_rows)})"
+            )
+        ftype = outer_rows[expr.position - 1].field_type(expr.label)
+        if not isinstance(ftype, BaseType):
+            raise TypeCheckError(f"z.1.{expr.position}.{expr.label} not base")
+        return ftype
+    if isinstance(expr, ConstNF):
+        if isinstance(expr.value, bool):
+            return BOOL
+        if isinstance(expr.value, int):
+            return INT
+        if isinstance(expr.value, str):
+            return STRING
+        raise TypeCheckError(f"bad constant {expr.value!r}")
+    if isinstance(expr, VarField):
+        row = env.get(expr.var)
+        if row is None:
+            raise TypeCheckError(f"unbound row variable {expr.var!r}")
+        ftype = row.field_type(expr.label)
+        if not isinstance(ftype, BaseType):
+            raise TypeCheckError(f"{expr.var}.{expr.label} is not base-typed")
+        return ftype
+    if isinstance(expr, PrimNF):
+        return check_prim(
+            expr.op,
+            [_infer_base(arg, env, outer_rows, schema) for arg in expr.args],
+        )
+    if isinstance(expr, EmptyNF):
+        from repro.shred.shredded_ast import empty_probe_parts
+
+        for generators, conditions in empty_probe_parts(expr.query):
+            inner = dict(env)
+            for generator in generators:
+                inner[generator.var] = schema.table(generator.table).row_type
+            for condition in conditions:
+                _check_base(condition, BOOL, inner, outer_rows, schema)
+        return BOOL
+    raise TypeCheckError(f"not a base term: {expr!r}")

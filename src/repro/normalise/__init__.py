@@ -1,0 +1,51 @@
+"""Query normalisation (§2.2, App. C): λNRC → normal form.
+
+Three stages:
+
+1. :func:`repro.normalise.rewrite.symbolic_eval` — β-reduction and commuting
+   conversions (⇝c), eliminating higher-order features and flattening
+   nesting.
+2. :func:`repro.normalise.hoist.hoist_ifs` — hoist conditionals to the
+   nearest enclosing comprehension (⇝h).
+3. :func:`repro.normalise.norm.normalise` — the structural pass producing
+   the normal form of §2.2, with static-index annotation (§4).
+"""
+
+from repro.normalise.hoist import hoist_ifs, is_h_normal
+from repro.normalise.norm import annotate, normalise
+from repro.normalise.normal_form import (
+    BaseExpr,
+    Comprehension,
+    ConstNF,
+    EmptyNF,
+    Generator,
+    NormQuery,
+    NormTerm,
+    PrimNF,
+    RecordNF,
+    VarField,
+    nf_to_term,
+    pretty_nf,
+)
+from repro.normalise.rewrite import is_c_normal, symbolic_eval
+
+__all__ = [
+    "normalise",
+    "annotate",
+    "symbolic_eval",
+    "hoist_ifs",
+    "is_c_normal",
+    "is_h_normal",
+    "nf_to_term",
+    "pretty_nf",
+    "BaseExpr",
+    "Comprehension",
+    "ConstNF",
+    "EmptyNF",
+    "Generator",
+    "NormQuery",
+    "NormTerm",
+    "PrimNF",
+    "RecordNF",
+    "VarField",
+]

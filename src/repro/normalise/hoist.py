@@ -1,0 +1,148 @@
+"""Stage 2 of normalisation: if-hoisting ⇝h (App. C.2).
+
+If-hoisting frames:
+
+    F ::= c(M̄, [ ], N̄) | ⟨…, ℓ = [ ], …⟩ | [ ] ⊎ N | M ⊎ [ ] | return [ ]
+
+Rule:   F[if L then M else N] ⇝h if L then F[M] else F[N]
+
+This lifts every conditional up to the nearest enclosing comprehension body
+(or the top level), where stage 3 turns them into where-clauses.  The
+relation is strongly normalising (Prop. 17) and confluent modulo reordering
+of conditionals.
+"""
+
+from __future__ import annotations
+
+from repro.nrc import ast
+
+__all__ = ["hoist_ifs", "is_h_normal"]
+
+
+def hoist_ifs(term: ast.Term) -> ast.Term:
+    """Compute the ⇝h-normal form nf_h(term)."""
+    return _nfh(term)
+
+
+def _nfh(term: ast.Term) -> ast.Term:
+    if isinstance(term, (ast.Var, ast.Const, ast.Table, ast.Empty)):
+        return term
+
+    if isinstance(term, ast.Prim):
+        args = [_nfh(arg) for arg in term.args]
+        for position, arg in enumerate(args):
+            if isinstance(arg, ast.If):
+                # F = c(M̄, [ ], N̄).
+                then_args = tuple(
+                    arg.then if i == position else other
+                    for i, other in enumerate(args)
+                )
+                else_args = tuple(
+                    arg.orelse if i == position else other
+                    for i, other in enumerate(args)
+                )
+                return _nfh_if(
+                    arg.cond,
+                    ast.Prim(term.op, then_args),
+                    ast.Prim(term.op, else_args),
+                )
+        return ast.Prim(term.op, tuple(args))
+
+    if isinstance(term, ast.Record):
+        fields = [(label, _nfh(value)) for label, value in term.fields]
+        for position, (label, value) in enumerate(fields):
+            if isinstance(value, ast.If):
+                # F = ⟨…, ℓ = [ ], …⟩.
+                then_fields = tuple(
+                    (lbl, value.then if i == position else other)
+                    for i, (lbl, other) in enumerate(fields)
+                )
+                else_fields = tuple(
+                    (lbl, value.orelse if i == position else other)
+                    for i, (lbl, other) in enumerate(fields)
+                )
+                return _nfh_if(
+                    value.cond, ast.Record(then_fields), ast.Record(else_fields)
+                )
+        return ast.Record(tuple(fields))
+
+    if isinstance(term, ast.Union):
+        left = _nfh(term.left)
+        right = _nfh(term.right)
+        if isinstance(left, ast.If):
+            # F = [ ] ⊎ N.
+            return _nfh_if(
+                left.cond,
+                ast.Union(left.then, right),
+                ast.Union(left.orelse, right),
+            )
+        if isinstance(right, ast.If):
+            # F = M ⊎ [ ].
+            return _nfh_if(
+                right.cond,
+                ast.Union(left, right.then),
+                ast.Union(left, right.orelse),
+            )
+        return ast.Union(left, right)
+
+    if isinstance(term, ast.Return):
+        element = _nfh(term.element)
+        if isinstance(element, ast.If):
+            # F = return [ ].
+            return _nfh_if(
+                element.cond,
+                ast.Return(element.then),
+                ast.Return(element.orelse),
+            )
+        return ast.Return(element)
+
+    if isinstance(term, ast.If):
+        return _nfh_if(_nfh(term.cond), term.then, term.orelse)
+
+    if isinstance(term, ast.For):
+        return ast.For(term.var, _nfh(term.source), _nfh(term.body))
+
+    if isinstance(term, ast.IsEmpty):
+        return ast.IsEmpty(_nfh(term.bag))
+
+    if isinstance(term, ast.Lam):
+        return ast.Lam(term.param, _nfh(term.body), term.param_type)
+
+    if isinstance(term, ast.App):
+        return ast.App(_nfh(term.fun), _nfh(term.arg))
+
+    if isinstance(term, ast.Project):
+        return ast.Project(_nfh(term.record), term.label)
+
+    raise TypeError(f"not a λNRC term: {term!r}")
+
+
+def _nfh_if(cond: ast.Term, then: ast.Term, orelse: ast.Term) -> ast.Term:
+    """Build a conditional whose branches are re-normalised.
+
+    Hoisting may create new redexes in the branches (the frame was pushed
+    inside), so both branches are run through ⇝h again.  Conditions are
+    boolean base terms at this point; an `if` *inside* the condition was
+    already hoisted out of the prim that contains it.
+    """
+    return ast.If(cond, _nfh(then), _nfh(orelse))
+
+
+def is_h_normal(term: ast.Term) -> bool:
+    """True iff no ⇝h rule applies anywhere in ``term``."""
+    for sub in ast.subterms(term):
+        if isinstance(sub, ast.Prim) and any(
+            isinstance(arg, ast.If) for arg in sub.args
+        ):
+            return False
+        if isinstance(sub, ast.Record) and any(
+            isinstance(value, ast.If) for _, value in sub.fields
+        ):
+            return False
+        if isinstance(sub, ast.Union) and (
+            isinstance(sub.left, ast.If) or isinstance(sub.right, ast.If)
+        ):
+            return False
+        if isinstance(sub, ast.Return) and isinstance(sub.element, ast.If):
+            return False
+    return True

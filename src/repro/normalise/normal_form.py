@@ -1,0 +1,319 @@
+"""Normal forms for flat–nested queries (§2.2).
+
+    Query terms      L ::= ⊎ C̄
+    Comprehensions   C ::= for (Ḡ where X) returnᵃ M
+    Generators       G ::= x ← t
+    Normalised terms M ::= X | R | L
+    Record terms     R ::= ⟨ℓ = M, …⟩
+    Base terms       X ::= x.ℓ | c(X̄) | empty L
+
+(Constants are nullary primitives ``c()``; we give them their own node for
+clarity.)  The superscript ``a`` on ``return`` is the *static index* added by
+the annotation pass (§4); it is ``None`` until then.
+
+This module defines the normal-form dataclasses, conversion back to λNRC
+terms (used by tests and the correctness properties), an evaluator for base
+terms (shared by the shredded and let-inserted semantics), and a pretty
+printer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union as PyUnion
+
+from repro.errors import NormalisationError
+from repro.nrc import ast
+from repro.nrc import builders as b
+from repro.nrc.primitives import apply_prim
+from repro.nrc.semantics import TableProvider
+
+__all__ = [
+    "BaseExpr",
+    "ConstNF",
+    "VarField",
+    "PrimNF",
+    "EmptyNF",
+    "RecordNF",
+    "NormQuery",
+    "Comprehension",
+    "Generator",
+    "NormTerm",
+    "TRUE_NF",
+    "conj",
+    "neg",
+    "nf_to_term",
+    "base_to_term",
+    "eval_base",
+    "pretty_nf",
+    "iter_comprehensions",
+]
+
+
+class BaseExpr:
+    """Abstract base class for normalised base terms X."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ConstNF(BaseExpr):
+    """A constant of base type (a nullary primitive in the paper)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class VarField(BaseExpr):
+    """A projection ``x.ℓ`` from a generator-bound row variable."""
+
+    var: str
+    label: str
+
+
+@dataclass(frozen=True)
+class PrimNF(BaseExpr):
+    """A primitive application ``c(X₁, …, Xₙ)``."""
+
+    op: str
+    args: tuple[BaseExpr, ...]
+
+
+@dataclass(frozen=True)
+class EmptyNF(BaseExpr):
+    """An emptiness test ``empty L`` over a normalised query."""
+
+    query: "NormQuery"
+
+
+@dataclass(frozen=True)
+class Generator:
+    """A generator ``x ← t`` ranging over a flat table."""
+
+    var: str
+    table: str
+
+
+@dataclass(frozen=True)
+class RecordNF:
+    """A record term ⟨ℓ₁ = M₁, …⟩ (fields sorted by label)."""
+
+    fields: tuple[tuple[str, "NormTerm"], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "fields", tuple(sorted(self.fields, key=lambda f: f[0]))
+        )
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(label for label, _ in self.fields)
+
+    def field(self, label: str) -> "NormTerm":
+        for name, term in self.fields:
+            if name == label:
+                return term
+        raise NormalisationError(f"record normal form has no field {label!r}")
+
+
+@dataclass(frozen=True)
+class Comprehension:
+    """``for (x₁ ← t₁, …, xₙ ← tₙ where X) returnᵃ M``."""
+
+    generators: tuple[Generator, ...]
+    where: BaseExpr
+    body: "NormTerm"
+    tag: str | None = None
+
+    @property
+    def var_names(self) -> tuple[str, ...]:
+        return tuple(g.var for g in self.generators)
+
+
+@dataclass(frozen=True)
+class NormQuery:
+    """A union of comprehensions ⊎ C̄ (empty tuple = the empty bag ∅)."""
+
+    comprehensions: tuple[Comprehension, ...]
+
+
+NormTerm = PyUnion[BaseExpr, RecordNF, NormQuery]
+
+TRUE_NF: BaseExpr = ConstNF(True)
+
+
+def conj(left: BaseExpr, right: BaseExpr) -> BaseExpr:
+    """Smart conjunction: drops ``true`` units (App. C starts from true)."""
+    if left == TRUE_NF:
+        return right
+    if right == TRUE_NF:
+        return left
+    return PrimNF("and", (left, right))
+
+
+def neg(expr: BaseExpr) -> BaseExpr:
+    """Smart negation (¬true = false, ¬¬X = X)."""
+    if isinstance(expr, ConstNF) and isinstance(expr.value, bool):
+        return ConstNF(not expr.value)
+    if isinstance(expr, PrimNF) and expr.op == "not":
+        return expr.args[0]
+    return PrimNF("not", (expr,))
+
+
+# --------------------------------------------------------------------------
+# Conversion back to λNRC (the normal form is a sub-language of λNRC).
+
+
+def base_to_term(expr: BaseExpr) -> ast.Term:
+    if isinstance(expr, ConstNF):
+        return ast.Const(expr.value)
+    if isinstance(expr, VarField):
+        return ast.Project(ast.Var(expr.var), expr.label)
+    if isinstance(expr, PrimNF):
+        return ast.Prim(expr.op, tuple(base_to_term(arg) for arg in expr.args))
+    if isinstance(expr, EmptyNF):
+        return ast.IsEmpty(nf_to_term(expr.query))
+    raise NormalisationError(f"not a base normal form: {expr!r}")
+
+
+def _term_of(term: NormTerm) -> ast.Term:
+    if isinstance(term, BaseExpr):
+        return base_to_term(term)
+    if isinstance(term, RecordNF):
+        return ast.Record(
+            tuple((label, _term_of(value)) for label, value in term.fields)
+        )
+    if isinstance(term, NormQuery):
+        return nf_to_term(term)
+    raise NormalisationError(f"not a normalised term: {term!r}")
+
+
+def nf_to_term(query: NormQuery) -> ast.Term:
+    """Convert a normal form back into an (equivalent) λNRC term."""
+    branches: list[ast.Term] = []
+    for comp in query.comprehensions:
+        body: ast.Term = ast.Return(_term_of(comp.body))
+        if comp.where != TRUE_NF:
+            body = b.where(base_to_term(comp.where), body)
+        for generator in reversed(comp.generators):
+            body = ast.For(generator.var, ast.Table(generator.table), body)
+        branches.append(body)
+    if not branches:
+        return ast.Empty()
+    return b.union(*branches)
+
+
+# --------------------------------------------------------------------------
+# Evaluation of base terms (shared by S⟦−⟧ and L⟦−⟧).
+
+
+def eval_base(expr: BaseExpr, env: dict, tables: TableProvider) -> object:
+    """Evaluate a base term under a row environment — N⟦X⟧ρ."""
+    if isinstance(expr, ConstNF):
+        return expr.value
+    if isinstance(expr, VarField):
+        return env[expr.var][expr.label]
+    if isinstance(expr, PrimNF):
+        return apply_prim(
+            expr.op, [eval_base(arg, env, tables) for arg in expr.args]
+        )
+    if isinstance(expr, EmptyNF):
+        if isinstance(expr.query, NormQuery):
+            return _query_is_empty(expr.query, env, tables)
+        # After shredding, emptiness tests in comprehension *bodies* wrap a
+        # ShredQuery (⟨empty L⟩ₐ = empty ⟦L⟧ε); delegate to its evaluator.
+        from repro.shred.semantics import shred_query_is_empty
+
+        return shred_query_is_empty(expr.query, env, tables)
+    # Later pipeline stages extend the base-term grammar (z-projections and
+    # the index primitive of §6.2); those leaves evaluate themselves.
+    evaluator = getattr(expr, "eval_in_env", None)
+    if evaluator is not None:
+        return evaluator(env, tables)
+    raise NormalisationError(f"not a base normal form: {expr!r}")
+
+
+def _query_is_empty(query: NormQuery, env: dict, tables: TableProvider) -> bool:
+    for comp in query.comprehensions:
+        if _comp_inhabited(comp, env, tables):
+            return False
+    return True
+
+
+def _comp_inhabited(
+    comp: Comprehension, env: dict, tables: TableProvider
+) -> bool:
+    def go(index: int, scope: dict) -> bool:
+        if index == len(comp.generators):
+            return bool(eval_base(comp.where, scope, tables))
+        generator = comp.generators[index]
+        for row in tables.rows(generator.table):
+            inner = dict(scope)
+            inner[generator.var] = row
+            if go(index + 1, inner):
+                return True
+        return False
+
+    return go(0, dict(env))
+
+
+# --------------------------------------------------------------------------
+# Traversal and pretty printing.
+
+
+def iter_comprehensions(query: NormQuery) -> Iterator[Comprehension]:
+    """Yield every comprehension in the query, DFS pre-order.
+
+    The order matches the static-tag assignment of the annotation pass.
+    """
+    for comp in query.comprehensions:
+        yield comp
+        yield from _iter_term(comp.body)
+
+
+def _iter_term(term: NormTerm) -> Iterator[Comprehension]:
+    if isinstance(term, NormQuery):
+        yield from iter_comprehensions(term)
+    elif isinstance(term, RecordNF):
+        for _, value in term.fields:
+            yield from _iter_term(value)
+
+
+def pretty_nf(query: NormQuery, indent: int = 0) -> str:
+    """Render a normal form in paper-style notation."""
+    pad = "  " * indent
+    if not query.comprehensions:
+        return pad + "∅"
+    pieces = [_pretty_comp(comp, indent) for comp in query.comprehensions]
+    return ("\n" + pad + "⊎\n").join(pieces)
+
+
+def _pretty_comp(comp: Comprehension, indent: int) -> str:
+    pad = "  " * indent
+    gens = ", ".join(f"{g.var} ← {g.table}" for g in comp.generators)
+    tag = comp.tag or ""
+    where = ""
+    if comp.where != TRUE_NF:
+        where = f" where {_pretty_base(comp.where)}"
+    body = _pretty_term(comp.body, indent + 1)
+    return f"{pad}for ({gens}{where})\n{pad}  return^{tag} {body}"
+
+
+def _pretty_term(term: NormTerm, indent: int) -> str:
+    if isinstance(term, BaseExpr):
+        return _pretty_base(term)
+    if isinstance(term, RecordNF):
+        inner = ", ".join(
+            f"{label} = {_pretty_term(value, indent)}"
+            for label, value in term.fields
+        )
+        return f"⟨{inner}⟩"
+    if isinstance(term, NormQuery):
+        return "(\n" + pretty_nf(term, indent + 1) + ")"
+    raise NormalisationError(f"not a normalised term: {term!r}")
+
+
+def _pretty_base(expr: BaseExpr) -> str:
+    from repro.nrc.pretty import pretty
+
+    return pretty(base_to_term(expr))

@@ -1,0 +1,186 @@
+"""Stage 1 of normalisation: symbolic evaluation ⇝c (App. C.1).
+
+β-rules (each eliminates an introduction form inside an elimination form):
+
+    (λx.N) M                     ⇝c  N[x := M]
+    ⟨…, ℓᵢ = Mᵢ, …⟩.ℓᵢ           ⇝c  Mᵢ
+    if true  then M else N       ⇝c  M
+    if false then M else N       ⇝c  N
+    for (x ← return M) N         ⇝c  N[x := M]
+
+Commuting conversions hoist comprehensions, conditionals, ∅ and ⊎ out of the
+elimination frames  E ::= [ ] M | [ ].ℓ | if [ ] then M else N | for (x ← [ ]) N:
+
+    E[for (x ← M) N]   ⇝c  for (x ← M) E[N]
+    E[if L then M else N] ⇝c if L then E[M] else E[N]
+    E[∅]               ⇝c  ∅
+    E[M₁ ⊎ M₂]          ⇝c  E[M₁] ⊎ E[M₂]
+
+The relation is strongly normalising (Theorem 15); we implement it as a
+structurally recursive normaliser (normal order via bottom-up traversal with
+re-normalisation after substitution), which computes nf_c.  ``empty`` is
+treated as an uninterpreted constant: we reduce inside it but it does not
+otherwise interact with the rules.
+"""
+
+from __future__ import annotations
+
+from repro.nrc import ast
+from repro.nrc.ast import fresh_name, free_vars, substitute
+
+__all__ = ["symbolic_eval", "is_c_normal"]
+
+
+def symbolic_eval(term: ast.Term) -> ast.Term:
+    """Compute the ⇝c-normal form nf_c(term)."""
+    return _nfc(term)
+
+
+def _nfc(term: ast.Term) -> ast.Term:
+    if isinstance(term, (ast.Var, ast.Const, ast.Table, ast.Empty)):
+        return term
+
+    if isinstance(term, ast.Prim):
+        return ast.Prim(term.op, tuple(_nfc(arg) for arg in term.args))
+
+    if isinstance(term, ast.Lam):
+        return ast.Lam(term.param, _nfc(term.body), term.param_type)
+
+    if isinstance(term, ast.App):
+        fun = _nfc(term.fun)
+        arg = _nfc(term.arg)
+        return _apply(fun, arg)
+
+    if isinstance(term, ast.Record):
+        return ast.Record(
+            tuple((label, _nfc(value)) for label, value in term.fields)
+        )
+
+    if isinstance(term, ast.Project):
+        return _project(_nfc(term.record), term.label)
+
+    if isinstance(term, ast.If):
+        return _conditional(_nfc(term.cond), term.then, term.orelse)
+
+    if isinstance(term, ast.Return):
+        return ast.Return(_nfc(term.element))
+
+    if isinstance(term, ast.Union):
+        return ast.Union(_nfc(term.left), _nfc(term.right))
+
+    if isinstance(term, ast.For):
+        return _comprehend(term.var, _nfc(term.source), term.body)
+
+    if isinstance(term, ast.IsEmpty):
+        return ast.IsEmpty(_nfc(term.bag))
+
+    raise TypeError(f"not a λNRC term: {term!r}")
+
+
+def _apply(fun: ast.Term, arg: ast.Term) -> ast.Term:
+    """Normalise an application with already-normal ``fun`` and ``arg``."""
+    if isinstance(fun, ast.Lam):
+        # β: (λx.N) M ⇝ N[x := M]; re-normalise the redex this creates.
+        return _nfc(substitute(fun.body, fun.param, arg))
+    if isinstance(fun, ast.If):
+        # E[if…] with E = [ ] M.
+        return _conditional(
+            fun.cond, ast.App(fun.then, arg), ast.App(fun.orelse, arg)
+        )
+    if isinstance(fun, ast.For):
+        # E[for…] with E = [ ] M (only well-typed in degenerate cases).
+        return _comprehend(fun.var, fun.source, ast.App(fun.body, arg))
+    return ast.App(fun, arg)
+
+
+def _project(record: ast.Term, label: str) -> ast.Term:
+    """Normalise a projection with already-normal ``record``."""
+    if isinstance(record, ast.Record):
+        return record.field(label)  # β (already normal)
+    if isinstance(record, ast.If):
+        return _conditional(
+            record.cond,
+            ast.Project(record.then, label),
+            ast.Project(record.orelse, label),
+        )
+    if isinstance(record, ast.For):
+        return _comprehend(
+            record.var, record.source, ast.Project(record.body, label)
+        )
+    return ast.Project(record, label)
+
+
+def _conditional(cond: ast.Term, then: ast.Term, orelse: ast.Term) -> ast.Term:
+    """Normalise a conditional with already-normal ``cond``."""
+    if isinstance(cond, ast.Const) and cond.value is True:
+        return _nfc(then)
+    if isinstance(cond, ast.Const) and cond.value is False:
+        return _nfc(orelse)
+    if isinstance(cond, ast.If):
+        # E[if…] with E = if [ ] then M else N (boolean-in-boolean).
+        return _conditional(
+            cond.cond,
+            ast.If(cond.then, then, orelse),
+            ast.If(cond.orelse, then, orelse),
+        )
+    return ast.If(cond, _nfc(then), _nfc(orelse))
+
+
+def _comprehend(var: str, source: ast.Term, body: ast.Term) -> ast.Term:
+    """Normalise ``for (var ← source) body`` with already-normal ``source``."""
+    if isinstance(source, ast.Return):
+        # β: for (x ← return M) N ⇝ N[x := M].
+        return _nfc(substitute(body, var, source.element))
+    if isinstance(source, ast.Empty):
+        # E[∅] with E = for (x ← [ ]) N.
+        return ast.Empty()
+    if isinstance(source, ast.Union):
+        # E[M₁ ⊎ M₂].
+        return ast.Union(
+            _comprehend(var, source.left, body),
+            _comprehend(var, source.right, body),
+        )
+    if isinstance(source, ast.For):
+        # E[for (y ← M) N] ⇝ for (y ← M) for (x ← N) body  (avoid capture).
+        inner_var = source.var
+        inner_body = source.body
+        if inner_var == var or inner_var in free_vars(body):
+            renamed = fresh_name(inner_var)
+            inner_body = substitute(inner_body, inner_var, ast.Var(renamed))
+            inner_var = renamed
+        return _comprehend(
+            inner_var, source.source, ast.For(var, inner_body, body)
+        )
+    if isinstance(source, ast.If):
+        # E[if L then M else N].
+        return _conditional(
+            source.cond,
+            ast.For(var, source.then, body),
+            ast.For(var, source.orelse, body),
+        )
+    return ast.For(var, source, _nfc(body))
+
+
+def is_c_normal(term: ast.Term) -> bool:
+    """True iff no ⇝c rule applies anywhere in ``term`` (term ∈ nf_c)."""
+    for sub in ast.subterms(term):
+        if isinstance(sub, ast.App) and isinstance(
+            sub.fun, (ast.Lam, ast.If, ast.For)
+        ):
+            return False
+        if isinstance(sub, ast.Project) and isinstance(
+            sub.record, (ast.Record, ast.If, ast.For)
+        ):
+            return False
+        if isinstance(sub, ast.If):
+            if isinstance(sub.cond, ast.If):
+                return False
+            if isinstance(sub.cond, ast.Const) and isinstance(
+                sub.cond.value, bool
+            ):
+                return False
+        if isinstance(sub, ast.For) and isinstance(
+            sub.source, (ast.Return, ast.Empty, ast.Union, ast.For, ast.If)
+        ):
+            return False
+    return True

@@ -1,0 +1,50 @@
+"""λNRC — the higher-order nested relational calculus over bags (§2.1).
+
+Public surface:
+
+* :mod:`repro.nrc.types` — the type language.
+* :mod:`repro.nrc.ast` — the term language.
+* :mod:`repro.nrc.builders` — a DSL for constructing terms.
+* :mod:`repro.nrc.typecheck` — the type system (Fig. 12).
+* :mod:`repro.nrc.semantics` — the denotational semantics N⟦−⟧ (Fig. 2).
+* :mod:`repro.nrc.schema` — table signatures Σ.
+* :mod:`repro.nrc.stdlib` — the paper's higher-order combinators.
+"""
+
+from repro.nrc.ast import Term
+from repro.nrc.schema import Schema, TableSchema
+from repro.nrc.semantics import evaluate
+from repro.nrc.typecheck import check, infer
+from repro.nrc.types import (
+    BOOL,
+    INT,
+    STRING,
+    BagType,
+    BaseType,
+    FunType,
+    RecordType,
+    Type,
+    bag,
+    nesting_degree,
+    record_type,
+)
+
+__all__ = [
+    "Term",
+    "Schema",
+    "TableSchema",
+    "evaluate",
+    "check",
+    "infer",
+    "BOOL",
+    "INT",
+    "STRING",
+    "BagType",
+    "BaseType",
+    "FunType",
+    "RecordType",
+    "Type",
+    "bag",
+    "nesting_degree",
+    "record_type",
+]

@@ -1,0 +1,236 @@
+"""A small DSL for constructing λNRC terms close to the paper's notation.
+
+Example (the ``employeesOfDept`` query from §3)::
+
+    from repro.nrc import builders as b
+
+    def employees_of_dept(d):
+        return b.for_("e", b.table("employees"),
+                      lambda e: b.where(b.eq(d["name"], e["dept"]),
+                                        b.ret(b.record(name=e["name"],
+                                                       salary=e["salary"]))))
+
+``for_`` accepts either a term body or a Python function from the bound
+variable to the body, which keeps variable plumbing out of query code.
+``where`` is the standard sugar: ``if cond then body else ∅``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union as PyUnion
+
+from repro.nrc.ast import (
+    App,
+    Const,
+    Empty,
+    For,
+    If,
+    IsEmpty,
+    Lam,
+    Prim,
+    Record,
+    Return,
+    Table,
+    Term,
+    Union,
+    Var,
+)
+from repro.nrc.types import Type
+
+__all__ = [
+    "var",
+    "const",
+    "table",
+    "record",
+    "tuple_",
+    "ret",
+    "bag_of",
+    "empty_bag",
+    "for_",
+    "where",
+    "if_",
+    "lam",
+    "app",
+    "union",
+    "is_empty",
+    "exists",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "add",
+    "sub",
+    "mul",
+    "and_",
+    "or_",
+    "not_",
+    "TRUE",
+    "FALSE",
+]
+
+BodyLike = PyUnion[Term, Callable[[Var], Term]]
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def const(value: object) -> Const:
+    return Const(value)
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+def table(name: str) -> Table:
+    return Table(name)
+
+
+def record(**fields: Term) -> Record:
+    """Build ⟨ℓ = M, …⟩ from keyword arguments."""
+    return Record(tuple(fields.items()))
+
+
+def tuple_(*components: Term) -> Record:
+    """Encode an n-tuple ⟨M₁, …, Mₙ⟩ as a record with labels ``#1 … #n``."""
+    return Record(
+        tuple((f"#{i}", component) for i, component in enumerate(components, 1))
+    )
+
+
+def ret(element: Term) -> Return:
+    """A singleton bag ``return M``."""
+    return Return(element)
+
+
+def empty_bag(element_type: Type | None = None) -> Empty:
+    return Empty(element_type)
+
+
+def bag_of(*elements: Term) -> Term:
+    """A literal bag: ⊎ of singletons (∅ when no elements are given)."""
+    if not elements:
+        return Empty()
+    result: Term = Return(elements[0])
+    for element in elements[1:]:
+        result = Union(result, Return(element))
+    return result
+
+
+def _resolve_body(name: str, body: BodyLike) -> Term:
+    if callable(body) and not isinstance(body, Term):
+        return body(Var(name))
+    return body
+
+
+def for_(name: str, source: Term, body: BodyLike) -> For:
+    """``for (name ← source) body``; ``body`` may be a function of the var."""
+    return For(name, source, _resolve_body(name, body))
+
+
+def where(cond: Term, body: Term) -> If:
+    """``where`` sugar: ``if cond then body else ∅``."""
+    return If(cond, body, Empty())
+
+
+def if_(cond: Term, then: Term, orelse: Term) -> If:
+    return If(cond, then, orelse)
+
+
+def lam(name: str, body: BodyLike, param_type: Type | None = None) -> Lam:
+    """``λname. body``; ``body`` may be a function of the bound variable."""
+    return Lam(name, _resolve_body(name, body), param_type)
+
+
+def app(fun: Term, *args: Term) -> Term:
+    """Left-nested application ``fun arg₁ … argₙ``."""
+    result: Term = fun
+    for arg in args:
+        result = App(result, arg)
+    return result
+
+
+def union(*terms: Term) -> Term:
+    """Left-nested bag union ``M₁ ⊎ … ⊎ Mₙ``."""
+    if not terms:
+        return Empty()
+    result = terms[0]
+    for term in terms[1:]:
+        result = Union(result, term)
+    return result
+
+
+def is_empty(bag: Term) -> IsEmpty:
+    return IsEmpty(bag)
+
+
+def exists(bag: Term) -> Term:
+    """``¬ empty M`` — true iff the bag is inhabited."""
+    return not_(IsEmpty(bag))
+
+
+def _prim(op: str, *args: Term) -> Prim:
+    return Prim(op, args)
+
+
+def eq(left: Term, right: Term) -> Prim:
+    return _prim("=", left, right)
+
+
+def ne(left: Term, right: Term) -> Prim:
+    return _prim("<>", left, right)
+
+
+def lt(left: Term, right: Term) -> Prim:
+    return _prim("<", left, right)
+
+
+def le(left: Term, right: Term) -> Prim:
+    return _prim("<=", left, right)
+
+
+def gt(left: Term, right: Term) -> Prim:
+    return _prim(">", left, right)
+
+
+def ge(left: Term, right: Term) -> Prim:
+    return _prim(">=", left, right)
+
+
+def add(left: Term, right: Term) -> Prim:
+    return _prim("+", left, right)
+
+
+def sub(left: Term, right: Term) -> Prim:
+    return _prim("-", left, right)
+
+
+def mul(left: Term, right: Term) -> Prim:
+    return _prim("*", left, right)
+
+
+def and_(*terms: Term) -> Term:
+    """Right-nested conjunction (``true`` for zero arguments)."""
+    if not terms:
+        return TRUE
+    result = terms[-1]
+    for term in reversed(terms[:-1]):
+        result = _prim("and", term, result)
+    return result
+
+
+def or_(*terms: Term) -> Term:
+    """Right-nested disjunction (``false`` for zero arguments)."""
+    if not terms:
+        return FALSE
+    result = terms[-1]
+    for term in reversed(terms[:-1]):
+        result = _prim("or", term, result)
+    return result
+
+
+def not_(term: Term) -> Prim:
+    return _prim("not", term)

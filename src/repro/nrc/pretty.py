@@ -1,0 +1,96 @@
+"""Pretty-printer for λNRC terms, in the paper's notation.
+
+Used by examples, error messages and the documentation; the output is not
+meant to be re-parsed.
+"""
+
+from __future__ import annotations
+
+from repro.nrc import ast
+
+__all__ = ["pretty"]
+
+_INFIX = {"=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "and", "or", "^"}
+
+
+def pretty(term: ast.Term) -> str:
+    """Render ``term`` as a single-line string in paper-style notation."""
+    return _pp(term, 0)
+
+
+def _parens(text: str, needed: bool) -> str:
+    return f"({text})" if needed else text
+
+
+def _pp(term: ast.Term, prec: int) -> str:
+    if isinstance(term, ast.Var):
+        return term.name
+
+    if isinstance(term, ast.Const):
+        if isinstance(term.value, bool):
+            return "true" if term.value else "false"
+        if isinstance(term.value, str):
+            return f"“{term.value}”"
+        return str(term.value)
+
+    if isinstance(term, ast.Prim):
+        if term.op in _INFIX and len(term.args) == 2:
+            op = {"and": "∧", "or": "∨"}.get(term.op, term.op)
+            left = _pp(term.args[0], 10)
+            right = _pp(term.args[1], 10)
+            return _parens(f"{left} {op} {right}", prec >= 10)
+        if term.op == "not" and len(term.args) == 1:
+            return f"¬{_pp(term.args[0], 20)}"
+        args = ", ".join(_pp(arg, 0) for arg in term.args)
+        return f"{term.op}({args})"
+
+    if isinstance(term, ast.Lam):
+        annotation = f" : {term.param_type}" if term.param_type else ""
+        return _parens(f"λ{term.param}{annotation}. {_pp(term.body, 0)}", prec > 0)
+
+    if isinstance(term, ast.App):
+        return _parens(f"{_pp(term.fun, 15)} {_pp(term.arg, 20)}", prec >= 20)
+
+    if isinstance(term, ast.Record):
+        inner = ", ".join(
+            f"{label} = {_pp(value, 0)}" for label, value in term.fields
+        )
+        return f"⟨{inner}⟩"
+
+    if isinstance(term, ast.Project):
+        return f"{_pp(term.record, 20)}.{term.label}"
+
+    if isinstance(term, ast.If):
+        # Recognise the `where` sugar: if C then M else ∅.
+        if isinstance(term.orelse, ast.Empty):
+            return _parens(
+                f"where ({_pp(term.cond, 0)}) {_pp(term.then, 5)}", prec > 0
+            )
+        return _parens(
+            f"if {_pp(term.cond, 0)} then {_pp(term.then, 0)} "
+            f"else {_pp(term.orelse, 0)}",
+            prec > 0,
+        )
+
+    if isinstance(term, ast.Return):
+        return _parens(f"return {_pp(term.element, 20)}", prec >= 20)
+
+    if isinstance(term, ast.Empty):
+        return "∅"
+
+    if isinstance(term, ast.Union):
+        return _parens(f"{_pp(term.left, 4)} ⊎ {_pp(term.right, 5)}", prec >= 5)
+
+    if isinstance(term, ast.For):
+        return _parens(
+            f"for ({term.var} ← {_pp(term.source, 0)}) {_pp(term.body, 5)}",
+            prec > 0,
+        )
+
+    if isinstance(term, ast.Table):
+        return f"table {term.name}"
+
+    if isinstance(term, ast.IsEmpty):
+        return f"empty({_pp(term.bag, 0)})"
+
+    raise TypeError(f"not a term: {term!r}")

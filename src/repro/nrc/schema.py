@@ -1,0 +1,100 @@
+"""Table signatures Σ(t) (§2.1).
+
+Tables are constrained to *flat relation* types ``Bag ⟨ℓ₁:O₁, …, ℓₙ:Oₙ⟩``.
+Each table additionally declares a *key* — a set of columns whose values are
+unique per row.  Keys drive the *natural* indexing scheme (§6.1) and the
+"use keys for row numbering" optimisation (§8); the paper assumes every
+table has an integer-valued key ``id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BackendError, UnknownTableError
+from repro.nrc.types import BagType, BaseType, RecordType, Type
+
+__all__ = ["TableSchema", "Schema"]
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of a single flat table."""
+
+    name: str
+    columns: tuple[tuple[str, BaseType], ...]
+    key: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [column for column, _ in self.columns]
+        if len(set(names)) != len(names):
+            raise BackendError(f"table {self.name!r}: duplicate columns {names}")
+        for key_column in self.key:
+            if key_column not in names:
+                raise BackendError(
+                    f"table {self.name!r}: key column {key_column!r} "
+                    f"is not a column"
+                )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column for column, _ in self.columns)
+
+    @property
+    def key_columns(self) -> tuple[str, ...]:
+        """The declared key, or all columns when none was declared.
+
+        Using all columns as the key is only correct under set semantics
+        (as in Van den Bussche's simulation); the natural indexing scheme
+        over bags requires a declared key (§6.1).
+        """
+        return self.key if self.key else self.column_names
+
+    @property
+    def has_declared_key(self) -> bool:
+        return bool(self.key)
+
+    def column_type(self, column: str) -> BaseType:
+        for name, ctype in self.columns:
+            if name == column:
+                return ctype
+        raise BackendError(f"table {self.name!r} has no column {column!r}")
+
+    @property
+    def row_type(self) -> RecordType:
+        """The record type of one row."""
+        return RecordType(self.columns)
+
+    @property
+    def bag_type(self) -> BagType:
+        """Σ(t): the flat relation type ``Bag ⟨…⟩`` of the table."""
+        return BagType(self.row_type)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A database schema Σ: a collection of flat tables."""
+
+    tables: tuple[TableSchema, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [table.name for table in self.tables]
+        if len(set(names)) != len(names):
+            raise BackendError(f"duplicate table names: {names}")
+
+    def table(self, name: str) -> TableSchema:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise UnknownTableError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(table.name == name for table in self.tables)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(table.name for table in self.tables)
+
+    def signature(self, name: str) -> Type:
+        """Σ(t): the type of ``table t``."""
+        return self.table(name).bag_type

@@ -1,0 +1,123 @@
+"""Denotational semantics N⟦−⟧ of λNRC (Fig. 2).
+
+Bags are interpreted as meta-level lists (multisets up to permutation);
+records as dicts; functions as Python callables.  Tables take their fixed
+interpretation ⟦t⟧ from a :class:`TableProvider` — the paper imposes a
+canonical row order (all columns, lexicographically), which our
+:class:`repro.backend.database.Database` implements.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol
+
+from repro.errors import EvaluationError
+from repro.nrc import ast
+from repro.nrc.primitives import apply_prim
+from repro.values import NestedValue
+
+__all__ = ["TableProvider", "evaluate", "Env"]
+
+Env = Mapping[str, NestedValue]
+
+
+class TableProvider(Protocol):
+    """Anything that can provide the fixed interpretation ⟦t⟧ of tables."""
+
+    def rows(self, table: str) -> list[dict]:
+        """Rows of ``table`` in the canonical (deterministic) order."""
+        ...
+
+
+def evaluate(
+    term: ast.Term, tables: TableProvider, env: Env | None = None
+) -> NestedValue:
+    """Evaluate ``term`` under environment ``env`` — N⟦M⟧ρ of Fig. 2."""
+    return _eval(term, tables, dict(env or {}))
+
+
+def _eval(term: ast.Term, tables: TableProvider, env: dict) -> NestedValue:
+    if isinstance(term, ast.Var):
+        try:
+            return env[term.name]
+        except KeyError:
+            raise EvaluationError(f"unbound variable at runtime: {term.name!r}")
+
+    if isinstance(term, ast.Const):
+        return term.value
+
+    if isinstance(term, ast.Prim):
+        args = [_eval(arg, tables, env) for arg in term.args]
+        return apply_prim(term.op, args)
+
+    if isinstance(term, ast.Lam):
+        captured = dict(env)
+
+        def closure(value: NestedValue, _term=term, _captured=captured):
+            inner = dict(_captured)
+            inner[_term.param] = value
+            return _eval(_term.body, tables, inner)
+
+        return closure
+
+    if isinstance(term, ast.App):
+        fun = _eval(term.fun, tables, env)
+        arg = _eval(term.arg, tables, env)
+        if not callable(fun):
+            raise EvaluationError(f"application of a non-function: {fun!r}")
+        return fun(arg)
+
+    if isinstance(term, ast.Record):
+        return {label: _eval(value, tables, env) for label, value in term.fields}
+
+    if isinstance(term, ast.Project):
+        record = _eval(term.record, tables, env)
+        if not isinstance(record, dict) or term.label not in record:
+            raise EvaluationError(
+                f"projection .{term.label} from non-record value {record!r}"
+            )
+        return record[term.label]
+
+    if isinstance(term, ast.If):
+        cond = _eval(term.cond, tables, env)
+        if cond is True:
+            return _eval(term.then, tables, env)
+        if cond is False:
+            return _eval(term.orelse, tables, env)
+        raise EvaluationError(f"non-boolean condition: {cond!r}")
+
+    if isinstance(term, ast.Return):
+        return [_eval(term.element, tables, env)]
+
+    if isinstance(term, ast.Empty):
+        return []
+
+    if isinstance(term, ast.Union):
+        return _eval(term.left, tables, env) + _eval(term.right, tables, env)
+
+    if isinstance(term, ast.For):
+        source = _eval(term.source, tables, env)
+        if not isinstance(source, list):
+            raise EvaluationError(f"for-comprehension over non-bag {source!r}")
+        result: list = []
+        for element in source:
+            inner = dict(env)
+            inner[term.var] = element
+            body = _eval(term.body, tables, inner)
+            if not isinstance(body, list):
+                raise EvaluationError(
+                    f"for-comprehension body produced non-bag {body!r}"
+                )
+            result.extend(body)
+        return result
+
+    if isinstance(term, ast.Table):
+        return [dict(row) for row in tables.rows(term.name)]
+
+    if isinstance(term, ast.IsEmpty):
+        bag = _eval(term.bag, tables, env)
+        if not isinstance(bag, list):
+            raise EvaluationError(f"empty applied to non-bag {bag!r}")
+        return len(bag) == 0
+
+    raise EvaluationError(f"not a λNRC term: {term!r}")

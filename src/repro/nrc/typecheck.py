@@ -1,0 +1,249 @@
+"""Type system for λNRC (App. B, Fig. 12).
+
+The checker is bidirectional-lite: :func:`infer` synthesises a type, and
+:func:`check` pushes an expected type into terms whose type cannot be
+synthesised in isolation (unannotated lambdas, the empty bag ∅).
+
+λ-abstractions need a parameter annotation only when they must be inferred
+standalone; in applications ``(λx.M) N`` the argument type is propagated.
+Queries that go through normalisation never require annotations at all once
+they are closed and first-order at the top level.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import TypeCheckError, UnboundVariableError
+from repro.nrc import ast
+from repro.nrc.primitives import check_prim
+from repro.nrc.schema import Schema
+from repro.nrc.types import (
+    BOOL,
+    BagType,
+    BaseType,
+    FunType,
+    RecordType,
+    Type,
+)
+
+__all__ = ["infer", "check", "TypeEnv"]
+
+TypeEnv = Mapping[str, Type]
+
+
+def _base_type_of_const(value: object) -> BaseType:
+    from repro.nrc.types import BOOL, INT, STRING
+
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, str):
+        return STRING
+    raise TypeCheckError(f"constant of unsupported type: {value!r}")
+
+
+def infer(term: ast.Term, schema: Schema, env: TypeEnv | None = None) -> Type:
+    """Synthesise the type of ``term`` (raises :class:`TypeCheckError`)."""
+    env = dict(env or {})
+    return _infer(term, schema, env)
+
+
+def check(
+    term: ast.Term, expected: Type, schema: Schema, env: TypeEnv | None = None
+) -> None:
+    """Check ``term`` against ``expected`` (raises :class:`TypeCheckError`)."""
+    env = dict(env or {})
+    _check(term, expected, schema, env)
+
+
+def _infer(term: ast.Term, schema: Schema, env: dict[str, Type]) -> Type:
+    if isinstance(term, ast.Var):
+        try:
+            return env[term.name]
+        except KeyError:
+            raise UnboundVariableError(term.name) from None
+
+    if isinstance(term, ast.Const):
+        return _base_type_of_const(term.value)
+
+    if isinstance(term, ast.Prim):
+        arg_types = [_infer(arg, schema, env) for arg in term.args]
+        return check_prim(term.op, arg_types)
+
+    if isinstance(term, ast.Lam):
+        if term.param_type is None:
+            raise TypeCheckError(
+                f"cannot infer type of λ{term.param} without a parameter "
+                f"annotation; apply it or annotate"
+            )
+        body_env = dict(env)
+        body_env[term.param] = term.param_type
+        return FunType(term.param_type, _infer(term.body, schema, body_env))
+
+    if isinstance(term, ast.App):
+        # Special-case an unannotated lambda in function position: infer the
+        # argument first and propagate (this is what β-reduction would do).
+        if isinstance(term.fun, ast.Lam) and term.fun.param_type is None:
+            arg_type = _infer(term.arg, schema, env)
+            body_env = dict(env)
+            body_env[term.fun.param] = arg_type
+            return _infer(term.fun.body, schema, body_env)
+        fun_type = _infer(term.fun, schema, env)
+        if not isinstance(fun_type, FunType):
+            raise TypeCheckError(f"application of a non-function of type {fun_type}")
+        _check(term.arg, fun_type.param, schema, env)
+        return fun_type.result
+
+    if isinstance(term, ast.Record):
+        return RecordType(
+            tuple(
+                (label, _infer(value, schema, env)) for label, value in term.fields
+            )
+        )
+
+    if isinstance(term, ast.Project):
+        record_type = _infer(term.record, schema, env)
+        if not isinstance(record_type, RecordType):
+            raise TypeCheckError(
+                f"projection .{term.label} from non-record type {record_type}"
+            )
+        return record_type.field_type(term.label)
+
+    if isinstance(term, ast.If):
+        _check(term.cond, BOOL, schema, env)
+        then_type = _try_infer(term.then, schema, env)
+        else_type = _try_infer(term.orelse, schema, env)
+        if then_type is None and else_type is None:
+            raise TypeCheckError("cannot infer either branch of a conditional")
+        result = then_type if then_type is not None else else_type
+        assert result is not None
+        if then_type is None:
+            _check(term.then, result, schema, env)
+        if else_type is None:
+            _check(term.orelse, result, schema, env)
+        if then_type is not None and else_type is not None and then_type != else_type:
+            raise TypeCheckError(
+                f"conditional branches disagree: {then_type} vs {else_type}"
+            )
+        return result
+
+    if isinstance(term, ast.Return):
+        return BagType(_infer(term.element, schema, env))
+
+    if isinstance(term, ast.Empty):
+        if term.element_type is None:
+            raise TypeCheckError(
+                "cannot infer the element type of ∅; annotate with Empty(A)"
+            )
+        return BagType(term.element_type)
+
+    if isinstance(term, ast.Union):
+        left = _try_infer(term.left, schema, env)
+        right = _try_infer(term.right, schema, env)
+        if left is None and right is None:
+            raise TypeCheckError("cannot infer either side of a union")
+        result = left if left is not None else right
+        assert result is not None
+        if not isinstance(result, BagType):
+            raise TypeCheckError(f"union of non-bag type {result}")
+        if left is None:
+            _check(term.left, result, schema, env)
+        if right is None:
+            _check(term.right, result, schema, env)
+        if left is not None and right is not None and left != right:
+            raise TypeCheckError(f"union of mismatched bag types: {left} vs {right}")
+        return result
+
+    if isinstance(term, ast.For):
+        source_type = _infer(term.source, schema, env)
+        if not isinstance(source_type, BagType):
+            raise TypeCheckError(
+                f"for-comprehension over non-bag type {source_type}"
+            )
+        body_env = dict(env)
+        body_env[term.var] = source_type.element
+        body_type = _infer(term.body, schema, body_env)
+        if not isinstance(body_type, BagType):
+            raise TypeCheckError(
+                f"for-comprehension body has non-bag type {body_type}"
+            )
+        return body_type
+
+    if isinstance(term, ast.Table):
+        return schema.signature(term.name)
+
+    if isinstance(term, ast.IsEmpty):
+        bag_type = _infer(term.bag, schema, env)
+        if not isinstance(bag_type, BagType):
+            raise TypeCheckError(f"empty applied to non-bag type {bag_type}")
+        return BOOL
+
+    raise TypeCheckError(f"not a λNRC term: {term!r}")
+
+
+def _try_infer(
+    term: ast.Term, schema: Schema, env: dict[str, Type]
+) -> Type | None:
+    """Infer, returning None for terms that genuinely need an expected type."""
+    try:
+        return _infer(term, schema, env)
+    except TypeCheckError:
+        return None
+
+
+def _check(
+    term: ast.Term, expected: Type, schema: Schema, env: dict[str, Type]
+) -> None:
+    if isinstance(term, ast.Lam) and isinstance(expected, FunType):
+        if term.param_type is not None and term.param_type != expected.param:
+            raise TypeCheckError(
+                f"λ{term.param} annotated {term.param_type}, "
+                f"expected {expected.param}"
+            )
+        body_env = dict(env)
+        body_env[term.param] = expected.param
+        _check(term.body, expected.result, schema, body_env)
+        return
+
+    if isinstance(term, ast.Empty):
+        if not isinstance(expected, BagType):
+            raise TypeCheckError(f"∅ used at non-bag type {expected}")
+        if term.element_type is not None and term.element_type != expected.element:
+            raise TypeCheckError(
+                f"∅ annotated Bag {term.element_type}, expected {expected}"
+            )
+        return
+
+    if isinstance(term, ast.If):
+        _check(term.cond, BOOL, schema, env)
+        _check(term.then, expected, schema, env)
+        _check(term.orelse, expected, schema, env)
+        return
+
+    if isinstance(term, ast.Union):
+        if not isinstance(expected, BagType):
+            raise TypeCheckError(f"union used at non-bag type {expected}")
+        _check(term.left, expected, schema, env)
+        _check(term.right, expected, schema, env)
+        return
+
+    if isinstance(term, ast.Return):
+        if not isinstance(expected, BagType):
+            raise TypeCheckError(f"return used at non-bag type {expected}")
+        _check(term.element, expected.element, schema, env)
+        return
+
+    if isinstance(term, ast.For):
+        source_type = _infer(term.source, schema, env)
+        if not isinstance(source_type, BagType):
+            raise TypeCheckError(f"for-comprehension over non-bag {source_type}")
+        body_env = dict(env)
+        body_env[term.var] = source_type.element
+        _check(term.body, expected, schema, body_env)
+        return
+
+    actual = _infer(term, schema, env)
+    if actual != expected:
+        raise TypeCheckError(f"expected {expected}, got {actual}")

@@ -1,0 +1,203 @@
+"""λNRC types (§2.1).
+
+    Types A, B ::= O | ⟨ℓ : A, …⟩ | Bag A | A → B
+    Base types O ::= Int | Bool | String
+
+A type is *nested* if it contains no function types, and *flat* if it
+contains only base and record types.  The *nesting degree* of a type is the
+number of ``Bag`` constructors it contains; a nested query shreds into
+exactly that many flat queries (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import TypeCheckError
+
+__all__ = [
+    "Type",
+    "BaseType",
+    "RecordType",
+    "BagType",
+    "FunType",
+    "INT",
+    "BOOL",
+    "STRING",
+    "UNIT",
+    "record_type",
+    "bag",
+    "tuple_type",
+    "is_base",
+    "is_flat",
+    "is_nested",
+    "is_flat_relation",
+    "nesting_degree",
+]
+
+
+class Type:
+    """Abstract base class for λNRC types.  Instances are immutable."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BaseType(Type):
+    """A base type ``O``: one of Int, Bool, String (or the flat unit ⟨⟩)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = BaseType("Int")
+BOOL = BaseType("Bool")
+STRING = BaseType("String")
+#: Appendix E extends base types with the unit type ⟨⟩ to make value
+#: unflattening syntax-directed.  We expose it from the start.
+UNIT = BaseType("Unit")
+
+
+@dataclass(frozen=True)
+class RecordType(Type):
+    """A record type ⟨ℓ₁ : A₁, …, ℓₙ : Aₙ⟩.
+
+    Field order is preserved for display, but equality and hashing are
+    label-set based (records are unordered in the paper): fields are stored
+    sorted by label.
+    """
+
+    fields: tuple[tuple[str, "Type"], ...]
+
+    def __post_init__(self) -> None:
+        labels = [label for label, _ in self.fields]
+        if len(set(labels)) != len(labels):
+            raise TypeCheckError(f"duplicate record labels in {labels}")
+        object.__setattr__(
+            self, "fields", tuple(sorted(self.fields, key=lambda f: f[0]))
+        )
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(label for label, _ in self.fields)
+
+    def field_type(self, label: str) -> "Type":
+        for name, ftype in self.fields:
+            if name == label:
+                return ftype
+        raise TypeCheckError(f"record type {self} has no field {label!r}")
+
+    def has_field(self, label: str) -> bool:
+        return any(name == label for name, _ in self.fields)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{label}: {ftype}" for label, ftype in self.fields)
+        return f"⟨{inner}⟩"
+
+
+@dataclass(frozen=True)
+class BagType(Type):
+    """A bag (multiset) type ``Bag A``."""
+
+    element: Type
+
+    def __str__(self) -> str:
+        return f"Bag {self.element}"
+
+
+@dataclass(frozen=True)
+class FunType(Type):
+    """A function type ``A → B`` (eliminated by normalisation)."""
+
+    param: Type
+    result: Type
+
+    def __str__(self) -> str:
+        return f"({self.param} → {self.result})"
+
+
+def record_type(**fields: Type) -> RecordType:
+    """Convenience constructor: ``record_type(name=STRING, salary=INT)``."""
+    return RecordType(tuple(fields.items()))
+
+
+def bag(element: Type) -> BagType:
+    """Convenience constructor for ``Bag element``."""
+    return BagType(element)
+
+
+def tuple_type(*components: Type) -> RecordType:
+    """Encode an n-tuple type as a record with labels ``#1 … #n`` (§2.1)."""
+    return RecordType(
+        tuple((f"#{i}", component) for i, component in enumerate(components, 1))
+    )
+
+
+def is_base(a: Type) -> bool:
+    """True iff ``a`` is a base type O."""
+    return isinstance(a, BaseType)
+
+
+def is_flat(a: Type) -> bool:
+    """True iff ``a`` contains only base and record types (§2.1)."""
+    if isinstance(a, BaseType):
+        return True
+    if isinstance(a, RecordType):
+        return all(is_flat(ftype) for _, ftype in a.fields)
+    return False
+
+
+def is_nested(a: Type) -> bool:
+    """True iff ``a`` contains no function types (§2.1)."""
+    if isinstance(a, BaseType):
+        return True
+    if isinstance(a, RecordType):
+        return all(is_nested(ftype) for _, ftype in a.fields)
+    if isinstance(a, BagType):
+        return is_nested(a.element)
+    return False
+
+
+def is_flat_relation(a: Type) -> bool:
+    """True iff ``a`` has the shape ``Bag ⟨ℓ₁:O₁, …, ℓₙ:Oₙ⟩``.
+
+    Tables are constrained to flat relation types (§2.1).
+    """
+    return (
+        isinstance(a, BagType)
+        and isinstance(a.element, RecordType)
+        and all(is_base(ftype) for _, ftype in a.element.fields)
+    )
+
+
+def nesting_degree(a: Type) -> int:
+    """Number of ``Bag`` constructors in ``a`` — the number of shredded queries.
+
+    Example from §3: ``nesting_degree(Bag ⟨A: Bag Int, B: Bag String⟩) == 3``.
+    """
+    if isinstance(a, BagType):
+        return 1 + nesting_degree(a.element)
+    if isinstance(a, RecordType):
+        return sum(nesting_degree(ftype) for _, ftype in a.fields)
+    if isinstance(a, FunType):
+        return nesting_degree(a.param) + nesting_degree(a.result)
+    return 0
+
+
+def iter_subtypes(a: Type) -> Iterator[Type]:
+    """Yield ``a`` and all of its subterms, pre-order."""
+    yield a
+    if isinstance(a, RecordType):
+        for _, ftype in a.fields:
+            yield from iter_subtypes(ftype)
+    elif isinstance(a, BagType):
+        yield from iter_subtypes(a.element)
+    elif isinstance(a, FunType):
+        yield from iter_subtypes(a.param)
+        yield from iter_subtypes(a.result)

@@ -1,0 +1,18 @@
+"""End-to-end pipelines: shredding (Fig. 1c) and Links-default flat (Fig. 1a)."""
+
+from repro.pipeline.flat import compile_flat_query, run_flat
+from repro.pipeline.shredder import (
+    CompiledQuery,
+    ShreddingPipeline,
+    shred_run,
+    shred_sql,
+)
+
+__all__ = [
+    "compile_flat_query",
+    "run_flat",
+    "CompiledQuery",
+    "ShreddingPipeline",
+    "shred_run",
+    "shred_sql",
+]

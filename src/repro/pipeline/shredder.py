@@ -1,0 +1,250 @@
+"""The end-to-end shredding pipeline (Fig. 1c) — the headline public API.
+
+    normalise ──► annotate ──► shred (one query per path) ──► let-insert
+    ──► flatten ──► SQL ──► execute ──► stitch
+
+Typical use::
+
+    from repro.pipeline.shredder import ShreddingPipeline
+    pipeline = ShreddingPipeline(schema)
+    compiled = pipeline.compile(query)      # inspect compiled.sql_by_path
+    result = compiled.run(db)               # nested value
+
+or the one-shot helpers :func:`shred_run` / :func:`shred_sql`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.database import Database
+from repro.backend.executor import ExecutionStats, execute_compiled
+from repro.errors import ShreddingError
+from repro.normalise import normalise
+from repro.normalise.normal_form import NormQuery, nf_to_term
+from repro.nrc import ast
+from repro.nrc.schema import Schema
+from repro.nrc.typecheck import infer
+from repro.nrc.types import BagType, Type, is_nested
+from repro.shred.indexes import FlatIndex, NaturalIndex, index_fn_for
+from repro.shred.packages import (
+    Package,
+    annotation_at,
+    annotations,
+    package_from,
+    shred_query_package,
+)
+from repro.shred.paths import Path, paths, type_at
+from repro.shred.semantics import run_package
+from repro.shred.stitch import stitch
+from repro.sql.codegen import CompiledSql, SqlOptions, compile_shredded
+from repro.values import NestedValue
+
+__all__ = ["ShreddingPipeline", "CompiledQuery", "shred_run", "shred_sql"]
+
+
+@dataclass
+class CompiledQuery:
+    """A nested query compiled to its package of flat SQL queries."""
+
+    schema: Schema
+    result_type: Type
+    normal_form: NormQuery
+    shredded_package: Package  # annotations: ShredQuery
+    sql_package: Package  # annotations: CompiledSql
+    options: SqlOptions
+
+    @property
+    def query_paths(self) -> list[Path]:
+        return paths(self.result_type)
+
+    @property
+    def sql_by_path(self) -> list[tuple[str, str]]:
+        """Human-readable (path, SQL) pairs — one per nesting level."""
+        return [
+            (str(path), compiled.sql)
+            for path, compiled in annotations(self.sql_package)
+        ]
+
+    @property
+    def query_count(self) -> int:
+        """The number of flat queries = nesting degree of the result type."""
+        return len(self.query_paths)
+
+    def sql_at(self, path: Path) -> CompiledSql:
+        return annotation_at(self.sql_package, path)
+
+    def explain(self) -> str:
+        """A human-readable compilation report: the result type, the paths
+        it shreds at, and each level's shredded type and SQL."""
+        from repro.normalise.normal_form import pretty_nf
+        from repro.shred.shred_types import outer_shred
+
+        lines = [
+            f"result type    : {self.result_type}",
+            f"nesting degree : {self.query_count}",
+            f"index scheme   : {self.options.scheme}",
+            "",
+            "normal form:",
+            pretty_nf(self.normal_form),
+        ]
+        for path in self.query_paths:
+            lines.append("")
+            lines.append(f"── query at {path}")
+            lines.append(
+                f"   type : {outer_shred(self.result_type, path)}"
+            )
+            lines.append(f"   sql  : {self.sql_at(path).sql}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        db: Database,
+        one_pass_stitch: bool = True,
+        stats: ExecutionStats | None = None,
+        collection: str = "bag",
+    ) -> NestedValue:
+        """Execute all shredded queries on SQLite and stitch (§5.2).
+
+        ``collection`` selects the §9 semantics of the result:
+
+        * ``"bag"`` (default) — multisets, the paper's setting;
+        * ``"set"`` — duplicates eliminated hereditarily in the result;
+        * ``"list"`` — deterministic order; requires the pipeline to be
+          built with ``SqlOptions(ordered=True)`` so the shredded queries
+          carry ordering columns.
+        """
+        if collection not in ("bag", "set", "list"):
+            raise ShreddingError(f"unknown collection semantics {collection!r}")
+        if collection == "list" and not self.options.ordered:
+            raise ShreddingError(
+                "list-semantics output needs SqlOptions(ordered=True)"
+            )
+        results = package_from(
+            self.result_type,
+            lambda path: execute_compiled(db, self.sql_at(path), stats),
+        )
+        value = stitch(results, self._top_index_fn(), one_pass=one_pass_stitch)
+        if collection == "set":
+            from repro.values import dedup_nested
+
+            return dedup_nested(value)
+        return value
+
+    def run_in_memory(
+        self, db: Database, scheme: str = "flat", one_pass_stitch: bool = True
+    ) -> NestedValue:
+        """Evaluate with the shredded semantics S⟦−⟧ instead of SQL (§5.1)."""
+        index = index_fn_for(scheme, self.normal_form, db, self.schema)
+        results = run_package(self.shredded_package, db, index)
+        return stitch(results, index, one_pass=one_pass_stitch)
+
+    def _top_index_fn(self):
+        if self.options.scheme == "natural":
+            return lambda tag, dyn: NaturalIndex(tag, ())
+        return lambda tag, dyn: FlatIndex(tag, 1)
+
+
+class ShreddingPipeline:
+    """Compile-and-run front end over a fixed schema.
+
+    ``validate=True`` runs the App. B type checkers on every translation
+    stage (Theorems 2 and 5 as assertions) — useful when extending the
+    compiler; off by default since the theorems guarantee success.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        options: SqlOptions | None = None,
+        validate: bool = False,
+    ) -> None:
+        self.schema = schema
+        self.options = options or SqlOptions()
+        self.validate = validate
+
+    def compile(self, query: ast.Term) -> CompiledQuery:
+        normal_form = normalise(query, self.schema)
+        result_type = self._result_type(normal_form, query)
+        shredded_package = shred_query_package(normal_form, result_type)
+        if self.validate:
+            self._validate(shredded_package, result_type)
+        sql_package = package_from(
+            result_type,
+            lambda path: compile_shredded(
+                annotation_at(shredded_package, path),
+                self._element_type(result_type, path),
+                self.schema,
+                self.options,
+            ),
+        )
+        return CompiledQuery(
+            schema=self.schema,
+            result_type=result_type,
+            normal_form=normal_form,
+            shredded_package=shredded_package,
+            sql_package=sql_package,
+            options=self.options,
+        )
+
+    def run(self, query: ast.Term, db: Database, **kwargs) -> NestedValue:
+        return self.compile(query).run(db, **kwargs)
+
+    def _result_type(self, normal_form: NormQuery, original: ast.Term) -> Type:
+        """The result type, inferred from the normal form (always closed and
+        first-order, so inference never needs annotations).  The degenerate
+        normal form ∅ erases the element type; fall back to the original
+        term (which then needs an ``Empty(A)`` annotation)."""
+        from repro.errors import TypeCheckError
+
+        try:
+            result_type = infer(nf_to_term(normal_form), self.schema)
+        except TypeCheckError:
+            result_type = infer(original, self.schema)
+        if not isinstance(result_type, BagType) or not is_nested(result_type):
+            raise ShreddingError(
+                f"shredding needs a nested bag-typed query, got {result_type}"
+            )
+        return result_type
+
+    @staticmethod
+    def _element_type(result_type: Type, path: Path) -> Type:
+        bag = type_at(result_type, path)
+        assert isinstance(bag, BagType)
+        return bag.element
+
+    def _validate(self, shredded_package: Package, result_type: Type) -> None:
+        """Theorems 2 and 5 as compile-time assertions."""
+        from repro.letins.translate import let_insert
+        from repro.letins.typecheck import check_let_query
+        from repro.shred.shred_types import shredded_row_type
+        from repro.shred.typecheck import check_shredded_query
+
+        for path in paths(result_type):
+            element = self._element_type(result_type, path)
+            expected = shredded_row_type(element)
+            shredded = annotation_at(shredded_package, path)
+            check_shredded_query(shredded, expected, self.schema)
+            check_let_query(let_insert(shredded), expected, self.schema)
+
+
+def shred_run(
+    query: ast.Term,
+    db: Database,
+    options: SqlOptions | None = None,
+    validate: bool = False,
+    **run_kwargs,
+) -> NestedValue:
+    """One-shot: compile ``query`` against ``db``'s schema, run and stitch."""
+    return ShreddingPipeline(db.schema, options, validate).run(
+        query, db, **run_kwargs
+    )
+
+
+def shred_sql(
+    query: ast.Term, schema: Schema, options: SqlOptions | None = None
+) -> list[tuple[str, str]]:
+    """One-shot: the (path, SQL) pairs the query shreds into."""
+    return ShreddingPipeline(schema, options).compile(query).sql_by_path

@@ -1,0 +1,261 @@
+"""Indexing schemes (§6): canonical, natural and flat indexes.
+
+A *canonical* index ``a ⋅ ι`` pairs a static tag with the list of positions
+of the current comprehension bindings (ι grows by one number per generator
+block).  The shredded semantics is parameterised by an ``index`` function
+mapping canonical indexes to concrete index values; an indexing function is
+*valid* for a query L when it is injective and defined on every canonical
+index in I⟦L⟧ (§6, Lemma 24).
+
+* :func:`canonical_index_fn` — the identity scheme (index = canonical).
+* :func:`natural_index_fn` — §6.1: indexes synthesised from row keys.  The
+  dynamic component accumulates the key fields of **all generators in
+  scope** (enclosing blocks included), matching the running example
+  ("the dynamic index now consists of two id fields, x.id and y.id") and
+  the §9 remark that indexes take all higher levels into account.
+* :func:`flat_index_fn` — §6.2: per-tag enumeration ⟨a, i⟩ of the canonical
+  dynamic indexes (what ``row_number`` computes in SQL).
+
+The distinguished top-level index ⊤⋅1 is mapped specially by every scheme
+(it indexes the single top-level context and never appears in I⟦L⟧).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import IndexingError
+from repro.normalise.normal_form import (
+    Comprehension,
+    NormQuery,
+    NormTerm,
+    RecordNF,
+    eval_base,
+)
+from repro.nrc.schema import Schema
+from repro.nrc.semantics import TableProvider
+from repro.shred.shredded_ast import TOP_TAG
+
+__all__ = [
+    "CanonicalIndex",
+    "NaturalIndex",
+    "FlatIndex",
+    "IndexFn",
+    "TOP_DYNAMIC",
+    "canonical_index_fn",
+    "natural_index_fn",
+    "flat_index_fn",
+    "index_fn_for",
+    "canonical_indexes",
+    "check_valid",
+    "SCHEMES",
+]
+
+
+@dataclass(frozen=True)
+class CanonicalIndex:
+    """a ⋅ ι with ι a tuple of positive positions (e.g. a ⋅ 1.2.3)."""
+
+    tag: str
+    dyn: tuple[int, ...]
+
+    def __str__(self) -> str:
+        return f"{self.tag}·{'.'.join(map(str, self.dyn))}"
+
+
+@dataclass(frozen=True)
+class NaturalIndex:
+    """a ⋅ ⟨key values of every generator row in scope⟩ (§6.1)."""
+
+    tag: str
+    keys: tuple
+
+    def __str__(self) -> str:
+        return f"{self.tag}·⟨{', '.join(map(repr, self.keys))}⟩"
+
+
+@dataclass(frozen=True)
+class FlatIndex:
+    """⟨a, i⟩ — the i-th dynamic index associated with static tag a (§6.2)."""
+
+    tag: str
+    position: int
+
+    def __str__(self) -> str:
+        return f"⟨{self.tag}, {self.position}⟩"
+
+
+#: The dynamic component of the top-level context (ι = 1).
+TOP_DYNAMIC: tuple[int, ...] = (1,)
+
+IndexFn = Callable[[str, tuple[int, ...]], object]
+
+
+def canonical_index_fn(tag: str, dyn: tuple[int, ...]) -> CanonicalIndex:
+    """index = the identity on canonical indexes."""
+    return CanonicalIndex(tag, dyn)
+
+
+# --------------------------------------------------------------------------
+# Enumerating the canonical indexes I⟦L⟧ (and companions) of a query.
+
+
+def _index_events(
+    query: NormQuery, tables: TableProvider, schema: Schema
+) -> Iterator[tuple[str, tuple[int, ...], tuple]]:
+    """Yield (tag, ι, accumulated-keys) for every element of every
+    comprehension of the annotated normal form, in evaluation order.
+
+    This is I⟦L⟧ and I♮⟦L⟧ computed in one traversal; the traversal order
+    matches the shredded semantics S⟦−⟧ so positions line up.
+    """
+
+    def go_query(
+        q: NormQuery, env: dict, iota: tuple[int, ...], keys: tuple
+    ) -> Iterator:
+        for comp in q.comprehensions:
+            yield from go_comp(comp, env, iota, keys)
+
+    def go_comp(
+        comp: Comprehension, env: dict, iota: tuple[int, ...], keys: tuple
+    ) -> Iterator:
+        if comp.tag is None:
+            raise IndexingError("normal form must be annotated with tags")
+        position = 0
+        for bound_env, row_keys in _joint_rows(comp, env, tables, schema):
+            position += 1
+            inner_iota = iota + (position,)
+            inner_keys = keys + row_keys
+            yield (comp.tag, inner_iota, inner_keys)
+            yield from go_term(comp.body, bound_env, inner_iota, inner_keys)
+
+    def go_term(
+        term: NormTerm, env: dict, iota: tuple[int, ...], keys: tuple
+    ) -> Iterator:
+        if isinstance(term, NormQuery):
+            yield from go_query(term, env, iota, keys)
+        elif isinstance(term, RecordNF):
+            for _, value in term.fields:
+                yield from go_term(value, env, iota, keys)
+        # Base terms contribute no indexes (I⟦X⟧ = []).
+
+    yield from go_query(query, {}, TOP_DYNAMIC, ())
+
+
+def _joint_rows(
+    comp: Comprehension, env: dict, tables: TableProvider, schema: Schema
+) -> Iterator[tuple[dict, tuple]]:
+    """Enumerate the filtered joint bindings of a comprehension's generators,
+    with the flattened key values of the generator rows."""
+
+    def go(index: int, scope: dict, keys: tuple) -> Iterator:
+        if index == len(comp.generators):
+            if eval_base(comp.where, scope, tables):
+                yield dict(scope), keys
+            return
+        generator = comp.generators[index]
+        key_columns = schema.table(generator.table).key_columns
+        for row in tables.rows(generator.table):
+            inner = dict(scope)
+            inner[generator.var] = row
+            row_keys = tuple(row[column] for column in key_columns)
+            yield from go(index + 1, inner, keys + row_keys)
+
+    yield from go(0, dict(env), ())
+
+
+def canonical_indexes(
+    query: NormQuery, tables: TableProvider, schema: Schema
+) -> list[CanonicalIndex]:
+    """I⟦L⟧: every canonical index of the query result, in order."""
+    return [
+        CanonicalIndex(tag, iota)
+        for tag, iota, _ in _index_events(query, tables, schema)
+    ]
+
+
+# --------------------------------------------------------------------------
+# The natural and flat schemes (dictionary-backed index functions).
+
+
+def natural_index_fn(
+    query: NormQuery, tables: TableProvider, schema: Schema
+) -> IndexFn:
+    """index♮: canonical a⋅ι ↦ a⋅⟨keys of rows in scope⟩ (§6.1)."""
+    mapping: dict[tuple[str, tuple[int, ...]], NaturalIndex] = {}
+    for tag, iota, keys in _index_events(query, tables, schema):
+        mapping[(tag, iota)] = NaturalIndex(tag, keys)
+
+    def index(tag: str, dyn: tuple[int, ...]) -> NaturalIndex:
+        if tag == TOP_TAG and dyn == TOP_DYNAMIC:
+            return NaturalIndex(TOP_TAG, ())
+        try:
+            return mapping[(tag, dyn)]
+        except KeyError:
+            raise IndexingError(
+                f"natural index undefined on canonical index {tag}·{dyn}"
+            ) from None
+
+    return index
+
+
+def flat_index_fn(
+    query: NormQuery, tables: TableProvider, schema: Schema
+) -> IndexFn:
+    """index♭: canonical a⋅ι ↦ ⟨a, i⟩ with i the per-tag position (§6.2)."""
+    mapping: dict[tuple[str, tuple[int, ...]], FlatIndex] = {}
+    counters: dict[str, int] = {}
+    for tag, iota, _ in _index_events(query, tables, schema):
+        counters[tag] = counters.get(tag, 0) + 1
+        mapping[(tag, iota)] = FlatIndex(tag, counters[tag])
+
+    def index(tag: str, dyn: tuple[int, ...]) -> FlatIndex:
+        if tag == TOP_TAG and dyn == TOP_DYNAMIC:
+            return FlatIndex(TOP_TAG, 1)
+        try:
+            return mapping[(tag, dyn)]
+        except KeyError:
+            raise IndexingError(
+                f"flat index undefined on canonical index {tag}·{dyn}"
+            ) from None
+
+    return index
+
+
+SCHEMES = ("canonical", "natural", "flat")
+
+
+def index_fn_for(
+    scheme: str, query: NormQuery, tables: TableProvider, schema: Schema
+) -> IndexFn:
+    """Build the index function for a named scheme."""
+    if scheme == "canonical":
+        return canonical_index_fn
+    if scheme == "natural":
+        return natural_index_fn(query, tables, schema)
+    if scheme == "flat":
+        return flat_index_fn(query, tables, schema)
+    raise IndexingError(f"unknown indexing scheme {scheme!r}")
+
+
+def check_valid(
+    index: IndexFn, canonical: list[CanonicalIndex]
+) -> None:
+    """Check validity (Lemma 24): defined and injective on I⟦L⟧.
+
+    Raises :class:`IndexingError` if the scheme is invalid for the query.
+    """
+    seen: dict[object, CanonicalIndex] = {}
+    for can in canonical:
+        value = index(can.tag, can.dyn)  # raises if undefined
+        try:
+            previous = seen.get(value)
+        except TypeError:
+            raise IndexingError(f"index value {value!r} is not hashable")
+        if previous is not None and previous != can:
+            raise IndexingError(
+                f"index function not injective: {previous} and {can} "
+                f"both map to {value!r}"
+            )
+        seen[value] = can

@@ -1,0 +1,124 @@
+"""Paths into types (§4.1).
+
+    Paths p ::= ε | ↓.p | ℓ.p
+
+A path points at a part of a type by traversing bag constructors (↓) and
+record labels (ℓ).  ``paths(A)`` is the set of paths to *bag* constructors
+in A; the query is shredded once per such path, so ``len(paths(A)) ==
+nesting_degree(A)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import InvalidPathError
+from repro.nrc.types import BagType, BaseType, RecordType, Type
+
+__all__ = ["DOWN", "Path", "EPSILON", "paths", "type_at"]
+
+
+class _Down:
+    """The ↓ path step (traverse a bag constructor)."""
+
+    _instance: "_Down | None" = None
+
+    def __new__(cls) -> "_Down":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "↓"
+
+
+DOWN = _Down()
+
+PathStep = object  # DOWN or a label string
+
+
+@dataclass(frozen=True)
+class Path:
+    """An immutable path; ``Path(())`` is the empty path ε."""
+
+    steps: tuple[PathStep, ...] = ()
+
+    def down(self) -> "Path":
+        """p.↓ — extend by traversing a bag constructor."""
+        return Path(self.steps + (DOWN,))
+
+    def label(self, name: str) -> "Path":
+        """p.ℓ — extend by selecting a record label."""
+        return Path(self.steps + (name,))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.steps
+
+    def head(self) -> PathStep:
+        if not self.steps:
+            raise InvalidPathError("ε has no head")
+        return self.steps[0]
+
+    def tail(self) -> "Path":
+        if not self.steps:
+            raise InvalidPathError("ε has no tail")
+        return Path(self.steps[1:])
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        if not self.steps:
+            return "ε"
+        return ".".join(
+            "↓" if step is DOWN else str(step) for step in self.steps
+        )
+
+
+EPSILON = Path(())
+
+
+def paths(a: Type) -> list[Path]:
+    """All paths to bag constructors in ``a``, in deterministic order.
+
+    paths(O) = {};  paths(⟨ℓᵢ:Aᵢ⟩) = ∪ᵢ {ℓᵢ.p};  paths(Bag A) = {ε} ∪ {↓.p}.
+
+    The order is depth-first (outer bags before their contents), which is
+    the order shredded queries are listed in a package.
+    """
+    return [Path(tuple(steps)) for steps in _paths(a)]
+
+
+def _paths(a: Type) -> Iterator[list[PathStep]]:
+    if isinstance(a, BaseType):
+        return
+    if isinstance(a, RecordType):
+        for label, ftype in a.fields:
+            for rest in _paths(ftype):
+                yield [label] + rest
+        return
+    if isinstance(a, BagType):
+        yield []
+        for rest in _paths(a.element):
+            yield [DOWN] + rest
+        return
+    raise InvalidPathError(f"paths undefined for non-nested type {a}")
+
+
+def type_at(a: Type, path: Path) -> Type:
+    """The subterm of ``a`` that ``path`` points at (must exist)."""
+    current = a
+    for step in path.steps:
+        if step is DOWN:
+            if not isinstance(current, BagType):
+                raise InvalidPathError(f"↓ step at non-bag type {current}")
+            current = current.element
+        else:
+            if not isinstance(current, RecordType):
+                raise InvalidPathError(
+                    f"label step {step!r} at non-record type {current}"
+                )
+            current = current.field_type(str(step))
+    return current

@@ -1,0 +1,191 @@
+"""Semantics of shredded queries S⟦−⟧ (Fig. 5), with the annotated variant
+of Fig. 17 (App. D) used by the correctness tests.
+
+Running a shredded query yields a list of pairs ⟨index, flat value⟩:
+
+    Results s     ::= [⟨I₁, w₁⟩, …, ⟨Iₘ, wₘ⟩]
+    Flat values w ::= c | ⟨ℓ = w, …⟩ | I
+
+The current dynamic index ι (a tuple of positions, one per generator block)
+is threaded alongside the environment; the ``index`` function parameter
+turns canonical indexes into concrete index values (§6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ShreddingError
+from repro.normalise.normal_form import (
+    BaseExpr,
+    eval_base,
+)
+from repro.nrc.semantics import TableProvider
+from repro.shred.indexes import IndexFn, TOP_DYNAMIC, canonical_index_fn
+from repro.shred.packages import Package, pmap
+from repro.shred.shredded_ast import (
+    IN,
+    OUT,
+    Block,
+    IndexRef,
+    InnerTerm,
+    ShredComp,
+    ShredQuery,
+    SRecord,
+)
+
+__all__ = [
+    "run_shredded",
+    "run_shredded_annotated",
+    "run_package",
+    "shred_query_is_empty",
+    "top_index",
+]
+
+
+def run_shredded(
+    query: ShredQuery,
+    tables: TableProvider,
+    index: IndexFn = canonical_index_fn,
+) -> list[tuple[object, object]]:
+    """S⟦L⟧: evaluate one shredded query to a list of ⟨index, value⟩ pairs."""
+    return [(outer, value) for outer, value, _ in _run(query, tables, index)]
+
+
+def run_shredded_annotated(
+    query: ShredQuery,
+    tables: TableProvider,
+    index: IndexFn = canonical_index_fn,
+) -> list[tuple[object, object, object]]:
+    """The annotated semantics (Fig. 17): ⟨index, value⟩ pairs tagged with
+    the element's own inner index (the @J ghosts of App. D)."""
+    return list(_run(query, tables, index))
+
+
+def run_package(
+    package: Package, tables: TableProvider, index: IndexFn = canonical_index_fn
+) -> Package:
+    """H⟦L⟧: run every query in a shredded query package (§5.1).
+
+    ``package`` must carry :class:`ShredQuery` annotations; the result
+    carries result lists.
+    """
+    return pmap(lambda q: run_shredded(q, tables, index), package)
+
+
+def top_index(index: IndexFn = canonical_index_fn) -> object:
+    """The concrete index of the top-level context, index(⊤·1)."""
+    from repro.shred.shredded_ast import TOP_TAG
+
+    return index(TOP_TAG, TOP_DYNAMIC)
+
+
+# --------------------------------------------------------------------------
+
+
+def _run(
+    query: ShredQuery, tables: TableProvider, index: IndexFn
+) -> Iterator[tuple[object, object, object]]:
+    for comp in query.comps:
+        yield from _run_comp(comp, tables, index)
+
+
+def _run_comp(
+    comp: ShredComp, tables: TableProvider, index: IndexFn
+) -> Iterator[tuple[object, object, object]]:
+    def go(
+        block_index: int, env: dict, iota: tuple[int, ...]
+    ) -> Iterator[tuple[object, object, object]]:
+        if block_index == len(comp.blocks):
+            outer = index(comp.outer.tag, iota[:-1])
+            value = _eval_inner(comp.inner, env, iota, tables, index)
+            own = index(comp.tag, iota)
+            yield (outer, value, own)
+            return
+        block = comp.blocks[block_index]
+        position = 0
+        for bound_env in _block_rows(block, env, tables):
+            position += 1
+            yield from go(block_index + 1, bound_env, iota + (position,))
+
+    yield from go(0, {}, TOP_DYNAMIC)
+
+
+def _block_rows(
+    block: Block, env: dict, tables: TableProvider
+) -> Iterator[dict]:
+    """Enumerate the filtered joint bindings of one generator block.
+
+    A block with zero generators yields a single binding when its condition
+    holds (the ``return "buy"`` branch of the running example).
+    """
+
+    def go(index: int, scope: dict) -> Iterator[dict]:
+        if index == len(block.generators):
+            if eval_base(block.where, scope, tables):
+                yield dict(scope)
+            return
+        generator = block.generators[index]
+        for row in tables.rows(generator.table):
+            inner = dict(scope)
+            inner[generator.var] = row
+            yield from go(index + 1, inner)
+
+    yield from go(0, dict(env))
+
+
+def _eval_inner(
+    term: InnerTerm,
+    env: dict,
+    iota: tuple[int, ...],
+    tables: TableProvider,
+    index: IndexFn,
+) -> object:
+    if isinstance(term, IndexRef):
+        if term.kind == IN:
+            # S⟦a·in⟧ρ,ι.i = index(a ⋅ ι.i)
+            return index(term.tag, iota)
+        if term.kind == OUT:
+            # S⟦a·out⟧ρ,ι.i = index(a ⋅ ι)
+            return index(term.tag, iota[:-1])
+        raise ShreddingError(f"bad index kind {term.kind!r}")
+    if isinstance(term, SRecord):
+        return {
+            label: _eval_inner(value, env, iota, tables, index)
+            for label, value in term.fields
+        }
+    if isinstance(term, BaseExpr):
+        return eval_base(term, env, tables)
+    raise ShreddingError(f"not an inner term: {term!r}")
+
+
+# --------------------------------------------------------------------------
+# Emptiness of shredded queries (used from conditions via eval_base).
+
+
+def shred_query_is_empty(
+    query: ShredQuery, env: dict, tables: TableProvider
+) -> bool:
+    """True iff the shredded query produces no rows under ``env``.
+
+    Only generators and conditions matter ("for emptiness tests we need only
+    the top-level query", §4.1).
+    """
+    for comp in query.comps:
+        if _comp_inhabited(comp, env, tables):
+            return False
+    return True
+
+
+def _comp_inhabited(
+    comp: ShredComp, env: dict, tables: TableProvider
+) -> bool:
+    def go(block_index: int, scope: dict) -> bool:
+        if block_index == len(comp.blocks):
+            return True
+        for bound in _block_rows(comp.blocks[block_index], scope, tables):
+            if go(block_index + 1, bound):
+                return True
+        return False
+
+    return go(0, dict(env))

@@ -1,0 +1,96 @@
+"""Shredded types (§4).
+
+    Shredded types A, B ::= Bag ⟨Index, F⟩
+    Flat types      F ::= O | ⟨ℓ : F⟩ | Index
+
+The abstract ``Index`` type links outer and inner queries; it is represented
+here as a distinguished base-type-like leaf (:data:`INDEX`).  Two
+operations:
+
+* :func:`inner_shred` — ⟨A⟩: the flat row type of a bag's contents, with
+  nested bags replaced by Index;
+* :func:`outer_shred` — ⟦A⟧p: the shredded (flat relation) type of the bag
+  at path ``p`` in A, namely ``Bag ⟨Index, ⟨element⟩⟩``.
+
+Pairs ⟨Index, F⟩ are encoded as records with the labels ``#1``/``#2``
+(tuple encoding, §2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidPathError, ShreddingError
+from repro.nrc.types import BagType, BaseType, RecordType, Type, tuple_type
+from repro.shred.paths import DOWN, Path
+
+__all__ = [
+    "IndexType",
+    "INDEX",
+    "inner_shred",
+    "outer_shred",
+    "shredded_row_type",
+    "is_flat_shredded",
+]
+
+
+@dataclass(frozen=True)
+class IndexType(Type):
+    """The abstract type of indexes (§4)."""
+
+    def __str__(self) -> str:
+        return "Index"
+
+
+INDEX = IndexType()
+
+
+def inner_shred(a: Type) -> Type:
+    """⟨A⟩: the flat representation of a bag's contents.
+
+    ⟨O⟩ = O;  ⟨⟨ℓᵢ:Aᵢ⟩⟩ = ⟨ℓᵢ:⟨Aᵢ⟩⟩;  ⟨Bag A⟩ = Index.
+    """
+    if isinstance(a, BaseType):
+        return a
+    if isinstance(a, RecordType):
+        return RecordType(
+            tuple((label, inner_shred(ftype)) for label, ftype in a.fields)
+        )
+    if isinstance(a, BagType):
+        return INDEX
+    raise ShreddingError(f"inner shredding undefined for type {a}")
+
+
+def outer_shred(a: Type, path: Path) -> BagType:
+    """⟦A⟧p: the shredded type of the bag at ``path`` in ``a``.
+
+    ⟦Bag A⟧ε = Bag ⟨Index, ⟨A⟩⟩;  ⟦Bag A⟧↓.p = ⟦A⟧p;  ⟦⟨ℓ:A⟩⟧ℓᵢ.p = ⟦Aᵢ⟧p.
+    """
+    if path.is_empty:
+        if not isinstance(a, BagType):
+            raise InvalidPathError(f"ε path requires a bag type, got {a}")
+        return shredded_row_type(a.element)
+    step = path.head()
+    if step is DOWN:
+        if not isinstance(a, BagType):
+            raise InvalidPathError(f"↓ step at non-bag type {a}")
+        return outer_shred(a.element, path.tail())
+    if not isinstance(a, RecordType):
+        raise InvalidPathError(f"label step {step!r} at non-record type {a}")
+    if not a.has_field(str(step)):
+        raise InvalidPathError(f"record type {a} has no field {step!r}")
+    return outer_shred(a.field_type(str(step)), path.tail())
+
+
+def shredded_row_type(element: Type) -> BagType:
+    """``Bag ⟨Index, ⟨element⟩⟩`` — the type of one shredded query."""
+    return BagType(tuple_type(INDEX, inner_shred(element)))
+
+
+def is_flat_shredded(f: Type) -> bool:
+    """True iff ``f`` is a flat shredded type F (no bags, no functions)."""
+    if isinstance(f, (BaseType, IndexType)):
+        return True
+    if isinstance(f, RecordType):
+        return all(is_flat_shredded(ftype) for _, ftype in f.fields)
+    return False

@@ -1,0 +1,136 @@
+"""The shredding translation on terms ⟦L⟧p (Fig. 4, §4.1).
+
+    ⟦L⟧p               = ⊎ (⟦L⟧*_{⊤,p})
+    ⟦⊎ Cᵢ⟧*_{a,p}      = concat [⟦Cᵢ⟧*_{a,p}]
+    ⟦⟨ℓ = M⟩⟧*_{a,ℓⱼ.p} = ⟦Mⱼ⟧*_{a,p}
+    ⟦for (Ḡ where X) returnᵇ M⟧*_{a,ε}   = [for (Ḡ where X) returnᵇ ⟨a·out, ⟨M⟩ᵇ⟩]
+    ⟦for (Ḡ where X) returnᵇ M⟧*_{a,↓.p} = [for (Ḡ where X) C | C ← ⟦M⟧*_{b,p}]
+
+    ⟨x.ℓ⟩ₐ = x.ℓ    ⟨c(X̄)⟩ₐ = c(⟨X̄⟩ₐ)    ⟨empty L⟩ₐ = empty ⟦L⟧ε
+    ⟨⟨ℓ = M⟩⟩ₐ = ⟨ℓ = ⟨M⟩ₐ⟩               ⟨L⟩ₐ = a·in
+
+The translation is linear in time and space (§4.1).  Input must be an
+*annotated* normal form (every comprehension carries a static tag).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShreddingError
+from repro.normalise.normal_form import (
+    BaseExpr,
+    Comprehension,
+    ConstNF,
+    EmptyNF,
+    NormQuery,
+    NormTerm,
+    PrimNF,
+    RecordNF,
+    VarField,
+)
+from repro.shred.paths import DOWN, EPSILON, Path
+from repro.shred.shredded_ast import (
+    IN,
+    OUT,
+    TOP_TAG,
+    Block,
+    IndexRef,
+    InnerTerm,
+    ShredComp,
+    ShredQuery,
+)
+
+__all__ = ["shred_query"]
+
+
+def shred_query(query: NormQuery, path: Path = EPSILON) -> ShredQuery:
+    """⟦L⟧p: shred the normalised query at ``path``."""
+    return ShredQuery(tuple(_shred_star(query, TOP_TAG, path)))
+
+
+def _shred_star(query: NormQuery, outer_tag: str, path: Path) -> list[ShredComp]:
+    """⟦⊎ C̄⟧*_{a,p}."""
+    comps: list[ShredComp] = []
+    for comp in query.comprehensions:
+        comps.extend(_shred_comp(comp, outer_tag, path))
+    return comps
+
+
+def _shred_comp(
+    comp: Comprehension, outer_tag: str, path: Path
+) -> list[ShredComp]:
+    if comp.tag is None:
+        raise ShreddingError(
+            "comprehension has no static tag; run the annotation pass first"
+        )
+    block = Block(comp.generators, comp.where)
+
+    if path.is_empty:
+        inner = _shred_inner(comp.body, comp.tag)
+        return [
+            ShredComp(
+                blocks=(block,),
+                tag=comp.tag,
+                outer=IndexRef(outer_tag, OUT),
+                inner=inner,
+            )
+        ]
+
+    step = path.head()
+    if step is DOWN:
+        # Descend through the bag produced by this comprehension; the
+        # comprehension's own tag becomes the outer tag below, and its
+        # generator block is prepended to every shredded comprehension.
+        children = _shred_term_star(comp.body, comp.tag, path.tail())
+        return [child.prepend(block) for child in children]
+
+    raise ShreddingError(
+        f"path step {step!r} does not match a comprehension (expected ↓)"
+    )
+
+
+def _shred_term_star(
+    term: NormTerm, outer_tag: str, path: Path
+) -> list[ShredComp]:
+    """⟦M⟧*_{a,p} for normalised terms in comprehension-body position."""
+    if isinstance(term, NormQuery):
+        return _shred_star(term, outer_tag, path)
+    if isinstance(term, RecordNF):
+        if path.is_empty:
+            raise ShreddingError("ε path cannot select inside a record term")
+        step = path.head()
+        if step is DOWN:
+            raise ShreddingError("↓ path step at a record term")
+        return _shred_term_star(term.field(str(step)), outer_tag, path.tail())
+    raise ShreddingError(
+        f"path {path} does not point at a bag inside this term"
+    )
+
+
+def _shred_inner(term: NormTerm, tag: str) -> InnerTerm:
+    """⟨M⟩ₐ: the flat representation of a comprehension body."""
+    if isinstance(term, NormQuery):
+        # ⟨L⟩ₐ = a·in — a nested bag becomes this element's inner index.
+        return IndexRef(tag, IN)
+    if isinstance(term, RecordNF):
+        from repro.shred.shredded_ast import SRecord
+
+        return SRecord(
+            tuple(
+                (label, _shred_inner(value, tag)) for label, value in term.fields
+            )
+        )
+    if isinstance(term, BaseExpr):
+        return _shred_base(term, tag)
+    raise ShreddingError(f"not a normalised term: {term!r}")
+
+
+def _shred_base(expr: BaseExpr, tag: str) -> BaseExpr:
+    """⟨X⟩ₐ on base terms; emptiness tests shred their query at the top
+    level only ("for emptiness tests we need only the top-level query")."""
+    if isinstance(expr, (VarField, ConstNF)):
+        return expr
+    if isinstance(expr, PrimNF):
+        return PrimNF(expr.op, tuple(_shred_base(arg, tag) for arg in expr.args))
+    if isinstance(expr, EmptyNF):
+        return EmptyNF(shred_query(expr.query, EPSILON))
+    raise ShreddingError(f"not a base term: {expr!r}")

@@ -1,0 +1,205 @@
+"""Annotated semantics A⟦−⟧ and value shredding (App. D).
+
+The correctness proof of Theorem 4 factors through an *annotated* semantics
+in which every bag element carries the index of the comprehension step that
+produced it:
+
+    Results       s ::= [w₁@I₁, …, wₘ@Iₘ]
+    Inner values  w ::= c | r | s
+
+This module implements A⟦−⟧, erasure, value shredding ⟦s⟧p (shredding of
+*results* rather than queries), the per-path index listing, and the
+well-indexedness predicate — everything the theorem-level tests need:
+
+* Thm 19: erase(A⟦L⟧) = N⟦erase(L)⟧
+* Thm 20: H⟦L⟧ = shred_{A⟦L⟧}
+* Lemma 21/24: A⟦L⟧ is well-indexed (for every valid indexing scheme)
+* Thm 22: stitch ∘ shred = id on well-indexed values
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ShreddingError
+from repro.normalise.normal_form import (
+    BaseExpr,
+    Comprehension,
+    NormQuery,
+    NormTerm,
+    RecordNF,
+    eval_base,
+)
+from repro.nrc.schema import Schema
+from repro.nrc.semantics import TableProvider
+from repro.shred.indexes import IndexFn, TOP_DYNAMIC, canonical_index_fn
+from repro.shred.paths import DOWN, Path
+from repro.shred.shredded_ast import TOP_TAG
+
+__all__ = [
+    "ABag",
+    "annotated_eval",
+    "erase_annotated",
+    "shred_value",
+    "indexes_at_path",
+    "is_well_indexed",
+]
+
+
+@dataclass(frozen=True)
+class ABag:
+    """An annotated bag: elements paired with their indexes (w@I)."""
+
+    elements: tuple[tuple[Any, Any], ...]  # (value, index)
+
+
+def annotated_eval(
+    query: NormQuery,
+    tables: TableProvider,
+    schema: Schema,
+    index: IndexFn = canonical_index_fn,
+) -> ABag:
+    """A⟦L⟧: evaluate an annotated normal form to an annotated value."""
+
+    def go_query(q: NormQuery, env: dict, iota: tuple[int, ...]) -> ABag:
+        elements: list[tuple[Any, Any]] = []
+        for comp in q.comprehensions:
+            elements.extend(go_comp(comp, env, iota))
+        return ABag(tuple(elements))
+
+    def go_comp(
+        comp: Comprehension, env: dict, iota: tuple[int, ...]
+    ) -> list[tuple[Any, Any]]:
+        if comp.tag is None:
+            raise ShreddingError("annotated semantics needs static tags")
+        elements = []
+        position = 0
+        for bound in _joint(comp, env, tables):
+            position += 1
+            inner_iota = iota + (position,)
+            value = go_term(comp.body, bound, inner_iota)
+            elements.append((value, index(comp.tag, inner_iota)))
+        return elements
+
+    def go_term(term: NormTerm, env: dict, iota: tuple[int, ...]):
+        if isinstance(term, NormQuery):
+            return go_query(term, env, iota)
+        if isinstance(term, RecordNF):
+            return {
+                label: go_term(value, env, iota)
+                for label, value in term.fields
+            }
+        if isinstance(term, BaseExpr):
+            return eval_base(term, env, tables)
+        raise ShreddingError(f"not a normalised term: {term!r}")
+
+    return go_query(query, {}, TOP_DYNAMIC)
+
+
+def _joint(comp: Comprehension, env: dict, tables: TableProvider):
+    def go(index: int, scope: dict):
+        if index == len(comp.generators):
+            if eval_base(comp.where, scope, tables):
+                yield dict(scope)
+            return
+        generator = comp.generators[index]
+        for row in tables.rows(generator.table):
+            inner = dict(scope)
+            inner[generator.var] = row
+            yield from go(index + 1, inner)
+
+    yield from go(0, dict(env))
+
+
+def erase_annotated(value: Any) -> Any:
+    """Erase the @I annotations, recovering a plain nested value."""
+    if isinstance(value, ABag):
+        return [erase_annotated(v) for v, _ in value.elements]
+    if isinstance(value, dict):
+        return {label: erase_annotated(v) for label, v in value.items()}
+    return value
+
+
+# --------------------------------------------------------------------------
+# Value shredding ⟦s⟧p (App. D.2).
+
+
+def shred_value(
+    value: ABag, path: Path, index: IndexFn = canonical_index_fn
+) -> list[tuple[Any, Any, Any]]:
+    """⟦s⟧p: shred an annotated result at ``path``.
+
+    Returns annotated rows ⟨outer index, flat value⟩@J — the same triples
+    the annotated shredded semantics produces (Thm 20).
+    """
+    top = index(TOP_TAG, TOP_DYNAMIC)
+    return list(_shred_star(value, top, path))
+
+
+def _shred_star(value: Any, outer_index: Any, path: Path):
+    if path.is_empty:
+        if not isinstance(value, ABag):
+            raise ShreddingError(f"ε path needs a bag value, got {value!r}")
+        for element, element_index in value.elements:
+            yield (outer_index, _inner(element, element_index), element_index)
+        return
+    step = path.head()
+    if step is DOWN:
+        if not isinstance(value, ABag):
+            raise ShreddingError(f"↓ step at non-bag value {value!r}")
+        for element, element_index in value.elements:
+            yield from _shred_star(element, element_index, path.tail())
+        return
+    if not isinstance(value, dict):
+        raise ShreddingError(f"label step {step!r} at non-record {value!r}")
+    yield from _shred_star(value[str(step)], outer_index, path.tail())
+
+
+def _inner(value: Any, own_index: Any):
+    """⟨v⟩_I: the flat representation of an element's contents."""
+    if isinstance(value, ABag):
+        return own_index
+    if isinstance(value, dict):
+        return {label: _inner(v, own_index) for label, v in value.items()}
+    return value
+
+
+# --------------------------------------------------------------------------
+# Well-indexedness (App. D.3).
+
+
+def indexes_at_path(value: ABag, path: Path) -> list:
+    """indexes_p(v): the element indexes of the bag(s) at ``path``."""
+    return list(_indexes(value, path))
+
+
+def _indexes(value: Any, path: Path):
+    if path.is_empty:
+        if not isinstance(value, ABag):
+            raise ShreddingError(f"ε path needs a bag value")
+        for _, element_index in value.elements:
+            yield element_index
+        return
+    step = path.head()
+    if step is DOWN:
+        if not isinstance(value, ABag):
+            raise ShreddingError(f"↓ step at non-bag value")
+        for element, _ in value.elements:
+            yield from _indexes(element, path.tail())
+        return
+    if not isinstance(value, dict):
+        raise ShreddingError(f"label step {step!r} at non-record value")
+    yield from _indexes(value[str(step)], path.tail())
+
+
+def is_well_indexed(value: ABag, result_type) -> bool:
+    """v is well-indexed at A iff indexes_p(v) are distinct for every
+    p ∈ paths(A) (App. D.2)."""
+    from repro.shred.paths import paths
+
+    for path in paths(result_type):
+        found = indexes_at_path(value, path)
+        if len(set(found)) != len(found):
+            return False
+    return True

@@ -1,0 +1,133 @@
+"""A small SQL AST covering the output language of §7.
+
+    Query terms    L ::= (union all) C̄
+    Comprehensions C ::= with q as (S) C | S'
+    Subqueries     S ::= select R from Ḡ where X
+    Inner terms    N ::= X | row_number() over (order by X̄)
+    Base terms     X ::= x.ℓ | c(X̄) | empty L
+
+CTEs are hoisted to a single top-level WITH clause (SQLite rejects WITH
+inside compound-select operands); the code generator renames each
+comprehension's ``q`` uniquely, or inlines it as a FROM-subquery when the
+"inline WITH" optimisation (§8) is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union as PyUnion
+
+__all__ = [
+    "SqlExpr",
+    "Col",
+    "Lit",
+    "BinOp",
+    "NotOp",
+    "NotExists",
+    "RowNumber",
+    "SelectItem",
+    "FromItem",
+    "TableRef",
+    "CteRef",
+    "SubqueryRef",
+    "SelectCore",
+    "Statement",
+]
+
+
+class SqlExpr:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Col(SqlExpr):
+    """A qualified column reference ``alias.name``."""
+
+    alias: str
+    name: str
+
+
+@dataclass(frozen=True)
+class Lit(SqlExpr):
+    """A literal: int, str, bool or None (NULL)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class BinOp(SqlExpr):
+    """A binary operator application (rendered infix)."""
+
+    op: str  # SQL spelling: =, <>, <, <=, >, >=, +, -, *, /, %, AND, OR, ||
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class NotOp(SqlExpr):
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class NotExists(SqlExpr):
+    """``NOT EXISTS (SELECT 1 FROM … WHERE …)`` — the image of empty L."""
+
+    select: "SelectCore"
+
+
+@dataclass(frozen=True)
+class RowNumber(SqlExpr):
+    """``ROW_NUMBER() OVER (ORDER BY …)`` — the image of `index` (§7)."""
+
+    order_by: tuple[SqlExpr, ...]
+
+
+@dataclass(frozen=True)
+class SelectItem(SqlExpr):
+    expr: SqlExpr
+    alias: str
+
+
+class FromItem:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TableRef(FromItem):
+    table: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class CteRef(FromItem):
+    cte: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class SubqueryRef(FromItem):
+    """An inlined subquery ``(SELECT …) AS alias`` (the inline-WITH mode)."""
+
+    select: "SelectCore"
+    alias: str
+
+
+@dataclass(frozen=True)
+class SelectCore(SqlExpr):
+    """One SELECT block.  ``items`` empty means ``SELECT 1`` (EXISTS probes)."""
+
+    items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...]
+    where: PyUnion[SqlExpr, None] = None
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``WITH name AS (…), … SELECT … UNION ALL SELECT … [ORDER BY …]``."""
+
+    ctes: tuple[tuple[str, SelectCore], ...]
+    selects: tuple[SelectCore, ...]
+    #: Column names of the result, in SELECT order (decode metadata).
+    columns: tuple[str, ...] = field(default=())
+    #: Output-column names ordering the whole compound (list semantics, §9).
+    order_by: tuple[str, ...] = field(default=())

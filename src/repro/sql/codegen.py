@@ -1,0 +1,561 @@
+"""SQL code generation (§7): shredded / let-inserted queries → SQL:1999.
+
+Two schemes:
+
+* **flat** (default): the let-inserted form, with ``index`` realised as
+  ``ROW_NUMBER() OVER (ORDER BY …)`` and the let-bound outer query as a CTE
+  (or an inlined FROM-subquery under the §8 "inline WITH" optimisation);
+* **natural** (§6.1): plain SQL — all where-clauses amalgamated, dynamic
+  indexes are the key columns of every generator in scope, padded with
+  NULLs to a per-query width (the cost the paper attributes to natural
+  indexes: wider rows, more data movement).
+
+Determinism note (§7): the paper orders ``row_number`` by all columns of
+all tables referenced from the current subquery, listing the outer query's
+stored index (``z.i2``) *before* the inner generators' columns; with the
+assumed unique ``id`` keys any position works.  We place ``z.idx`` *last*
+so the ordering stays consistent with the child query's CTE (which
+recomputes the same prefix join without an idx column) even for keyless
+tables containing fully duplicate rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import SqlGenerationError
+from repro.flatten.flatten import (
+    KIND_BASE,
+    KIND_INDEX_DYN,
+    KIND_INDEX_TAG,
+    flatten_type,
+)
+from repro.flatten.unflatten import unflatten_value
+from repro.letins.ast import (
+    IndexPrim,
+    LetComp,
+    LetIndex,
+    LetQuery,
+    OuterSubquery,
+    ZIndex,
+    ZProj,
+)
+from repro.letins.translate import let_insert
+from repro.normalise.normal_form import (
+    BaseExpr,
+    ConstNF,
+    EmptyNF,
+    Generator,
+    NormQuery,
+    PrimNF,
+    TRUE_NF,
+    VarField,
+)
+from repro.nrc.schema import Schema
+from repro.nrc.types import RecordType, Type
+from repro.shred.shred_types import INDEX, inner_shred
+from repro.shred.shredded_ast import (
+    IN,
+    IndexRef,
+    ShredComp,
+    ShredQuery,
+    SRecord,
+)
+from repro.sql.ast import (
+    BinOp,
+    Col,
+    CteRef,
+    Lit,
+    NotExists,
+    NotOp,
+    RowNumber,
+    SelectCore,
+    SelectItem,
+    SqlExpr,
+    Statement,
+    SubqueryRef,
+    TableRef,
+)
+from repro.sql.render import render_statement
+
+__all__ = ["SqlOptions", "CompiledSql", "compile_shredded"]
+
+
+@dataclass(frozen=True)
+class SqlOptions:
+    """Code-generation knobs: the §8 optimisations, the §6 schemes, and the
+    §9 extensions."""
+
+    scheme: str = "flat"  # "flat" or "natural"
+    inline_with: bool = False  # §8: inline WITH clauses as subqueries
+    order_by_keys: bool = False  # §8: use keys for row numbering
+    dedup_cte: bool = False  # extension: share identical outer CTEs
+    ordered: bool = False  # §9 list semantics: deterministic row order
+    pretty: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("flat", "natural"):
+            raise SqlGenerationError(f"unknown SQL scheme {self.scheme!r}")
+        if self.ordered and self.scheme != "flat":
+            raise SqlGenerationError(
+                "ordered (list-semantics) output requires the flat scheme"
+            )
+
+
+@dataclass
+class CompiledSql:
+    """One shredded query compiled to SQL, with decode metadata."""
+
+    statement: Statement
+    sql: str
+    row_type: RecordType  # ⟨item: F, outer: Index⟩
+    width_fn: Callable[[tuple[str, ...]], int] | int
+    natural: bool
+    columns: tuple[str, ...] = field(default=())
+
+    def decode_rows(
+        self, raw_rows: Sequence[Sequence[object]]
+    ) -> list[tuple[object, object]]:
+        """Raw SQL tuples → ⟨index, value⟩ pairs (unflattening, App. E)."""
+        pairs = []
+        for raw in raw_rows:
+            cells = dict(zip(self.columns, raw))
+            row = unflatten_value(
+                self.row_type, cells, self.width_fn, natural=self.natural
+            )
+            pairs.append((row["outer"], row["item"]))
+        return pairs
+
+
+def compile_shredded(
+    shredded: ShredQuery,
+    element_type: Type,
+    schema: Schema,
+    options: SqlOptions = SqlOptions(),
+) -> CompiledSql:
+    """Compile one shredded query whose bag element type is ``element_type``."""
+    item_type = inner_shred(element_type)
+    row_type = RecordType((("item", item_type), ("outer", INDEX)))
+    if options.scheme == "natural":
+        return _compile_natural(shredded, row_type, schema, options)
+    return _compile_flat(let_insert(shredded), row_type, schema, options)
+
+
+# --------------------------------------------------------------------------
+# Shared expression rendering.
+
+
+class _ExprContext:
+    """Rendering context: how to resolve z-projections."""
+
+    def __init__(self, schema: Schema, z_alias: str | None = None) -> None:
+        self.schema = schema
+        self.z_alias = z_alias
+
+
+_OPS = {
+    "=": "=",
+    "<>": "<>",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "div": "/",
+    "mod": "%",
+    "and": "AND",
+    "or": "OR",
+    "^": "||",
+}
+
+
+def _expr(e: BaseExpr, ctx: _ExprContext) -> SqlExpr:
+    if isinstance(e, VarField):
+        return Col(e.var, e.label)
+    if isinstance(e, ConstNF):
+        return Lit(e.value)
+    if isinstance(e, ZProj):
+        if ctx.z_alias is None:
+            raise SqlGenerationError("z-projection outside a let body")
+        return Col(ctx.z_alias, _z_column(e.position, e.label))
+    if isinstance(e, PrimNF):
+        if e.op == "not":
+            return NotOp(_expr(e.args[0], ctx))
+        sql_op = _OPS.get(e.op)
+        if sql_op is None or len(e.args) != 2:
+            raise SqlGenerationError(f"no SQL spelling for primitive {e.op!r}")
+        return BinOp(sql_op, _expr(e.args[0], ctx), _expr(e.args[1], ctx))
+    if isinstance(e, EmptyNF):
+        return _empty_probe(e.query, ctx)
+    raise SqlGenerationError(f"cannot render base term {e!r}")
+
+
+def _empty_probe(query, ctx: _ExprContext) -> SqlExpr:
+    """empty L → a conjunction of NOT EXISTS probes, one per comprehension."""
+    from repro.shred.shredded_ast import empty_probe_parts
+
+    probes: list[SqlExpr] = [
+        NotExists(_exists_core(generators, conditions, ctx))
+        for generators, conditions in empty_probe_parts(query)
+    ]
+    if not probes:
+        return Lit(True)  # empty(∅) is vacuously true
+    return _conj_sql(probes)
+
+
+def _exists_core(
+    generators: tuple[Generator, ...],
+    conditions: list[BaseExpr],
+    ctx: _ExprContext,
+) -> SelectCore:
+    where = _where_sql(conditions, ctx)
+    return SelectCore(
+        items=(),
+        from_items=tuple(TableRef(g.table, g.var) for g in generators),
+        where=where,
+    )
+
+
+def _where_sql(
+    conditions: list[BaseExpr], ctx: _ExprContext
+) -> SqlExpr | None:
+    exprs = [_expr(c, ctx) for c in conditions if c != TRUE_NF]
+    if not exprs:
+        return None
+    return _conj_sql(exprs)
+
+
+def _conj_sql(exprs: list[SqlExpr]) -> SqlExpr:
+    result = exprs[0]
+    for e in exprs[1:]:
+        result = BinOp("AND", result, e)
+    return result
+
+
+def _z_column(position: int, label: str) -> str:
+    """The exposed column name for expand(y_position, t).label."""
+    return f"c{position}_{label}"
+
+
+# --------------------------------------------------------------------------
+# Flat scheme (let-inserted, ROW_NUMBER).
+
+
+def _order_columns(
+    table: str, schema: Schema, options: SqlOptions
+) -> tuple[str, ...]:
+    """Columns used to order a generator's rows deterministically."""
+    table_schema = schema.table(table)
+    if options.order_by_keys and table_schema.has_declared_key:
+        return table_schema.key_columns
+    return tuple(sorted(table_schema.column_names))
+
+
+def _compile_flat(
+    let_query: LetQuery,
+    row_type: RecordType,
+    schema: Schema,
+    options: SqlOptions,
+) -> CompiledSql:
+    flat_columns = flatten_type(row_type, 1)
+    names = tuple(c.name for c in flat_columns)
+    ctes: list[tuple[str, SelectCore]] = []
+    cte_by_body: dict[str, str] = {}  # rendered core → shared CTE name
+    selects: list[SelectCore] = []
+
+    for k, comp in enumerate(let_query.comps, start=1):
+        z_alias = f"z{k}"
+        ctx = _ExprContext(schema, z_alias if comp.outer else None)
+
+        from_items: list = []
+        if comp.outer is not None:
+            outer_core = _outer_select(comp.outer, schema, options)
+            if options.inline_with:
+                from_items.append(SubqueryRef(outer_core, z_alias))
+            else:
+                from_items.append(
+                    CteRef(
+                        _cte_name(outer_core, ctes, cte_by_body, options),
+                        z_alias,
+                    )
+                )
+        from_items.extend(TableRef(g.table, g.var) for g in comp.generators)
+
+        where = _where_sql([comp.where], ctx)
+        inner_order = _inner_order(comp, z_alias, schema, options)
+
+        items: list[SelectItem] = []
+        for column in flat_columns:
+            items.append(
+                SelectItem(
+                    _flat_column_expr(column, comp, ctx, inner_order),
+                    column.name,
+                )
+            )
+        if options.ordered:
+            # §9 list semantics: branch position + per-branch row order,
+            # appended after the data columns so decoding can ignore them.
+            items.append(SelectItem(Lit(k), "__branch"))
+            items.append(SelectItem(RowNumber(inner_order), "__ord"))
+        selects.append(
+            SelectCore(tuple(items), tuple(from_items), where)
+        )
+
+    if not selects:
+        empty = _empty_select(names)
+        if options.ordered:
+            empty = SelectCore(
+                empty.items
+                + (SelectItem(Lit(0), "__branch"), SelectItem(Lit(0), "__ord")),
+                empty.from_items,
+                empty.where,
+            )
+        selects.append(empty)
+
+    order_by = ("__branch", "__ord") if options.ordered else ()
+    statement = Statement(tuple(ctes), tuple(selects), names, order_by)
+    return CompiledSql(
+        statement=statement,
+        sql=render_statement(statement, options.pretty),
+        row_type=row_type,
+        width_fn=1,
+        natural=False,
+        columns=names,
+    )
+
+
+def _cte_name(
+    outer_core: SelectCore,
+    ctes: list[tuple[str, SelectCore]],
+    cte_by_body: dict[str, str],
+    options: SqlOptions,
+) -> str:
+    """Register an outer query as a CTE, sharing identical ones when the
+    ``dedup_cte`` extension is on (sibling branches over the same prefix
+    produce byte-identical outer queries, cf. q′2's two copies of q)."""
+    if options.dedup_cte:
+        from repro.sql.render import render_select
+
+        body = render_select(outer_core)
+        existing = cte_by_body.get(body)
+        if existing is not None:
+            return existing
+        name = f"q{len(ctes) + 1}"
+        cte_by_body[body] = name
+        ctes.append((name, outer_core))
+        return name
+    name = f"q{len(ctes) + 1}"
+    ctes.append((name, outer_core))
+    return name
+
+
+def _empty_select(names: tuple[str, ...]) -> SelectCore:
+    """∅: a query with no comprehensions — SELECT NULL … WHERE 0."""
+    return SelectCore(
+        tuple(SelectItem(Lit(None), name) for name in names),
+        (),
+        Lit(False),
+    )
+
+
+def _outer_select(
+    outer: OuterSubquery, schema: Schema, options: SqlOptions
+) -> SelectCore:
+    """q = for (Ḡout where Xout) return ⟨expand(ȳ), index⟩."""
+    ctx = _ExprContext(schema)
+    items: list[SelectItem] = []
+    order: list[SqlExpr] = []
+    for position, g in enumerate(outer.generators, start=1):
+        for column, _ in schema.table(g.table).columns:
+            items.append(
+                SelectItem(Col(g.var, column), _z_column(position, column))
+            )
+        for column in _order_columns(g.table, schema, options):
+            order.append(Col(g.var, column))
+    items.append(SelectItem(RowNumber(tuple(order)), "idx"))
+    return SelectCore(
+        tuple(items),
+        tuple(TableRef(g.table, g.var) for g in outer.generators),
+        _where_sql([outer.where], ctx),
+    )
+
+
+def _inner_order(
+    comp: LetComp, z_alias: str, schema: Schema, options: SqlOptions
+) -> tuple[SqlExpr, ...]:
+    """ORDER BY for the main subquery's ROW_NUMBER: the z-exposed columns,
+    then the inner generators' columns, then z.idx (tie-break; see module
+    docstring)."""
+    order: list[SqlExpr] = []
+    if comp.outer is not None:
+        for position, g in enumerate(comp.outer.generators, start=1):
+            for column in _order_columns(g.table, schema, options):
+                order.append(Col(z_alias, _z_column(position, column)))
+    for g in comp.generators:
+        for column in _order_columns(g.table, schema, options):
+            order.append(Col(g.var, column))
+    if comp.outer is not None:
+        order.append(Col(z_alias, "idx"))
+    return tuple(order)
+
+
+def _flat_column_expr(
+    column, comp: LetComp, ctx: _ExprContext, inner_order: tuple[SqlExpr, ...]
+) -> SqlExpr:
+    if column.path[0] == "outer":
+        if column.kind == KIND_INDEX_TAG:
+            return Lit(comp.body_outer.tag)
+        if column.kind == KIND_INDEX_DYN:
+            return _dyn_expr(comp.body_outer, ctx, inner_order)
+        raise SqlGenerationError(f"unexpected outer column {column!r}")
+    term = _descend(comp.body_value, column.path[1:])
+    if column.kind == KIND_BASE:
+        if not isinstance(term, BaseExpr):
+            raise SqlGenerationError(f"expected base term at {column.path}")
+        return _expr(term, ctx)
+    if not isinstance(term, LetIndex):
+        raise SqlGenerationError(f"expected an index at {column.path}")
+    if column.kind == KIND_INDEX_TAG:
+        return Lit(term.tag)
+    return _dyn_expr(term, ctx, inner_order)
+
+
+def _dyn_expr(
+    index: LetIndex, ctx: _ExprContext, inner_order: tuple[SqlExpr, ...]
+) -> SqlExpr:
+    if isinstance(index.dyn, IndexPrim):
+        return RowNumber(inner_order)
+    if isinstance(index.dyn, ZIndex):
+        if ctx.z_alias is None:
+            raise SqlGenerationError("z.2 outside a let body")
+        return Col(ctx.z_alias, "idx")
+    if isinstance(index.dyn, int):
+        return Lit(index.dyn)
+    raise SqlGenerationError(f"bad dynamic index {index.dyn!r}")
+
+
+def _descend(term, labels: tuple[str, ...]):
+    current = term
+    for label in labels:
+        if not isinstance(current, SRecord):
+            raise SqlGenerationError(
+                f"cannot descend into non-record term at label {label!r}"
+            )
+        current = current.field(label)
+    return current
+
+
+# --------------------------------------------------------------------------
+# Natural scheme (§6.1): plain SQL, key-based indexes, NULL padding.
+
+
+def _key_arity(generators: tuple[Generator, ...], schema: Schema) -> int:
+    return sum(
+        len(schema.table(g.table).key_columns) for g in generators
+    )
+
+
+def _compile_natural(
+    shredded: ShredQuery,
+    row_type: RecordType,
+    schema: Schema,
+    options: SqlOptions,
+) -> CompiledSql:
+    outer_width = 1
+    inner_width = 1
+    for comp in shredded.comps:
+        outer_generators = tuple(
+            g for block in comp.blocks[:-1] for g in block.generators
+        )
+        outer_width = max(outer_width, _key_arity(outer_generators, schema))
+        inner_width = max(
+            inner_width, _key_arity(comp.all_generators, schema)
+        )
+
+    def width_fn(path: tuple[str, ...]) -> int:
+        return outer_width if path == ("outer",) else inner_width
+
+    flat_columns = flatten_type(row_type, width_fn)
+    names = tuple(c.name for c in flat_columns)
+    selects: list[SelectCore] = []
+    ctx = _ExprContext(schema)
+
+    for comp in shredded.comps:
+        generators = comp.all_generators
+        conditions = [block.where for block in comp.blocks]
+        outer_generators = tuple(
+            g for block in comp.blocks[:-1] for g in block.generators
+        )
+        outer_keys = _key_exprs(outer_generators, schema, outer_width)
+        inner_keys = _key_exprs(generators, schema, inner_width)
+
+        items: list[SelectItem] = []
+        for column in flat_columns:
+            items.append(
+                SelectItem(
+                    _natural_column_expr(
+                        column, comp, ctx, outer_keys, inner_keys
+                    ),
+                    column.name,
+                )
+            )
+        selects.append(
+            SelectCore(
+                tuple(items),
+                tuple(TableRef(g.table, g.var) for g in generators),
+                _where_sql(conditions, ctx),
+            )
+        )
+
+    if not selects:
+        selects.append(_empty_select(names))
+
+    statement = Statement((), tuple(selects), names)
+    return CompiledSql(
+        statement=statement,
+        sql=render_statement(statement, options.pretty),
+        row_type=row_type,
+        width_fn=width_fn,
+        natural=True,
+        columns=names,
+    )
+
+
+def _key_exprs(
+    generators: tuple[Generator, ...], schema: Schema, width: int
+) -> tuple[SqlExpr, ...]:
+    exprs: list[SqlExpr] = []
+    for g in generators:
+        for column in schema.table(g.table).key_columns:
+            exprs.append(Col(g.var, column))
+    while len(exprs) < width:
+        exprs.append(Lit(None))
+    return tuple(exprs)
+
+
+def _natural_column_expr(
+    column,
+    comp: ShredComp,
+    ctx: _ExprContext,
+    outer_keys: tuple[SqlExpr, ...],
+    inner_keys: tuple[SqlExpr, ...],
+) -> SqlExpr:
+    if column.path[0] == "outer":
+        if column.kind == KIND_INDEX_TAG:
+            return Lit(comp.outer.tag)
+        if column.kind == KIND_INDEX_DYN:
+            return outer_keys[column.dyn_position - 1]
+        raise SqlGenerationError(f"unexpected outer column {column!r}")
+    term = _descend(comp.inner, column.path[1:])
+    if column.kind == KIND_BASE:
+        if not isinstance(term, BaseExpr) or isinstance(term, IndexRef):
+            raise SqlGenerationError(f"expected base term at {column.path}")
+        return _expr(term, ctx)
+    if not isinstance(term, IndexRef) or term.kind != IN:
+        raise SqlGenerationError(f"expected a·in at {column.path}")
+    if column.kind == KIND_INDEX_TAG:
+        return Lit(term.tag)
+    return inner_keys[column.dyn_position - 1]

@@ -1,0 +1,110 @@
+"""Render the SQL AST to SQLite-dialect text.
+
+Identifiers are double-quoted, strings single-quoted with doubling,
+booleans stored as 1/0, NULL for None.  The output of a whole
+:class:`~repro.sql.ast.Statement` is a single executable statement with one
+top-level WITH clause.
+"""
+
+from __future__ import annotations
+
+from repro.backend.database import quote_identifier
+from repro.errors import SqlGenerationError
+from repro.sql.ast import (
+    BinOp,
+    Col,
+    CteRef,
+    Lit,
+    NotExists,
+    NotOp,
+    RowNumber,
+    SelectCore,
+    SqlExpr,
+    Statement,
+    SubqueryRef,
+    TableRef,
+)
+
+__all__ = ["render_statement", "render_select", "render_expr"]
+
+
+def render_statement(statement: Statement, pretty: bool = True) -> str:
+    sep = "\n" if pretty else " "
+    parts: list[str] = []
+    if statement.ctes:
+        ctes = (",%s" % sep).join(
+            f"{quote_identifier(name)} AS ({render_select(select)})"
+            for name, select in statement.ctes
+        )
+        parts.append(f"WITH {ctes}")
+    if not statement.selects:
+        raise SqlGenerationError("statement with no SELECT blocks")
+    parts.append(
+        (sep + "UNION ALL" + sep).join(
+            render_select(select) for select in statement.selects
+        )
+    )
+    if statement.order_by:
+        columns = ", ".join(
+            quote_identifier(name) for name in statement.order_by
+        )
+        parts.append(f"ORDER BY {columns}")
+    return sep.join(parts)
+
+
+def render_select(select: SelectCore) -> str:
+    if select.items:
+        items = ", ".join(
+            f"{render_expr(item.expr)} AS {quote_identifier(item.alias)}"
+            for item in select.items
+        )
+    else:
+        items = "1"
+    sql = f"SELECT {items}"
+    if select.from_items:
+        sources = ", ".join(_render_from(item) for item in select.from_items)
+        sql += f" FROM {sources}"
+    if select.where is not None:
+        sql += f" WHERE {render_expr(select.where)}"
+    return sql
+
+
+def _render_from(item) -> str:
+    if isinstance(item, TableRef):
+        return f"{quote_identifier(item.table)} AS {quote_identifier(item.alias)}"
+    if isinstance(item, CteRef):
+        return f"{quote_identifier(item.cte)} AS {quote_identifier(item.alias)}"
+    if isinstance(item, SubqueryRef):
+        return f"({render_select(item.select)}) AS {quote_identifier(item.alias)}"
+    raise SqlGenerationError(f"not a FROM item: {item!r}")
+
+
+def render_expr(expr: SqlExpr) -> str:
+    if isinstance(expr, Col):
+        return f"{quote_identifier(expr.alias)}.{quote_identifier(expr.name)}"
+    if isinstance(expr, Lit):
+        return _render_literal(expr.value)
+    if isinstance(expr, BinOp):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, NotOp):
+        return f"(NOT {render_expr(expr.operand)})"
+    if isinstance(expr, NotExists):
+        return f"(NOT EXISTS ({render_select(expr.select)}))"
+    if isinstance(expr, RowNumber):
+        if not expr.order_by:
+            return "ROW_NUMBER() OVER ()"
+        order = ", ".join(render_expr(col) for col in expr.order_by)
+        return f"ROW_NUMBER() OVER (ORDER BY {order})"
+    raise SqlGenerationError(f"not a SQL expression: {expr!r}")
+
+
+def _render_literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise SqlGenerationError(f"cannot render literal {value!r}")

@@ -1,0 +1,38 @@
+"""Shared fixtures: the Fig. 3 database and schema, plus generated instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.database import Database
+from repro.data.organisation import (
+    ORGANISATION_SCHEMA,
+    empty_database,
+    figure3_database,
+)
+
+
+@pytest.fixture
+def schema():
+    return ORGANISATION_SCHEMA
+
+
+@pytest.fixture
+def db() -> Database:
+    """The exact Fig. 3 sample instance."""
+    return figure3_database()
+
+
+@pytest.fixture
+def empty_db() -> Database:
+    return empty_database()
+
+
+@pytest.fixture
+def small_random_db() -> Database:
+    """A small deterministic random instance (seeded) for integration tests."""
+    from repro.data.generator import generate_organisation
+
+    return generate_organisation(
+        departments=3, employees_per_dept=4, contacts_per_dept=3, seed=42
+    )

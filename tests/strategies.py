@@ -1,0 +1,193 @@
+"""Hypothesis strategies generating random well-typed λNRC queries.
+
+Strategy: first draw a *type plan* (a nested bag/record/base structure),
+then draw a query producing exactly that plan, so unions always join
+branches of identical type.  Generated queries exercise:
+
+* multi-generator comprehensions over the organisation tables,
+* unions (including empty branches), where-conditions with ∧/∨/¬,
+* correlated ``empty`` probes (anti-joins),
+* nested bags up to depth 3,
+* gratuitous β-redexes and bag-typed conditionals, so normalisation always
+  has real work to do.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.data.organisation import ORGANISATION_SCHEMA
+from repro.nrc import builders as b
+from repro.nrc.ast import App, Empty, If, Lam, Term, Var
+from repro.nrc.types import BOOL, INT, STRING, BaseType
+
+_TABLES = {
+    "departments": ORGANISATION_SCHEMA.table("departments"),
+    "employees": ORGANISATION_SCHEMA.table("employees"),
+    "tasks": ORGANISATION_SCHEMA.table("tasks"),
+    "contacts": ORGANISATION_SCHEMA.table("contacts"),
+}
+
+_LABELS = ["f1", "f2", "f3"]
+
+
+class _Plan:
+    pass
+
+
+class _BagPlan(_Plan):
+    def __init__(self, element):
+        self.element = element
+
+
+class _RecordPlan(_Plan):
+    def __init__(self, fields):
+        self.fields = fields  # list[(label, _Plan)]
+
+
+class _BasePlan(_Plan):
+    def __init__(self, base: BaseType):
+        self.base = base
+
+
+@st.composite
+def type_plans(draw, depth: int = 2) -> _Plan:
+    """A random result-type plan: Bag ⟨…⟩ with nesting up to ``depth``."""
+    return _BagPlan(draw(_record_plan(depth)))
+
+
+@st.composite
+def _record_plan(draw, depth: int) -> _Plan:
+    n_fields = draw(st.integers(1, 3))
+    fields = []
+    for i in range(n_fields):
+        if depth > 0 and draw(st.booleans()) and i == n_fields - 1:
+            fields.append((_LABELS[i], _BagPlan(draw(_leafy_plan(depth - 1)))))
+        else:
+            fields.append(
+                (_LABELS[i], _BasePlan(draw(st.sampled_from([INT, STRING, BOOL]))))
+            )
+    return _RecordPlan(fields)
+
+
+@st.composite
+def _leafy_plan(draw, depth: int) -> _Plan:
+    if depth > 0 and draw(st.booleans()):
+        return draw(_record_plan(depth))
+    return _BasePlan(draw(st.sampled_from([INT, STRING])))
+
+
+Env = list[tuple[str, str]]  # (variable, table name)
+
+
+@st.composite
+def _base_term(draw, env: Env, want: BaseType, allow_empty: bool = True) -> Term:
+    """A base-typed term over the generator environment."""
+    candidates = [
+        (var, column, ctype)
+        for var, table in env
+        for column, ctype in _TABLES[table].columns
+        if ctype == want
+    ]
+    choices = ["const"]
+    if candidates:
+        choices += ["field", "field", "field"]
+    if want == BOOL:
+        choices += ["cmp", "logic"]
+        if allow_empty and env:
+            choices.append("empty")
+    picked = draw(st.sampled_from(choices))
+
+    if picked == "field":
+        var, column, _ = draw(st.sampled_from(candidates))
+        return Var(var)[column]
+    if picked == "cmp":
+        operand = draw(st.sampled_from([INT, STRING]))
+        left = draw(_base_term(env, operand, allow_empty=False))
+        right = draw(_base_term(env, operand, allow_empty=False))
+        op = draw(st.sampled_from([b.eq, b.ne, b.lt, b.le, b.gt, b.ge]))
+        return op(left, right)
+    if picked == "logic":
+        op = draw(st.sampled_from(["and", "or", "not"]))
+        left = draw(_base_term(env, BOOL, allow_empty=False))
+        if op == "not":
+            return b.not_(left)
+        right = draw(_base_term(env, BOOL, allow_empty=False))
+        return b.and_(left, right) if op == "and" else b.or_(left, right)
+    if picked == "empty":
+        # A correlated anti-join probe.
+        probe = draw(_comprehension(env, _BasePlan(INT), depth=0))
+        return b.is_empty(probe)
+    # Constants.
+    if want == INT:
+        return b.const(draw(st.integers(-3, 3)))
+    if want == BOOL:
+        return b.const(draw(st.booleans()))
+    return b.const(
+        draw(st.sampled_from(["Sales", "Product", "Cora", "build", "zzz"]))
+    )
+
+
+_FRESH = {"n": 0}
+
+
+def _fresh_var() -> str:
+    _FRESH["n"] += 1
+    return f"v{_FRESH['n']}"
+
+
+@st.composite
+def _term_for(draw, plan: _Plan, env: Env, depth: int) -> Term:
+    if isinstance(plan, _BasePlan):
+        return draw(_base_term(env, plan.base))
+    if isinstance(plan, _RecordPlan):
+        from repro.nrc.ast import Record
+
+        return Record(
+            tuple(
+                (label, draw(_term_for(sub, env, depth)))
+                for label, sub in plan.fields
+            )
+        )
+    assert isinstance(plan, _BagPlan)
+    n_branches = draw(st.integers(1, 2))
+    branches = [
+        draw(_comprehension(env, plan.element, depth)) for _ in range(n_branches)
+    ]
+    if draw(st.integers(0, 9)) == 0:
+        branches.append(Empty())
+    query = b.union(*branches)
+    if draw(st.integers(0, 4)) == 0 and env:
+        # A bag-typed conditional: normalisation hoists it to a where.
+        condition = draw(_base_term(env, BOOL, allow_empty=False))
+        query = If(condition, query, Empty())
+    return query
+
+
+@st.composite
+def _comprehension(draw, env: Env, element_plan: _Plan, depth: int) -> Term:
+    n_generators = draw(st.integers(1, 2))
+    inner_env = list(env)
+    new_vars = []
+    for _ in range(n_generators):
+        table = draw(st.sampled_from(sorted(_TABLES)))
+        var = _fresh_var()
+        inner_env.append((var, table))
+        new_vars.append((var, table))
+    condition = draw(_base_term(inner_env, BOOL))
+    body = draw(_term_for(element_plan, inner_env, depth - 1))
+    result: Term = b.where(condition, b.ret(body))
+    if draw(st.integers(0, 4)) == 0:
+        # A β-redex for the normaliser: (λx. where … return x-body) ⟨⟩.
+        wrapper = _fresh_var()
+        result = App(Lam(wrapper, result), b.record())
+    for var, table in reversed(new_vars):
+        result = b.for_(var, b.table(table), result)
+    return result
+
+
+@st.composite
+def queries_with_nesting(draw, max_depth: int = 2) -> Term:
+    """A random closed, well-typed, flat–nested λNRC query."""
+    plan = draw(type_plans(max_depth))
+    return draw(_term_for(plan, [], max_depth))

@@ -1,0 +1,119 @@
+"""Theorem-level tests via the annotated semantics (App. D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import queries
+from repro.normalise import normalise
+from repro.nrc.semantics import evaluate
+from repro.nrc.typecheck import infer
+from repro.shred.indexes import canonical_index_fn, index_fn_for
+from repro.shred.packages import package_from
+from repro.shred.paths import paths
+from repro.shred.semantics import run_shredded_annotated
+from repro.shred.stitch import stitch
+from repro.shred.translate import shred_query
+from repro.shred.value_shred import (
+    annotated_eval,
+    erase_annotated,
+    indexes_at_path,
+    is_well_indexed,
+    shred_value,
+)
+
+ALL = {**queries.FLAT_QUERIES, **queries.NESTED_QUERIES}
+
+
+class TestTheorem19:
+    """erase(A⟦L⟧) = N⟦erase(L)⟧ — including list order."""
+
+    @pytest.mark.parametrize("name", sorted(ALL))
+    def test_erasure_commutes(self, name, schema, db):
+        query = ALL[name]
+        nf = normalise(query, schema)
+        annotated = annotated_eval(nf, db, schema)
+        from repro.normalise.normal_form import nf_to_term
+
+        assert erase_annotated(annotated) == evaluate(nf_to_term(nf), db), name
+
+
+class TestTheorem20:
+    """H⟦L⟧ = shred_{A⟦L⟧}(A): running shredded queries equals shredding
+    the annotated nested result, per path, including ghost annotations.
+
+    Equality is multiset equality (§2.1): query shredding enumerates union
+    branches branch-major while value shredding walks the nested value
+    element-major; the rows (with all their indexes) coincide exactly."""
+
+    @pytest.mark.parametrize("name", ["Q1", "Q3", "Q4", "Q6"])
+    def test_query_vs_value_shredding(self, name, schema, db):
+        query = queries.NESTED_QUERIES[name]
+        nf = normalise(query, schema)
+        result_type = infer(query, schema)
+        annotated = annotated_eval(nf, db, schema)
+        for path in paths(result_type):
+            via_queries = run_shredded_annotated(
+                shred_query(nf, path), db, canonical_index_fn
+            )
+            via_values = shred_value(annotated, path, canonical_index_fn)
+            assert sorted(map(repr, via_queries)) == sorted(
+                map(repr, via_values)
+            ), f"{name} @ {path}"
+
+    @pytest.mark.parametrize("name", ["Q4"])
+    def test_single_branch_lists_identical(self, name, schema, db):
+        """Without unions the two enumeration orders coincide exactly."""
+        query = queries.NESTED_QUERIES[name]
+        nf = normalise(query, schema)
+        result_type = infer(query, schema)
+        annotated = annotated_eval(nf, db, schema)
+        for path in paths(result_type):
+            via_queries = run_shredded_annotated(
+                shred_query(nf, path), db, canonical_index_fn
+            )
+            via_values = shred_value(annotated, path, canonical_index_fn)
+            assert via_queries == via_values, f"{name} @ {path}"
+
+
+class TestLemma21:
+    """A⟦L⟧ is well-indexed at A (for every valid indexing scheme)."""
+
+    @pytest.mark.parametrize("scheme", ["canonical", "natural", "flat"])
+    @pytest.mark.parametrize("name", ["Q1", "Q4", "Q6"])
+    def test_well_indexed(self, name, scheme, schema, db):
+        query = queries.NESTED_QUERIES[name]
+        nf = normalise(query, schema)
+        result_type = infer(query, schema)
+        index = index_fn_for(scheme, nf, db, schema)
+        annotated = annotated_eval(nf, db, schema, index)
+        assert is_well_indexed(annotated, result_type)
+
+    def test_indexes_at_path_shapes(self, schema, db):
+        nf = normalise(queries.Q6, schema)
+        result_type = infer(queries.Q6, schema)
+        annotated = annotated_eval(nf, db, schema)
+        top, people, tasks = paths(result_type)
+        assert len(indexes_at_path(annotated, top)) == 4
+        assert len(indexes_at_path(annotated, people)) == 5
+        assert len(indexes_at_path(annotated, tasks)) == 6
+
+
+class TestTheorem22:
+    """stitch(shred_s(A)) = s for well-indexed s — value-level round trip."""
+
+    @pytest.mark.parametrize("name", ["Q1", "Q4", "Q5", "Q6"])
+    def test_stitch_left_inverse_of_value_shredding(self, name, schema, db):
+        query = queries.NESTED_QUERIES[name]
+        nf = normalise(query, schema)
+        result_type = infer(query, schema)
+        annotated = annotated_eval(nf, db, schema)
+        package = package_from(
+            result_type,
+            lambda path: [
+                (outer, value)
+                for outer, value, _ in shred_value(annotated, path)
+            ],
+        )
+        stitched = stitch(package, canonical_index_fn)
+        assert stitched == erase_annotated(annotated), name

@@ -1,0 +1,144 @@
+"""Tests for λNRC terms: substitution, free variables, traversal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.nrc import builders as b
+from repro.nrc.ast import (
+    App,
+    Const,
+    For,
+    Lam,
+    Project,
+    Record,
+    Return,
+    Table,
+    Union,
+    Var,
+    free_vars,
+    map_subterms,
+    substitute,
+    subterms,
+    term_size,
+)
+
+
+class TestConstruction:
+    def test_const_rejects_non_base(self):
+        with pytest.raises(TypeCheckError):
+            Const([1, 2])
+
+    def test_record_sorted_and_deduped(self):
+        r = Record((("b", Const(1)), ("a", Const(2))))
+        assert r.labels == ("a", "b")
+        with pytest.raises(TypeCheckError):
+            Record((("a", Const(1)), ("a", Const(2))))
+
+    def test_getitem_shorthand(self):
+        x = Var("x")
+        assert x["name"] == Project(x, "name")
+        with pytest.raises(TypeError):
+            x[0]
+
+
+class TestFreeVars:
+    def test_var(self):
+        assert free_vars(Var("x")) == {"x"}
+
+    def test_lam_binds(self):
+        assert free_vars(Lam("x", Var("x"))) == frozenset()
+        assert free_vars(Lam("x", Var("y"))) == {"y"}
+
+    def test_for_binds_body_only(self):
+        term = For("x", Var("x"), Var("x"))
+        assert free_vars(term) == {"x"}  # free in the source
+
+    def test_nested(self):
+        term = b.for_("x", Table("t"), lambda x: b.ret(b.record(a=x["f"], b=Var("y"))))
+        assert free_vars(term) == {"y"}
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert substitute(Var("x"), "x", Const(1)) == Const(1)
+
+    def test_shadowing_lam(self):
+        term = Lam("x", Var("x"))
+        assert substitute(term, "x", Const(1)) == term
+
+    def test_shadowing_for(self):
+        term = For("x", Var("x"), Var("x"))
+        out = substitute(term, "x", Const(1))
+        # Source occurrence is free, body occurrence is bound.
+        assert out == For("x", Const(1), Var("x"))
+
+    def test_capture_avoidance_lam(self):
+        # (λy. x) [x := y]  must NOT capture the free y.
+        term = Lam("y", Var("x"))
+        out = substitute(term, "x", Var("y"))
+        assert isinstance(out, Lam)
+        assert out.param != "y"
+        assert out.body == Var("y")
+
+    def test_capture_avoidance_for(self):
+        term = For("y", Table("t"), Return(Var("x")))
+        out = substitute(term, "x", Var("y"))
+        assert isinstance(out, For)
+        assert out.var != "y"
+        assert out.body == Return(Var("y"))
+
+    def test_no_free_occurrence_is_identity(self):
+        term = b.ret(b.record(a=Const(1)))
+        assert substitute(term, "zzz", Const(5)) is term
+
+
+class TestTraversal:
+    def test_subterms_preorder(self):
+        term = Union(Return(Const(1)), Return(Const(2)))
+        all_terms = list(subterms(term))
+        assert all_terms[0] is term
+        assert Const(1) in all_terms and Const(2) in all_terms
+
+    def test_term_size(self):
+        term = Union(Return(Const(1)), Return(Const(2)))
+        assert term_size(term) == 5
+
+    def test_map_subterms_identity(self):
+        term = b.for_("x", Table("t"), lambda x: b.ret(x))
+        assert map_subterms(term, lambda t: t) == term
+
+    def test_map_subterms_replaces(self):
+        term = Union(Const(1), Const(2))
+        out = map_subterms(term, lambda t: Const(0))
+        assert out == Union(Const(0), Const(0))
+
+
+class TestBuilders:
+    def test_where_sugar(self):
+        w = b.where(b.TRUE, b.ret(Const(1)))
+        assert w.cond == Const(True)
+        assert w.orelse == b.empty_bag()
+
+    def test_bag_of(self):
+        assert b.bag_of() == b.empty_bag()
+        three = b.bag_of(Const(1), Const(2), Const(3))
+        assert term_size(three) > 3
+
+    def test_and_or_identities(self):
+        assert b.and_() == b.TRUE
+        assert b.or_() == b.FALSE
+        assert b.and_(Var("p")) == Var("p")
+
+    def test_for_with_callable_body(self):
+        term = b.for_("x", Table("t"), lambda x: b.ret(x))
+        assert term == For("x", Table("t"), Return(Var("x")))
+
+    def test_tuple_builder(self):
+        t = b.tuple_(Const(1), Const(2))
+        assert t.labels == ("#1", "#2")
+
+    def test_app_left_nested(self):
+        out = b.app(Var("f"), Var("x"), Var("y"))
+        assert out == App(App(Var("f"), Var("x")), Var("y"))

@@ -1,0 +1,156 @@
+"""Tests for the Database substrate (in-memory canonical order + SQLite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.database import Database, quote_identifier
+from repro.errors import BackendError, UnknownTableError
+from repro.nrc.schema import Schema, TableSchema
+from repro.nrc.types import BOOL, INT, STRING
+
+
+@pytest.fixture
+def tiny_schema():
+    return Schema(
+        (
+            TableSchema("t", (("id", INT), ("s", STRING), ("f", BOOL)), key=("id",)),
+            TableSchema("u", (("x", INT),)),
+        )
+    )
+
+
+class TestSchema:
+    def test_signature(self, tiny_schema):
+        sig = tiny_schema.signature("t")
+        assert str(sig) == "Bag ⟨f: Bool, id: Int, s: String⟩"
+
+    def test_unknown_table(self, tiny_schema):
+        with pytest.raises(UnknownTableError):
+            tiny_schema.table("nope")
+
+    def test_key_columns_default_to_all(self, tiny_schema):
+        assert tiny_schema.table("u").key_columns == ("x",)
+        assert not tiny_schema.table("u").has_declared_key
+        assert tiny_schema.table("t").key_columns == ("id",)
+
+    def test_bad_key_column(self):
+        with pytest.raises(BackendError):
+            TableSchema("t", (("a", INT),), key=("b",))
+
+    def test_duplicate_columns(self):
+        with pytest.raises(BackendError):
+            TableSchema("t", (("a", INT), ("a", INT)))
+
+    def test_duplicate_tables(self):
+        t = TableSchema("t", (("a", INT),))
+        with pytest.raises(BackendError):
+            Schema((t, t))
+
+
+class TestRows:
+    def test_insert_validates_columns(self, tiny_schema):
+        db = Database(tiny_schema)
+        with pytest.raises(BackendError):
+            db.insert("t", [{"id": 1}])
+        with pytest.raises(BackendError):
+            db.insert("t", [{"id": 1, "s": "a", "f": True, "extra": 0}])
+
+    def test_canonical_order_all_columns_lexicographic(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert(
+            "t",
+            [
+                {"id": 2, "s": "b", "f": False},
+                {"id": 1, "s": "z", "f": True},
+                {"id": 1, "s": "a", "f": True},
+            ],
+        )
+        ordered = db.rows("t")
+        # Sorted by column name order: f, id, s.
+        assert [(r["f"], r["id"], r["s"]) for r in ordered] == [
+            (False, 2, "b"),
+            (True, 1, "a"),
+            (True, 1, "z"),
+        ]
+
+    def test_raw_rows_keep_insertion_order(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert("u", [{"x": 5}, {"x": 1}])
+        assert [r["x"] for r in db.raw_rows("u")] == [5, 1]
+
+    def test_duplicates_preserved(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert("u", [{"x": 1}, {"x": 1}])
+        assert db.row_count("u") == 2
+
+    def test_rows_are_copies(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert("u", [{"x": 1}])
+        db.rows("u")[0]["x"] = 99
+        assert db.rows("u")[0]["x"] == 1
+
+    def test_total_rows(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert("u", [{"x": 1}, {"x": 2}])
+        db.insert("t", [{"id": 1, "s": "a", "f": False}])
+        assert db.total_rows() == 3
+
+
+class TestSqlite:
+    def test_execute_simple(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert("t", [{"id": 1, "s": "a", "f": True}])
+        rows = db.execute_sql('SELECT id, s, f FROM "t"')
+        assert rows == [(1, "a", 1)]  # booleans stored as 0/1
+
+    def test_decode_row(self, tiny_schema):
+        db = Database(tiny_schema)
+        decoded = db.decode_row("t", (1, "a", 1))
+        assert decoded == {"id": 1, "s": "a", "f": True}
+
+    def test_window_function_available(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert("u", [{"x": 30}, {"x": 10}, {"x": 20}])
+        rows = db.execute_sql(
+            'SELECT x, ROW_NUMBER() OVER (ORDER BY x) FROM "u"'
+        )
+        assert rows == [(10, 1), (20, 2), (30, 3)]
+
+    def test_cte_with_union_all(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert("u", [{"x": 1}])
+        rows = db.execute_sql(
+            "WITH q AS (SELECT x FROM u) SELECT x FROM q UNION ALL SELECT x FROM q"
+        )
+        assert rows == [(1,), (1,)]
+
+    def test_sql_error_wrapped(self, tiny_schema):
+        db = Database(tiny_schema)
+        with pytest.raises(BackendError):
+            db.execute_sql("SELECT nonsense FROM nowhere")
+
+    def test_insert_invalidates_connection(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert("u", [{"x": 1}])
+        assert db.execute_sql("SELECT COUNT(*) FROM u") == [(1,)]
+        db.insert("u", [{"x": 2}])
+        assert db.execute_sql("SELECT COUNT(*) FROM u") == [(2,)]
+
+    def test_key_index_enforced(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert(
+            "t",
+            [
+                {"id": 1, "s": "a", "f": True},
+                {"id": 1, "s": "b", "f": False},
+            ],
+        )
+        with pytest.raises(BackendError):
+            db.execute_sql("SELECT * FROM t")
+
+
+class TestQuoting:
+    def test_quote_identifier(self):
+        assert quote_identifier("abc") == '"abc"'
+        assert quote_identifier('we"ird') == '"we""ird"'

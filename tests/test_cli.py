@@ -1,0 +1,48 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestSql:
+    def test_sql_q6(self, capsys):
+        assert main(["sql", "Q6"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("-- query at path") == 3
+        assert "ROW_NUMBER" in out
+
+    def test_sql_natural(self, capsys):
+        assert main(["sql", "Q6", "--scheme", "natural"]) == 0
+        out = capsys.readouterr().out
+        assert "ROW_NUMBER" not in out
+
+    def test_sql_options(self, capsys):
+        assert main(["sql", "Q6", "--dedup-cte", "--order-by-keys"]) == 0
+        assert "SELECT" in capsys.readouterr().out
+
+    def test_unknown_query(self):
+        with pytest.raises(SystemExit):
+            main(["sql", "Q99"])
+
+
+class TestRun:
+    def test_run_q4(self, capsys):
+        assert main(["run", "Q4"]) == 0
+        out = capsys.readouterr().out
+        assert "Sales" in out and "⟨" in out
+
+
+class TestNormalForm:
+    def test_normal_form_q6(self, capsys):
+        assert main(["normal-form", "Q6"]) == 0
+        out = capsys.readouterr().out
+        assert "return^a" in out and "⊎" in out
+
+
+class TestFigures:
+    def test_figures_appendix_a(self, capsys):
+        assert main(["figures", "--figure", "A"]) == 0
+        assert "72" in capsys.readouterr().out

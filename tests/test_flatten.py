@@ -1,0 +1,123 @@
+"""Tests for record flattening / unflattening (App. E, Prop. 30)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FlatteningError
+from repro.flatten.flatten import (
+    FlatColumn,
+    KIND_BASE,
+    KIND_INDEX_DYN,
+    KIND_INDEX_TAG,
+    flatten_type,
+)
+from repro.flatten.unflatten import flatten_value, unflatten_value
+from repro.nrc.types import BOOL, INT, STRING, RecordType, bag, record_type
+from repro.shred.indexes import FlatIndex, NaturalIndex
+from repro.shred.shred_types import INDEX
+
+ITEM = record_type(name=STRING, tasks=INDEX)
+ROW = RecordType((("item", ITEM), ("outer", INDEX)))
+
+
+class TestFlattenType:
+    def test_column_names(self):
+        names = [c.name for c in flatten_type(ROW)]
+        assert names == [
+            "item_name",
+            "item_tasks_tag",
+            "item_tasks_dyn1",
+            "outer_tag",
+            "outer_dyn1",
+        ]
+
+    def test_bare_base_is_value(self):
+        assert [c.name for c in flatten_type(STRING)] == ["value"]
+
+    def test_bare_index(self):
+        assert [c.name for c in flatten_type(INDEX)] == ["tag", "dyn1"]
+
+    def test_nested_records_concatenate_labels(self):
+        f = record_type(a=record_type(b=record_type(c=INT)))
+        assert [c.name for c in flatten_type(f)] == ["a_b_c"]
+
+    def test_width_function(self):
+        cols = flatten_type(ROW, lambda path: 3 if path == ("outer",) else 1)
+        dyn = [c.name for c in cols if c.kind == KIND_INDEX_DYN]
+        assert dyn == ["item_tasks_dyn1", "outer_dyn1", "outer_dyn2", "outer_dyn3"]
+
+    def test_bag_rejected(self):
+        with pytest.raises(FlatteningError):
+            flatten_type(bag(INT))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(FlatteningError):
+            flatten_type(INDEX, 0)
+
+    def test_name_collision_detected(self):
+        colliding = record_type(**{"a_b": record_type(c=INT), "a": record_type(b_c=INT)})
+        with pytest.raises(FlatteningError):
+            flatten_type(colliding)
+
+
+class TestRoundTrip:
+    """Prop. 30: unflatten ∘ flatten = id on values."""
+
+    def test_flat_index_row(self):
+        value = {
+            "item": {"name": "Bert", "tasks": FlatIndex("b", 1)},
+            "outer": FlatIndex("a", 1),
+        }
+        cells = flatten_value(ROW, value)
+        assert cells == {
+            "item_name": "Bert",
+            "item_tasks_tag": "b",
+            "item_tasks_dyn1": 1,
+            "outer_tag": "a",
+            "outer_dyn1": 1,
+        }
+        assert unflatten_value(ROW, cells) == value
+
+    def test_natural_index_row_with_padding(self):
+        width = lambda path: 3  # noqa: E731
+        value = {
+            "item": {"name": "Bert", "tasks": NaturalIndex("b", (1, 2))},
+            "outer": NaturalIndex("a", (1,)),
+        }
+        cells = flatten_value(ROW, value, width)
+        assert cells["item_tasks_dyn3"] is None
+        back = unflatten_value(ROW, cells, width, natural=True)
+        assert back == value  # NULL padding dropped on the way back
+
+    def test_bool_decoding(self):
+        f = record_type(flag=BOOL)
+        assert unflatten_value(f, {"flag": 1}) == {"flag": True}
+        assert unflatten_value(f, {"flag": 0}) == {"flag": False}
+
+    def test_bare_base(self):
+        assert unflatten_value(STRING, {"value": "buy"}) == "buy"
+        assert flatten_value(STRING, "buy") == {"value": "buy"}
+
+    def test_flat_index_width_must_be_one(self):
+        with pytest.raises(FlatteningError):
+            unflatten_value(INDEX, {"tag": "a", "dyn1": 1, "dyn2": 2}, 2)
+
+    def test_non_record_value_rejected(self):
+        with pytest.raises(FlatteningError):
+            flatten_value(record_type(a=INT), 42)
+
+    def test_non_index_value_rejected(self):
+        with pytest.raises(FlatteningError):
+            flatten_value(INDEX, "not-an-index")
+
+
+class TestColumnNaming:
+    def test_kinds(self):
+        assert FlatColumn(("a",), KIND_BASE, base=INT).name == "a"
+        assert FlatColumn(("a",), KIND_INDEX_TAG).name == "a_tag"
+        assert FlatColumn(("a",), KIND_INDEX_DYN, dyn_position=2).name == "a_dyn2"
+
+    def test_unknown_kind(self):
+        with pytest.raises(FlatteningError):
+            FlatColumn((), "weird").name

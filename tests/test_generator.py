@@ -1,0 +1,84 @@
+"""Tests for the random organisation-database generator (§8 setup)."""
+
+from __future__ import annotations
+
+from repro.data.generator import TASK_NAMES, generate_organisation, scaled_database
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_organisation(3, 10, 4, seed=7)
+        b = generate_organisation(3, 10, 4, seed=7)
+        for table in ("departments", "employees", "tasks", "contacts"):
+            assert a.raw_rows(table) == b.raw_rows(table)
+
+    def test_different_seed_different_data(self):
+        a = generate_organisation(3, 10, 4, seed=1)
+        b = generate_organisation(3, 10, 4, seed=2)
+        assert a.raw_rows("employees") != b.raw_rows("employees")
+
+
+class TestShape:
+    def test_department_count(self):
+        db = generate_organisation(5, 4, 2, seed=0)
+        assert db.row_count("departments") == 5
+
+    def test_employees_average(self):
+        db = generate_organisation(20, 100, 2, seed=0)
+        per_dept = db.row_count("employees") / 20
+        assert 70 <= per_dept <= 130  # drawn from [75, 125]
+
+    def test_tasks_zero_to_two_per_employee(self):
+        db = generate_organisation(4, 20, 2, seed=0)
+        from collections import Counter
+
+        per_employee = Counter(
+            row["employee"] for row in db.raw_rows("tasks")
+        )
+        assert all(1 <= count <= 2 for count in per_employee.values())
+        assert db.row_count("tasks") <= 2 * db.row_count("employees")
+
+    def test_tasks_from_vocabulary(self):
+        db = generate_organisation(2, 10, 2, seed=0)
+        assert {r["task"] for r in db.raw_rows("tasks")} <= set(TASK_NAMES)
+
+    def test_contacts_per_department(self):
+        db = generate_organisation(3, 5, 7, seed=0)
+        assert db.row_count("contacts") == 21
+
+    def test_ids_are_keys(self):
+        db = generate_organisation(3, 10, 4, seed=0)
+        for table in ("departments", "employees", "tasks", "contacts"):
+            ids = [row["id"] for row in db.raw_rows(table)]
+            assert len(set(ids)) == len(ids)
+
+    def test_referential_integrity(self):
+        db = generate_organisation(3, 10, 4, seed=0)
+        departments = {r["name"] for r in db.raw_rows("departments")}
+        assert {r["dept"] for r in db.raw_rows("employees")} <= departments
+        assert {r["dept"] for r in db.raw_rows("contacts")} <= departments
+        employees = {r["name"] for r in db.raw_rows("employees")}
+        assert {r["employee"] for r in db.raw_rows("tasks")} <= employees
+
+
+class TestOutliers:
+    def test_outlier_rates(self):
+        db = generate_organisation(20, 100, 2, seed=0)
+        salaries = [r["salary"] for r in db.raw_rows("employees")]
+        poor = sum(1 for s in salaries if s < 1000)
+        rich = sum(1 for s in salaries if s > 1_000_000)
+        total = len(salaries)
+        assert 0 < poor < 0.15 * total
+        assert 0 < rich < 0.10 * total
+
+    def test_clients_exist(self):
+        db = generate_organisation(10, 5, 10, seed=0)
+        clients = [r for r in db.raw_rows("contacts") if r["client"]]
+        assert clients
+
+
+class TestScaledDatabase:
+    def test_scaled_database_wrapper(self):
+        db = scaled_database(4, seed=0, scale_rows=10)
+        assert db.row_count("departments") == 4
+        assert db.row_count("contacts") == 40

@@ -1,0 +1,110 @@
+"""Tests for stage 2: if-hoisting ⇝h (App. C.2)."""
+
+from __future__ import annotations
+
+from repro.nrc import builders as b
+from repro.nrc.ast import Const, If, Prim, Record, Return, Union, Var
+from repro.normalise.hoist import hoist_ifs, is_h_normal
+
+
+def _if(c, t, e):
+    return If(Var(c), t, e)
+
+
+class TestFrames:
+    def test_prim_frame(self):
+        # 1 + (if c then 2 else 3)  →  if c then 1+2 else 1+3
+        term = b.add(Const(1), _if("c", Const(2), Const(3)))
+        out = hoist_ifs(term)
+        assert out == _if(
+            "c", b.add(Const(1), Const(2)), b.add(Const(1), Const(3))
+        )
+
+    def test_record_frame(self):
+        term = Record((("a", _if("c", Const(1), Const(2))),))
+        out = hoist_ifs(term)
+        assert out == _if(
+            "c", Record((("a", Const(1)),)), Record((("a", Const(2)),))
+        )
+
+    def test_return_frame(self):
+        term = Return(_if("c", Const(1), Const(2)))
+        out = hoist_ifs(term)
+        assert out == _if("c", Return(Const(1)), Return(Const(2)))
+
+    def test_union_left_frame(self):
+        term = Union(_if("c", Var("m"), Var("n")), Var("p"))
+        out = hoist_ifs(term)
+        assert out == _if(
+            "c", Union(Var("m"), Var("p")), Union(Var("n"), Var("p"))
+        )
+
+    def test_union_right_frame(self):
+        term = Union(Var("p"), _if("c", Var("m"), Var("n")))
+        out = hoist_ifs(term)
+        assert out == _if(
+            "c", Union(Var("p"), Var("m")), Union(Var("p"), Var("n"))
+        )
+
+    def test_multiple_ifs_in_one_prim(self):
+        term = b.add(
+            _if("c", Const(1), Const(2)), _if("d", Const(3), Const(4))
+        )
+        out = hoist_ifs(term)
+        # Outcome: a tree of conditionals over four plain sums.
+        assert is_h_normal(out)
+        assert isinstance(out, If)
+
+    def test_nested_record_prim(self):
+        term = Record(
+            (("x", b.add(Const(1), _if("c", Const(2), Const(3)))),)
+        )
+        out = hoist_ifs(term)
+        assert isinstance(out, If)
+        assert is_h_normal(out)
+
+
+class TestStability:
+    def test_leaves_comprehension_bodies_alone(self):
+        # `for` is not an if-hoisting frame: where-style conditionals stay.
+        term = b.for_(
+            "x",
+            b.table("t"),
+            lambda x: b.where(x["f"], b.ret(x)),
+        )
+        assert hoist_ifs(term) == term
+        assert is_h_normal(term)
+
+    def test_idempotent(self):
+        term = Return(
+            Record((("a", _if("c", Const(1), Const(2))),))
+        )
+        once = hoist_ifs(term)
+        assert hoist_ifs(once) == once
+
+    def test_is_h_normal_detects(self):
+        assert not is_h_normal(Return(_if("c", Const(1), Const(2))))
+        assert is_h_normal(_if("c", Return(Const(1)), Return(Const(2))))
+
+    def test_preserves_semantics(self):
+        from repro.data.organisation import figure3_database
+        from repro.nrc.semantics import evaluate
+        from repro.values import bag_equal
+
+        db = figure3_database()
+        # Build: for (e ← employees) return ⟨pay = if rich then 1 else 0⟩.
+        term = b.for_(
+            "e",
+            b.table("employees"),
+            lambda e: b.ret(
+                b.record(
+                    name=e["name"],
+                    flag=b.if_(
+                        b.gt(e["salary"], b.const(50000)),
+                        b.const(1),
+                        b.const(0),
+                    ),
+                )
+            ),
+        )
+        assert bag_equal(evaluate(term, db), evaluate(hoist_ifs(term), db))

@@ -1,0 +1,139 @@
+"""Tests for indexing schemes (§6, Lemma 24 validity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import queries
+from repro.errors import IndexingError
+from repro.normalise import normalise
+from repro.shred.indexes import (
+    CanonicalIndex,
+    FlatIndex,
+    NaturalIndex,
+    TOP_DYNAMIC,
+    canonical_index_fn,
+    canonical_indexes,
+    check_valid,
+    flat_index_fn,
+    index_fn_for,
+    natural_index_fn,
+)
+from repro.shred.shredded_ast import TOP_TAG
+
+
+class TestCanonicalIndexes:
+    def test_enumeration_order_and_shape(self, schema, db):
+        nf = normalise(queries.Q6, schema)
+        cans = canonical_indexes(nf, db, schema)
+        # 4 departments (tag a), 3 outlier employees (b), 2 clients (d),
+        # 4 tasks of outliers (c: build, call, enthuse, call), 2 buys (e).
+        by_tag = {}
+        for can in cans:
+            by_tag.setdefault(can.tag, []).append(can)
+        assert {tag: len(v) for tag, v in by_tag.items()} == {
+            "a": 4,
+            "b": 3,
+            "c": 4,
+            "d": 2,
+            "e": 2,
+        }
+        # Dynamic indexes extend the parent context by one position
+        # (ι starts at the top-level 1, so depth k has length k+1).
+        for can in by_tag["a"]:
+            assert len(can.dyn) == 2
+        for can in by_tag["b"]:
+            assert len(can.dyn) == 3
+        for can in by_tag["c"]:
+            assert len(can.dyn) == 4
+
+    def test_all_distinct(self, schema, db):
+        nf = normalise(queries.Q6, schema)
+        cans = canonical_indexes(nf, db, schema)
+        assert len(set(cans)) == len(cans)
+
+    def test_untagged_rejected(self, schema, db):
+        nf = normalise(queries.Q4, schema, with_tags=False)
+        with pytest.raises(IndexingError):
+            canonical_indexes(nf, db, schema)
+
+
+class TestValidity:
+    """Lemma 24: the concrete, natural, and flat schemes are all valid."""
+
+    @pytest.mark.parametrize("scheme", ["canonical", "natural", "flat"])
+    @pytest.mark.parametrize("name", sorted(queries.NESTED_QUERIES))
+    def test_schemes_valid_on_paper_queries(self, scheme, name, schema, db):
+        nf = normalise(queries.NESTED_QUERIES[name], schema)
+        index = index_fn_for(scheme, nf, db, schema)
+        check_valid(index, canonical_indexes(nf, db, schema))
+
+    def test_invalid_scheme_detected(self, schema, db):
+        nf = normalise(queries.Q6, schema)
+        constant = lambda tag, dyn: 42  # noqa: E731 — deliberately bogus
+        with pytest.raises(IndexingError):
+            check_valid(constant, canonical_indexes(nf, db, schema))
+
+    def test_undefined_scheme_detected(self, schema, db):
+        nf = normalise(queries.Q6, schema)
+
+        def partial(tag, dyn):
+            raise IndexingError("undefined")
+
+        with pytest.raises(IndexingError):
+            check_valid(partial, canonical_indexes(nf, db, schema))
+
+    def test_unknown_scheme_name(self, schema, db):
+        nf = normalise(queries.Q6, schema)
+        with pytest.raises(IndexingError):
+            index_fn_for("bogus", nf, db, schema)
+
+
+class TestNaturalScheme:
+    def test_keys_accumulate_all_levels(self, schema, db):
+        """§9: "our indexes take information at all higher levels into
+        account" — the natural dynamic index of a depth-2 comprehension
+        contains the keys of both generators."""
+        nf = normalise(queries.Q6, schema)
+        index = natural_index_fn(nf, db, schema)
+        cans = [c for c in canonical_indexes(nf, db, schema) if c.tag == "b"]
+        for can in cans:
+            natural = index(can.tag, can.dyn)
+            assert isinstance(natural, NaturalIndex)
+            assert len(natural.keys) == 2  # department id + employee id
+
+    def test_top_special_cased(self, schema, db):
+        nf = normalise(queries.Q6, schema)
+        index = natural_index_fn(nf, db, schema)
+        assert index(TOP_TAG, TOP_DYNAMIC) == NaturalIndex(TOP_TAG, ())
+
+    def test_undefined_off_domain(self, schema, db):
+        nf = normalise(queries.Q6, schema)
+        index = natural_index_fn(nf, db, schema)
+        with pytest.raises(IndexingError):
+            index("a", (99, 99))
+
+
+class TestFlatScheme:
+    def test_positions_start_at_one_per_tag(self, schema, db):
+        nf = normalise(queries.Q6, schema)
+        index = flat_index_fn(nf, db, schema)
+        cans = canonical_indexes(nf, db, schema)
+        by_tag: dict[str, list[FlatIndex]] = {}
+        for can in cans:
+            by_tag.setdefault(can.tag, []).append(index(can.tag, can.dyn))
+        for tag, flats in by_tag.items():
+            assert [f.position for f in flats] == list(
+                range(1, len(flats) + 1)
+            ), f"tag {tag} not densely enumerated"
+
+    def test_top_special_cased(self, schema, db):
+        nf = normalise(queries.Q6, schema)
+        index = flat_index_fn(nf, db, schema)
+        assert index(TOP_TAG, TOP_DYNAMIC) == FlatIndex(TOP_TAG, 1)
+
+
+class TestCanonicalFn:
+    def test_identity(self):
+        assert canonical_index_fn("a", (1, 2)) == CanonicalIndex("a", (1, 2))
+        assert str(CanonicalIndex("a", (1, 2, 3))) == "a·1.2.3"

@@ -1,0 +1,159 @@
+"""Tests for let-insertion (§6.2, Figs. 6-7, Theorems 5-6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import queries
+from repro.errors import LetInsertionError
+from repro.letins.ast import (
+    IndexPrim,
+    LetIndex,
+    LetQuery,
+    ZIndex,
+    ZProj,
+)
+from repro.letins.semantics import run_let
+from repro.letins.translate import let_insert
+from repro.normalise import normalise
+from repro.nrc.typecheck import infer
+from repro.shred.indexes import flat_index_fn
+from repro.shred.paths import paths
+from repro.shred.semantics import run_shredded
+from repro.shred.shredded_ast import TOP_TAG
+from repro.shred.translate import shred_query
+
+
+@pytest.fixture
+def q6_lets(schema):
+    nf = normalise(queries.Q6, schema)
+    a = infer(queries.Q6, schema)
+    return nf, [let_insert(shred_query(nf, p)) for p in paths(a)]
+
+
+class TestShape:
+    def test_top_level_comp_has_no_let(self, q6_lets):
+        _, (l1, _, _) = q6_lets
+        comp = l1.comps[0]
+        assert comp.outer is None
+        assert comp.body_outer == LetIndex(TOP_TAG, 1)
+
+    def test_nested_comp_gets_outer_subquery(self, q6_lets):
+        _, (_, l2, _) = q6_lets
+        for comp in l2.comps:
+            assert comp.outer is not None
+            assert [g.table for g in comp.outer.generators] == ["departments"]
+            assert comp.body_outer == LetIndex("a", ZIndex())
+
+    def test_inner_block_keeps_last_generators(self, q6_lets):
+        _, (_, l2, l3) = q6_lets
+        employees_branch = l2.comps[0]
+        assert [g.table for g in employees_branch.generators] == ["employees"]
+        task_branch = l3.comps[0]
+        # Outer query gathers departments AND employees; tasks stay inner.
+        assert [g.table for g in task_branch.outer.generators] == [
+            "departments",
+            "employees",
+        ]
+        assert [g.table for g in task_branch.generators] == ["tasks"]
+
+    def test_outer_var_references_become_z_projections(self, q6_lets):
+        _, (_, l2, l3) = q6_lets
+        # q2's employee branch condition references x1.name → z.1.1.name.
+        condition = l2.comps[0].where
+        assert _contains(condition, ZProj(1, "name"))
+        # q3's task branch condition references x2.name (the 2nd outer
+        # generator) → z.1.2.name.
+        condition = l3.comps[0].where
+        assert _contains(condition, ZProj(2, "name"))
+
+    def test_inner_index_becomes_index_prim(self, q6_lets):
+        _, (_, l2, _) = q6_lets
+        tasks = l2.comps[0].body_value.field("tasks")
+        assert tasks == LetIndex("b", IndexPrim())
+
+    def test_buy_branch_keeps_constant_body(self, q6_lets):
+        from repro.normalise.normal_form import ConstNF
+
+        _, (_, _, l3) = q6_lets
+        buy = l3.comps[1]
+        assert buy.generators == ()
+        assert buy.body_value == ConstNF("buy")
+        assert buy.body_outer == LetIndex("d", ZIndex())
+
+
+class TestTheorem6:
+    """S♭⟦M⟧ = L⟦L(M)⟧: the let-inserted semantics coincides with the
+    shredded semantics under the flat indexing scheme."""
+
+    @pytest.mark.parametrize(
+        "name", sorted({**queries.FLAT_QUERIES, **queries.NESTED_QUERIES})
+    )
+    def test_agreement_on_paper_queries(self, name, schema, db):
+        query = {**queries.FLAT_QUERIES, **queries.NESTED_QUERIES}[name]
+        nf = normalise(query, schema)
+        a = infer(query, schema)
+        flat_index = flat_index_fn(nf, db, schema)
+        for path in paths(a):
+            shredded = shred_query(nf, path)
+            expected = run_shredded(shredded, db, flat_index)
+            actual = run_let(let_insert(shredded), db)
+            assert actual == expected, f"{name} @ {path}"
+
+    @pytest.mark.parametrize("name", ["Q1", "Q3", "Q6"])
+    def test_agreement_on_random_db(self, name, schema, small_random_db):
+        query = queries.NESTED_QUERIES[name]
+        nf = normalise(query, schema)
+        a = infer(query, schema)
+        flat_index = flat_index_fn(nf, small_random_db, schema)
+        for path in paths(a):
+            shredded = shred_query(nf, path)
+            expected = run_shredded(shredded, small_random_db, flat_index)
+            actual = run_let(let_insert(shredded), small_random_db)
+            assert actual == expected, f"{name} @ {path}"
+
+
+class TestErrors:
+    def test_empty_comprehension_rejected(self):
+        from repro.normalise.normal_form import ConstNF
+        from repro.shred.shredded_ast import IndexRef, OUT, ShredComp, ShredQuery
+
+        blockless = ShredComp(
+            blocks=(), tag="a", outer=IndexRef(TOP_TAG, OUT), inner=ConstNF(1)
+        )
+        with pytest.raises(LetInsertionError):
+            let_insert(ShredQuery((blockless,)))
+
+    def test_pretty_let_runs(self, q6_lets):
+        from repro.letins.ast import pretty_let
+
+        _, lets = q6_lets
+        for let_query in lets:
+            text = pretty_let(let_query)
+            assert "return" in text
+
+    def test_empty_query_pretty(self):
+        from repro.letins.ast import pretty_let
+
+        assert pretty_let(LetQuery(())) == "∅"
+
+
+def _contains(expr, needle) -> bool:
+    from repro.normalise.normal_form import EmptyNF, PrimNF
+
+    if expr == needle:
+        return True
+    if isinstance(expr, PrimNF):
+        return any(_contains(arg, needle) for arg in expr.args)
+    if isinstance(expr, EmptyNF):
+        query = expr.query
+        comps = getattr(query, "comprehensions", None) or getattr(
+            query, "comps", ()
+        )
+        for comp in comps:
+            if hasattr(comp, "where") and _contains(comp.where, needle):
+                return True
+            for block in getattr(comp, "blocks", ()):
+                if _contains(block.where, needle):
+                    return True
+    return False

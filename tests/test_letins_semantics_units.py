@@ -1,0 +1,147 @@
+"""Unit tests for the let-inserted semantics L⟦−⟧ (Fig. 6) in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LetInsertionError
+from repro.letins.ast import (
+    IndexPrim,
+    LetComp,
+    LetIndex,
+    LetQuery,
+    OuterSubquery,
+    ZIndex,
+    ZProj,
+)
+from repro.letins.semantics import run_let
+from repro.normalise.normal_form import (
+    ConstNF,
+    Generator,
+    PrimNF,
+    TRUE_NF,
+    VarField,
+)
+from repro.shred.indexes import FlatIndex
+from repro.shred.shredded_ast import SRecord, TOP_TAG
+
+
+def _top_comp(**overrides):
+    defaults = dict(
+        outer=None,
+        generators=(Generator("x", "departments"),),
+        where=TRUE_NF,
+        tag="a",
+        body_outer=LetIndex(TOP_TAG, 1),
+        body_value=VarField("x", "name"),
+    )
+    defaults.update(overrides)
+    return LetComp(**defaults)
+
+
+class TestTopLevel:
+    def test_enumerates_rows_in_canonical_order(self, db):
+        rows = run_let(LetQuery((_top_comp(),)), db)
+        assert [value for _, value in rows] == [
+            "Product",
+            "Quality",
+            "Research",
+            "Sales",
+        ]
+        assert all(index == FlatIndex(TOP_TAG, 1) for index, _ in rows)
+
+    def test_filter_applies(self, db):
+        comp = _top_comp(
+            where=PrimNF("=", (VarField("x", "name"), ConstNF("Sales")))
+        )
+        rows = run_let(LetQuery((comp,)), db)
+        assert [value for _, value in rows] == ["Sales"]
+
+    def test_index_prim_counts_filtered_rows(self, db):
+        comp = _top_comp(
+            where=PrimNF(
+                "<>", (VarField("x", "name"), ConstNF("Product"))
+            ),
+            body_value=LetIndex("a", IndexPrim()),
+        )
+        rows = run_let(LetQuery((comp,)), db)
+        assert [value for _, value in rows] == [
+            FlatIndex("a", 1),
+            FlatIndex("a", 2),
+            FlatIndex("a", 3),
+        ]
+
+    def test_record_body(self, db):
+        comp = _top_comp(
+            body_value=SRecord(
+                (("n", VarField("x", "name")), ("i", LetIndex("a", IndexPrim())))
+            )
+        )
+        rows = run_let(LetQuery((comp,)), db)
+        assert rows[0][1] == {"n": "Product", "i": FlatIndex("a", 1)}
+
+
+class TestWithOuter:
+    def test_z_projection_and_z_index(self, db):
+        outer = OuterSubquery((Generator("d", "departments"),), TRUE_NF)
+        comp = LetComp(
+            outer=outer,
+            generators=(Generator("e", "employees"),),
+            where=PrimNF("=", (ZProj(1, "name"), VarField("e", "dept"))),
+            tag="b",
+            body_outer=LetIndex("a", ZIndex()),
+            body_value=VarField("e", "name"),
+        )
+        rows = run_let(LetQuery((comp,)), db)
+        by_department: dict[int, list[str]] = {}
+        for index, value in rows:
+            by_department.setdefault(index.position, []).append(value)
+        # Department 1 = Product (canonical order): Alex and Bert.
+        assert sorted(by_department[1]) == ["Alex", "Bert"]
+        assert 2 not in by_department  # Quality has no employees
+
+    def test_generatorless_inner_block(self, db):
+        outer = OuterSubquery((Generator("d", "departments"),), TRUE_NF)
+        comp = LetComp(
+            outer=outer,
+            generators=(),
+            where=TRUE_NF,
+            tag="e",
+            body_outer=LetIndex("d", ZIndex()),
+            body_value=ConstNF("buy"),
+        )
+        rows = run_let(LetQuery((comp,)), db)
+        assert len(rows) == 4  # one per outer row
+        assert {index.position for index, _ in rows} == {1, 2, 3, 4}
+
+    def test_zero_generator_outer(self, db):
+        outer = OuterSubquery((), TRUE_NF)
+        comp = LetComp(
+            outer=outer,
+            generators=(Generator("d", "departments"),),
+            where=TRUE_NF,
+            tag="a",
+            body_outer=LetIndex(TOP_TAG, ZIndex()),
+            body_value=VarField("d", "name"),
+        )
+        rows = run_let(LetQuery((comp,)), db)
+        assert len(rows) == 4
+        assert all(index == FlatIndex(TOP_TAG, 1) for index, _ in rows)
+
+
+class TestErrors:
+    def test_z_index_without_outer_rejected_at_construction(self):
+        with pytest.raises(LetInsertionError):
+            LetComp(
+                outer=None,
+                generators=(),
+                where=TRUE_NF,
+                tag="a",
+                body_outer=LetIndex("a", ZIndex()),
+                body_value=ConstNF(1),
+            )
+
+    def test_bad_dynamic_index_value(self, db):
+        comp = _top_comp(body_value=LetIndex("a", "bogus"))
+        with pytest.raises(LetInsertionError):
+            run_let(LetQuery((comp,)), db)

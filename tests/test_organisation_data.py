@@ -1,0 +1,75 @@
+"""Tests pinning the Fig. 3 sample instance to the paper."""
+
+from __future__ import annotations
+
+from repro.data.organisation import (
+    ORGANISATION_SCHEMA,
+    empty_database,
+    figure3_database,
+)
+
+
+class TestSchema:
+    def test_tables(self):
+        assert ORGANISATION_SCHEMA.table_names == (
+            "departments",
+            "employees",
+            "tasks",
+            "contacts",
+        )
+
+    def test_id_keys_everywhere(self):
+        for table in ORGANISATION_SCHEMA.tables:
+            assert table.key == ("id",)
+
+    def test_row_types(self):
+        from repro.nrc.types import BOOL, INT, STRING
+
+        employees = ORGANISATION_SCHEMA.table("employees")
+        assert dict(employees.columns) == {
+            "id": INT,
+            "dept": STRING,
+            "name": STRING,
+            "salary": INT,
+        }
+        contacts = ORGANISATION_SCHEMA.table("contacts")
+        assert contacts.column_type("client") == BOOL
+
+
+class TestFigure3Instance:
+    def test_row_counts(self):
+        db = figure3_database()
+        assert db.row_count("departments") == 4
+        assert db.row_count("employees") == 7
+        assert db.row_count("tasks") == 14
+        assert db.row_count("contacts") == 7
+
+    def test_departments(self):
+        db = figure3_database()
+        names = {r["name"] for r in db.raw_rows("departments")}
+        assert names == {"Product", "Quality", "Research", "Sales"}
+
+    def test_key_rows_match_paper(self):
+        db = figure3_database()
+        employees = {r["name"]: r for r in db.raw_rows("employees")}
+        assert employees["Bert"]["salary"] == 900
+        assert employees["Erik"]["salary"] == 2_000_000
+        assert employees["Fred"]["salary"] == 700
+        cora_tasks = sorted(
+            r["task"]
+            for r in db.raw_rows("tasks")
+            if r["employee"] == "Cora"
+        )
+        assert cora_tasks == ["abstract", "build", "call", "dissemble", "enthuse"]
+        clients = {r["name"] for r in db.raw_rows("contacts") if r["client"]}
+        assert clients == {"Pat", "Sue"}
+
+    def test_quality_department_is_empty(self):
+        db = figure3_database()
+        assert not [
+            r for r in db.raw_rows("employees") if r["dept"] == "Quality"
+        ]
+
+    def test_empty_database(self):
+        db = empty_database()
+        assert db.total_rows() == 0

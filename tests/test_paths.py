@@ -1,0 +1,91 @@
+"""Tests for paths into types (§4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidPathError
+from repro.nrc.types import INT, STRING, bag, nesting_degree, record_type
+from repro.shred.paths import DOWN, EPSILON, Path, paths, type_at
+
+RESULT = bag(
+    record_type(
+        department=STRING,
+        people=bag(record_type(name=STRING, tasks=bag(STRING))),
+    )
+)
+
+
+class TestPath:
+    def test_empty(self):
+        assert EPSILON.is_empty
+        assert str(EPSILON) == "ε"
+        assert len(EPSILON) == 0
+
+    def test_extension(self):
+        p = EPSILON.down().label("people")
+        assert str(p) == "↓.people"
+        assert len(p) == 2
+
+    def test_head_tail(self):
+        p = EPSILON.down().label("x")
+        assert p.head() is DOWN
+        assert p.tail() == Path(("x",))
+        with pytest.raises(InvalidPathError):
+            EPSILON.head()
+
+    def test_down_is_singleton(self):
+        from repro.shred.paths import _Down
+
+        assert _Down() is DOWN
+
+    def test_hashable(self):
+        assert len({EPSILON, EPSILON.down()}) == 2
+
+
+class TestPaths:
+    def test_paper_result_type(self):
+        """§4.1: paths(Result) = {ε, ↓.people.ε, ↓.people.↓.tasks.ε}."""
+        assert [str(p) for p in paths(RESULT)] == [
+            "ε",
+            "↓.people",
+            "↓.people.↓.tasks",
+        ]
+
+    def test_count_equals_nesting_degree(self):
+        for a in [
+            RESULT,
+            bag(INT),
+            bag(record_type(A=bag(INT), B=bag(STRING))),
+            record_type(x=bag(INT), y=INT),
+            INT,
+        ]:
+            assert len(paths(a)) == nesting_degree(a)
+
+    def test_base_type_has_no_paths(self):
+        assert paths(INT) == []
+
+    def test_sibling_bags_ordered_by_label(self):
+        a = bag(record_type(B=bag(STRING), A=bag(INT)))
+        assert [str(p) for p in paths(a)] == ["ε", "↓.A", "↓.B"]
+
+
+class TestTypeAt:
+    def test_root(self):
+        assert type_at(RESULT, EPSILON) == RESULT
+
+    def test_inner_bag(self):
+        p = EPSILON.down().label("people")
+        assert type_at(RESULT, p) == bag(
+            record_type(name=STRING, tasks=bag(STRING))
+        )
+
+    def test_deep(self):
+        p = EPSILON.down().label("people").down().label("tasks")
+        assert type_at(RESULT, p) == bag(STRING)
+
+    def test_bad_step(self):
+        with pytest.raises(InvalidPathError):
+            type_at(INT, EPSILON.down())
+        with pytest.raises(InvalidPathError):
+            type_at(RESULT, EPSILON.label("nope"))

@@ -1,0 +1,65 @@
+"""Tests for the λNRC pretty printer."""
+
+from __future__ import annotations
+
+from repro.nrc import builders as b
+from repro.nrc.ast import App, Lam, Var
+from repro.nrc.pretty import pretty
+
+
+class TestAtoms:
+    def test_constants(self):
+        assert pretty(b.const(5)) == "5"
+        assert pretty(b.const(True)) == "true"
+        assert pretty(b.const("hi")) == "“hi”"
+
+    def test_var_and_projection(self):
+        assert pretty(Var("x")["name"]) == "x.name"
+
+    def test_table(self):
+        assert pretty(b.table("t")) == "table t"
+
+    def test_empty(self):
+        assert pretty(b.empty_bag()) == "∅"
+
+
+class TestCompound:
+    def test_infix_and_unicode_ops(self):
+        t = b.and_(b.eq(Var("x")["a"], b.const(1)), b.not_(Var("p")))
+        out = pretty(t)
+        assert "∧" in out and "¬" in out and "=" in out
+
+    def test_where_sugar_recognised(self):
+        t = b.where(Var("p"), b.ret(Var("x")))
+        assert "where" in pretty(t)
+        assert "else" not in pretty(t)
+
+    def test_plain_if(self):
+        t = b.if_(Var("p"), b.const(1), b.const(2))
+        assert "if" in pretty(t) and "else" in pretty(t)
+
+    def test_for_comprehension(self):
+        t = b.for_("x", b.table("t"), lambda x: b.ret(x))
+        assert pretty(t) == "for (x ← table t) return x"
+
+    def test_union(self):
+        t = b.union(b.ret(b.const(1)), b.ret(b.const(2)))
+        assert "⊎" in pretty(t)
+
+    def test_lambda_and_application(self):
+        t = App(Lam("x", Var("x")), b.const(1))
+        out = pretty(t)
+        assert "λx" in out
+
+    def test_record(self):
+        t = b.record(a=b.const(1), b=b.const(2))
+        assert pretty(t) == "⟨a = 1, b = 2⟩"
+
+    def test_empty_test(self):
+        assert pretty(b.is_empty(b.table("t"))) == "empty(table t)"
+
+    def test_paper_query_round(self):
+        from repro.data.queries import Q4
+
+        out = pretty(Q4)
+        assert "departments" in out and "employees" in out and "where" in out

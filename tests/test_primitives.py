@@ -1,0 +1,94 @@
+"""Tests for primitive operators Σ(c)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TypeCheckError, UnknownPrimitiveError
+from repro.nrc.primitives import PRIMITIVES, apply_prim, check_prim, spec
+from repro.nrc.types import BOOL, INT, STRING
+
+
+class TestRegistry:
+    def test_expected_operators_present(self):
+        assert {"=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "and", "or",
+                "not", "^"} <= set(PRIMITIVES)
+
+    def test_unknown_operator(self):
+        with pytest.raises(UnknownPrimitiveError):
+            spec("frobnicate")
+
+    def test_specs_consistent(self):
+        for name, prim in PRIMITIVES.items():
+            assert prim.name == name
+            assert prim.arity in (1, 2)
+            assert prim.sql.split(":")[0] in ("infix", "prefix")
+
+
+class TestTypeRules:
+    def test_equality_polymorphic(self):
+        for base in (INT, BOOL, STRING):
+            assert check_prim("=", [base, base]) == BOOL
+
+    def test_equality_heterogeneous_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_prim("=", [INT, STRING])
+
+    def test_ordering_excludes_bool(self):
+        assert check_prim("<", [INT, INT]) == BOOL
+        assert check_prim("<", [STRING, STRING]) == BOOL
+        with pytest.raises(TypeCheckError):
+            check_prim("<", [BOOL, BOOL])
+
+    def test_arith(self):
+        assert check_prim("+", [INT, INT]) == INT
+        with pytest.raises(TypeCheckError):
+            check_prim("+", [STRING, STRING])
+
+    def test_concat(self):
+        assert check_prim("^", [STRING, STRING]) == STRING
+
+    def test_arity_checked(self):
+        with pytest.raises(TypeCheckError):
+            check_prim("not", [BOOL, BOOL])
+
+    def test_non_base_rejected(self):
+        from repro.nrc.types import record_type
+
+        with pytest.raises(TypeCheckError):
+            check_prim("=", [record_type(a=INT), record_type(a=INT)])
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "op,args,expected",
+        [
+            ("=", (1, 1), True),
+            ("<>", ("a", "b"), True),
+            ("<", (1, 2), True),
+            ("<=", (2, 2), True),
+            (">", (3, 2), True),
+            (">=", (1, 2), False),
+            ("+", (2, 3), 5),
+            ("-", (2, 3), -1),
+            ("*", (4, 3), 12),
+            ("div", (7, 2), 3),
+            ("mod", (7, 2), 1),
+            ("and", (True, False), False),
+            ("or", (True, False), True),
+            ("not", (False,), True),
+            ("^", ("ab", "cd"), "abcd"),
+        ],
+    )
+    def test_apply(self, op, args, expected):
+        assert apply_prim(op, list(args)) == expected
+
+    def test_division_by_zero_total(self):
+        # SQL integer division truncates toward zero; by-zero yields 0 here
+        # so in-memory evaluation is total like the SQL NULL-free fragment.
+        assert apply_prim("div", [1, 0]) == 0
+        assert apply_prim("mod", [1, 0]) == 0
+
+    def test_div_truncates_toward_zero(self):
+        # Matches SQLite's integer division (not Python floor division).
+        assert apply_prim("div", [-7, 2]) == -3

@@ -1,0 +1,117 @@
+"""Property-based tests: random well-typed queries through every pipeline.
+
+These are the heavyweight invariants:
+
+* normalisation preserves N⟦−⟧ (Theorem 1);
+* shred → run → stitch = N⟦−⟧ under every indexing scheme (Theorem 4);
+* the SQL pipeline (flat and natural schemes) agrees with N⟦−⟧;
+* the loop-lifting baseline agrees with N⟦−⟧;
+* let-insertion agrees with the flat shredded semantics (Theorem 6).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.data.organisation import ORGANISATION_SCHEMA, figure3_database
+from repro.normalise import nf_to_term, normalise
+from repro.nrc.semantics import evaluate
+from repro.nrc.typecheck import infer
+from repro.values import bag_equal
+
+from .strategies import queries_with_nesting
+
+SCHEMA = ORGANISATION_SCHEMA
+DB = figure3_database()
+
+_settings = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(queries_with_nesting())
+@_settings
+def test_generated_queries_typecheck(query):
+    result_type = infer(query, SCHEMA)
+    from repro.nrc.types import BagType, is_nested
+
+    assert isinstance(result_type, BagType)
+    assert is_nested(result_type)
+
+
+@given(queries_with_nesting())
+@_settings
+def test_normalisation_preserves_semantics(query):
+    nf = normalise(query, SCHEMA)
+    assert bag_equal(evaluate(query, DB), evaluate(nf_to_term(nf), DB))
+
+
+@given(queries_with_nesting())
+@_settings
+def test_shredding_theorem4_in_memory(query):
+    from repro.shred.indexes import index_fn_for
+    from repro.shred.packages import shred_query_package
+    from repro.shred.semantics import run_package
+    from repro.shred.stitch import stitch
+
+    nf = normalise(query, SCHEMA)
+    result_type = infer(query, SCHEMA)
+    package = shred_query_package(nf, result_type)
+    expected = evaluate(query, DB)
+    for scheme in ("canonical", "flat"):
+        index = index_fn_for(scheme, nf, DB, SCHEMA)
+        stitched = stitch(run_package(package, DB, index), index)
+        assert bag_equal(stitched, expected), scheme
+
+
+@given(queries_with_nesting())
+@_settings
+def test_sql_pipeline_matches_semantics(query):
+    from repro.pipeline.shredder import ShreddingPipeline
+    from repro.sql.codegen import SqlOptions
+
+    expected = evaluate(query, DB)
+    for options in (SqlOptions(), SqlOptions(scheme="natural")):
+        out = ShreddingPipeline(SCHEMA, options).run(query, DB)
+        assert bag_equal(out, expected), options.scheme
+
+
+@given(queries_with_nesting(max_depth=1))
+@_settings
+def test_loop_lifting_matches_semantics(query):
+    from repro.baselines.looplifting import LoopLiftingPipeline
+
+    out = LoopLiftingPipeline(SCHEMA).run(query, DB)
+    assert bag_equal(out, evaluate(query, DB))
+
+
+@given(queries_with_nesting())
+@_settings
+def test_let_insertion_theorem6(query):
+    from repro.letins.semantics import run_let
+    from repro.letins.translate import let_insert
+    from repro.shred.indexes import flat_index_fn
+    from repro.shred.paths import paths
+    from repro.shred.semantics import run_shredded
+    from repro.shred.translate import shred_query
+
+    nf = normalise(query, SCHEMA)
+    result_type = infer(query, SCHEMA)
+    index = flat_index_fn(nf, DB, SCHEMA)
+    for path in paths(result_type):
+        shredded = shred_query(nf, path)
+        assert run_let(let_insert(shredded), DB) == run_shredded(
+            shredded, DB, index
+        ), str(path)
+
+
+@given(queries_with_nesting())
+@_settings
+def test_annotated_erasure_theorem19(query):
+    from repro.shred.value_shred import annotated_eval, erase_annotated
+
+    nf = normalise(query, SCHEMA)
+    annotated = annotated_eval(nf, DB, SCHEMA)
+    assert erase_annotated(annotated) == evaluate(nf_to_term(nf), DB)

@@ -1,0 +1,155 @@
+"""Tests for stage 1: symbolic evaluation ⇝c (App. C.1)."""
+
+from __future__ import annotations
+
+from repro.nrc import builders as b
+from repro.nrc.ast import (
+    App,
+    Const,
+    Empty,
+    For,
+    If,
+    Lam,
+    Project,
+    Record,
+    Return,
+    Table,
+    Union,
+    Var,
+)
+from repro.normalise.rewrite import is_c_normal, symbolic_eval
+
+
+class TestBetaRules:
+    def test_beta_lambda(self):
+        term = App(Lam("x", Var("x")), Const(1))
+        assert symbolic_eval(term) == Const(1)
+
+    def test_beta_projection(self):
+        term = Project(Record((("a", Const(1)), ("b", Const(2)))), "b")
+        assert symbolic_eval(term) == Const(2)
+
+    def test_beta_if_true_false(self):
+        assert symbolic_eval(If(Const(True), Const(1), Const(2))) == Const(1)
+        assert symbolic_eval(If(Const(False), Const(1), Const(2))) == Const(2)
+
+    def test_beta_for_return(self):
+        term = For("x", Return(Const(1)), Return(Var("x")))
+        assert symbolic_eval(term) == Return(Const(1))
+
+    def test_nested_beta(self):
+        # (λf. f 1) (λx. x + 1)  →  1 + 1
+        term = App(
+            Lam("f", App(Var("f"), Const(1))),
+            Lam("x", b.add(Var("x"), Const(1))),
+        )
+        assert symbolic_eval(term) == b.add(Const(1), Const(1))
+
+
+class TestCommutingConversions:
+    def test_for_over_empty_source(self):
+        term = For("x", Empty(), Return(Var("x")))
+        assert symbolic_eval(term) == Empty()
+
+    def test_for_over_union_source(self):
+        term = For("x", Union(Table("t"), Table("u")), Return(Var("x")))
+        out = symbolic_eval(term)
+        assert out == Union(
+            For("x", Table("t"), Return(Var("x"))),
+            For("x", Table("u"), Return(Var("x"))),
+        )
+
+    def test_for_over_for_source(self):
+        inner = For("y", Table("t"), Return(Var("y")))
+        term = For("x", inner, Return(Var("x")))
+        out = symbolic_eval(term)
+        # for (x ← for (y ← t) return y) return x  →  for (y ← t) return y
+        assert out == For("y", Table("t"), Return(Var("y")))
+
+    def test_for_over_for_capture_avoidance(self):
+        # for (x ← for (y ← t) return y) return ⟨a = x, b = y_free⟩ where the
+        # body mentions a *free* y: the inner binder must be renamed.
+        body = Return(Record((("a", Var("x")), ("b", Var("y")))))
+        term = For("x", For("y", Table("t"), Return(Var("y"))), body)
+        out = symbolic_eval(term)
+        assert isinstance(out, For)
+        assert out.var != "y"  # renamed to avoid capturing the free y
+
+    def test_for_over_if_source(self):
+        term = For(
+            "x", If(Var("c"), Table("t"), Empty()), Return(Var("x"))
+        )
+        out = symbolic_eval(term)
+        assert out == If(
+            Var("c"),
+            For("x", Table("t"), Return(Var("x"))),
+            Empty(),
+        )
+
+    def test_projection_from_if(self):
+        term = Project(
+            If(Var("c"), Record((("a", Const(1)),)), Record((("a", Const(2)),))),
+            "a",
+        )
+        assert symbolic_eval(term) == If(Var("c"), Const(1), Const(2))
+
+    def test_application_of_if(self):
+        # (if c then (λx.x) else (λx.x)) 1 — hoist, then β in both branches.
+        identity = Lam("x", Var("x"))
+        term = App(If(Var("c"), identity, identity), Const(1))
+        assert symbolic_eval(term) == If(Var("c"), Const(1), Const(1))
+
+    def test_if_in_if_condition(self):
+        term = If(
+            If(Var("c"), Const(True), Var("d")),
+            Const(1),
+            Const(2),
+        )
+        out = symbolic_eval(term)
+        assert out == If(
+            Var("c"), Const(1), If(Var("d"), Const(1), Const(2))
+        )
+
+
+class TestNormalForm:
+    def test_reports_normal(self):
+        term = For("x", Table("t"), Return(Var("x")))
+        assert is_c_normal(term)
+        assert symbolic_eval(term) == term
+
+    def test_reports_redex(self):
+        assert not is_c_normal(App(Lam("x", Var("x")), Const(1)))
+        assert not is_c_normal(For("x", Return(Const(1)), Return(Var("x"))))
+
+    def test_result_is_always_normal(self):
+        from repro.data import queries
+
+        for name, query in {**queries.FLAT_QUERIES, **queries.NESTED_QUERIES}.items():
+            out = symbolic_eval(query)
+            assert is_c_normal(out), f"{name} not ⇝c-normal after rewriting"
+
+    def test_idempotent(self):
+        from repro.data import queries
+
+        once = symbolic_eval(queries.Q6)
+        assert symbolic_eval(once) == once
+
+    def test_preserves_semantics_q6(self):
+        from repro.data import queries
+        from repro.data.organisation import figure3_database
+        from repro.nrc.semantics import evaluate
+        from repro.values import bag_equal
+
+        db = figure3_database()
+        assert bag_equal(
+            evaluate(queries.Q6, db), evaluate(symbolic_eval(queries.Q6), db)
+        )
+
+    def test_eliminates_higher_order(self):
+        from repro.data import queries
+        from repro.nrc.ast import subterms
+
+        out = symbolic_eval(queries.Q2)
+        assert not any(
+            isinstance(sub, (Lam, App)) for sub in subterms(out)
+        ), "λ/application survived symbolic evaluation"

@@ -1,0 +1,184 @@
+"""Tests for the denotational semantics N⟦−⟧ (Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.nrc import builders as b
+from repro.nrc import stdlib
+from repro.nrc.ast import Empty, Var
+from repro.nrc.semantics import evaluate
+from repro.values import bag_equal
+
+
+class TestBaseForms:
+    def test_const(self, db):
+        assert evaluate(b.const(5), db) == 5
+
+    def test_env(self, db):
+        assert evaluate(Var("x"), db, {"x": 7}) == 7
+
+    def test_unbound(self, db):
+        with pytest.raises(EvaluationError):
+            evaluate(Var("x"), db)
+
+    def test_prim(self, db):
+        assert evaluate(b.add(b.const(2), b.const(3)), db) == 5
+        assert evaluate(b.and_(b.TRUE, b.FALSE), db) is False
+
+    def test_record_and_projection(self, db):
+        r = b.record(a=b.const(1), z=b.const("s"))
+        assert evaluate(r, db) == {"a": 1, "z": "s"}
+        assert evaluate(r["a"], db) == 1
+
+    def test_if(self, db):
+        assert evaluate(b.if_(b.TRUE, b.const(1), b.const(2)), db) == 1
+        assert evaluate(b.if_(b.FALSE, b.const(1), b.const(2)), db) == 2
+
+    def test_if_non_bool(self, db):
+        with pytest.raises(EvaluationError):
+            evaluate(b.if_(b.const(1), b.const(1), b.const(2)), db)
+
+
+class TestBags:
+    def test_return_empty_union(self, db):
+        assert evaluate(b.ret(b.const(1)), db) == [1]
+        assert evaluate(Empty(), db) == []
+        out = evaluate(b.union(b.ret(b.const(1)), b.ret(b.const(1))), db)
+        assert out == [1, 1]  # multiplicities add (bag union)
+
+    def test_for_concatenates(self, db):
+        q = b.for_(
+            "x",
+            b.bag_of(b.const(1), b.const(2)),
+            lambda x: b.union(b.ret(x), b.ret(x)),
+        )
+        assert bag_equal(evaluate(q, db), [1, 1, 2, 2])
+
+    def test_empty_test(self, db):
+        assert evaluate(b.is_empty(Empty()), db) is True
+        assert evaluate(b.is_empty(b.ret(b.const(1))), db) is False
+
+    def test_table_interpretation_is_canonically_ordered(self, db):
+        rows = evaluate(b.table("departments"), db)
+        names = [row["name"] for row in rows]
+        assert names == sorted(names)
+
+    def test_table_rows_are_copies(self, db):
+        rows = evaluate(b.table("departments"), db)
+        rows[0]["name"] = "Mutated"
+        again = evaluate(b.table("departments"), db)
+        assert again[0]["name"] != "Mutated"
+
+
+class TestFunctions:
+    def test_beta(self, db):
+        term = b.app(b.lam("x", lambda x: b.add(x, b.const(1))), b.const(41))
+        assert evaluate(term, db) == 42
+
+    def test_closure_captures_environment(self, db):
+        # (λx. λy. x + y) 1 2
+        term = b.app(
+            b.lam("x", lambda x: b.lam("y", lambda y: b.add(Var("x"), y))),
+            b.const(1),
+            b.const(2),
+        )
+        assert evaluate(term, db) == 3
+
+    def test_apply_non_function(self, db):
+        with pytest.raises(EvaluationError):
+            evaluate(b.app(b.const(1), b.const(2)), db)
+
+
+class TestQueriesOverFigure3:
+    def test_flat_selection(self, db):
+        q = b.for_(
+            "e",
+            b.table("employees"),
+            lambda e: b.where(b.lt(e["salary"], b.const(1000)), b.ret(e["name"])),
+        )
+        assert bag_equal(evaluate(q, db), ["Bert", "Fred"])
+
+    def test_join(self, db):
+        q = b.for_(
+            "e",
+            b.table("employees"),
+            lambda e: b.for_(
+                "t",
+                b.table("tasks"),
+                lambda t: b.where(
+                    b.eq(e["name"], t["employee"]), b.ret(t["task"])
+                ),
+            ),
+        )
+        out = evaluate(q, db)
+        assert len(out) == 14  # every task row joins exactly one employee
+
+    def test_tasks_of_employee_nested(self, db):
+        # employeesOfDept-style nested result for the Sales department.
+        q = b.for_(
+            "e",
+            b.table("employees"),
+            lambda e: b.where(
+                b.eq(e["dept"], b.const("Sales")),
+                b.ret(
+                    b.record(
+                        name=e["name"],
+                        tasks=b.for_(
+                            "t",
+                            b.table("tasks"),
+                            lambda t: b.where(
+                                b.eq(t["employee"], e["name"]),
+                                b.ret(t["task"]),
+                            ),
+                        ),
+                    )
+                ),
+            ),
+        )
+        expected = [
+            {"name": "Erik", "tasks": ["call", "enthuse"]},
+            {"name": "Fred", "tasks": ["call"]},
+            {"name": "Gina", "tasks": ["call", "dissemble"]},
+        ]
+        assert bag_equal(evaluate(q, db), expected)
+
+    def test_stdlib_contains(self, db):
+        tasks_of_cora = b.for_(
+            "t",
+            b.table("tasks"),
+            lambda t: b.where(
+                b.eq(t["employee"], b.const("Cora")), b.ret(t["task"])
+            ),
+        )
+        assert evaluate(stdlib.contains(tasks_of_cora, b.const("abstract")), db)
+        assert not evaluate(
+            stdlib.contains(tasks_of_cora, b.const("buy")), db
+        )
+
+    def test_stdlib_all(self, db):
+        # All Research employees can "abstract" (Cora and Drew both can).
+        research = b.for_(
+            "e",
+            b.table("employees"),
+            lambda e: b.where(b.eq(e["dept"], b.const("Research")), b.ret(e)),
+        )
+        can_abstract = b.lam(
+            "e",
+            lambda e: stdlib.contains(
+                b.for_(
+                    "t",
+                    b.table("tasks"),
+                    lambda t: b.where(
+                        b.eq(t["employee"], e["name"]), b.ret(t["task"])
+                    ),
+                ),
+                b.const("abstract"),
+            ),
+        )
+        assert evaluate(stdlib.all_(research, can_abstract), db) is True
+
+    def test_empty_database(self, empty_db):
+        q = b.for_("e", b.table("employees"), lambda e: b.ret(e["name"]))
+        assert evaluate(q, empty_db) == []

@@ -1,0 +1,103 @@
+"""Tests for shredded packages (§4.2, Theorem 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import queries
+from repro.errors import ShreddingError
+from repro.normalise import normalise
+from repro.nrc.typecheck import infer
+from repro.nrc.types import INT, STRING, BagType, bag, record_type
+from repro.shred.packages import (
+    PkgBag,
+    annotation_at,
+    annotations,
+    erase,
+    package_from,
+    pmap,
+    shred_query_package,
+    shred_type_package,
+)
+from repro.shred.paths import EPSILON, paths
+from repro.shred.shred_types import outer_shred
+from repro.shred.shredded_ast import ShredQuery
+
+RESULT = bag(
+    record_type(
+        department=STRING,
+        people=bag(record_type(name=STRING, tasks=bag(STRING))),
+    )
+)
+
+
+class TestPackageFrom:
+    def test_annotates_each_bag_with_its_path(self):
+        pkg = package_from(RESULT, lambda p: str(p))
+        assert [ann for _, ann in annotations(pkg)] == [
+            "ε",
+            "↓.people",
+            "↓.people.↓.tasks",
+        ]
+
+    def test_non_nested_type_rejected(self):
+        from repro.nrc.types import FunType
+
+        with pytest.raises(ShreddingError):
+            package_from(FunType(INT, INT), lambda p: None)
+
+
+class TestErase:
+    def test_erase_is_left_inverse_of_shredding(self):
+        """Theorem 3: erase(shred_A(A)) = A."""
+        for a in [RESULT, bag(INT), bag(record_type(x=bag(INT), y=INT))]:
+            assert erase(shred_type_package(a)) == a
+
+    def test_erase_after_pmap_unchanged(self):
+        pkg = shred_type_package(RESULT)
+        mapped = pmap(lambda ann: ("wrapped", ann), pkg)
+        assert erase(mapped) == RESULT
+
+
+class TestTypePackage:
+    def test_annotations_are_outer_shreddings(self):
+        pkg = shred_type_package(RESULT)
+        for path in paths(RESULT):
+            assert annotation_at(pkg, path) == outer_shred(RESULT, path)
+
+
+class TestQueryPackage:
+    def test_q6_package_has_three_queries(self, schema):
+        nf = normalise(queries.Q6, schema)
+        a = infer(queries.Q6, schema)
+        pkg = shred_query_package(nf, a)
+        anns = list(annotations(pkg))
+        assert len(anns) == 3
+        assert all(isinstance(q, ShredQuery) for _, q in anns)
+
+    def test_package_erases_to_result_type(self, schema):
+        nf = normalise(queries.Q6, schema)
+        a = infer(queries.Q6, schema)
+        assert erase(shred_query_package(nf, a)) == a
+
+    @pytest.mark.parametrize("name", sorted(queries.NESTED_QUERIES))
+    def test_query_count_equals_nesting_degree(self, name, schema):
+        from repro.nrc.types import nesting_degree
+
+        query = queries.NESTED_QUERIES[name]
+        nf = normalise(query, schema)
+        a = infer(query, schema)
+        pkg = shred_query_package(nf, a)
+        assert len(list(annotations(pkg))) == nesting_degree(a)
+
+
+class TestAnnotationAt:
+    def test_top(self):
+        pkg = shred_type_package(RESULT)
+        assert isinstance(pkg, PkgBag)
+        assert annotation_at(pkg, EPSILON) == outer_shred(RESULT, EPSILON)
+
+    def test_path_not_ending_at_bag(self):
+        pkg = shred_type_package(RESULT)
+        with pytest.raises(ShreddingError):
+            annotation_at(pkg, EPSILON.down().label("department"))

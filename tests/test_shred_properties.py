@@ -1,0 +1,111 @@
+"""Property tests focused on shredding structure (§4-§6 invariants)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.data.organisation import ORGANISATION_SCHEMA, figure3_database
+from repro.normalise import normalise
+from repro.nrc.typecheck import infer
+from repro.nrc.types import nesting_degree
+from repro.shred.indexes import (
+    canonical_indexes,
+    check_valid,
+    index_fn_for,
+)
+from repro.shred.packages import annotations, erase, shred_query_package
+from repro.shred.paths import paths, type_at
+from repro.shred.semantics import run_shredded
+from repro.shred.shred_types import inner_shred, is_flat_shredded, outer_shred
+from repro.shred.translate import shred_query
+
+from .strategies import queries_with_nesting
+
+SCHEMA = ORGANISATION_SCHEMA
+DB = figure3_database()
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(queries_with_nesting())
+@_settings
+def test_theorem3_erasure(query):
+    """erase(shred_L(A)) = A, and one annotation per bag constructor."""
+    nf = normalise(query, SCHEMA)
+    result_type = infer(query, SCHEMA)
+    package = shred_query_package(nf, result_type)
+    assert erase(package) == result_type
+    assert len(list(annotations(package))) == nesting_degree(result_type)
+
+
+@given(queries_with_nesting())
+@_settings
+def test_shredded_types_are_flat(query):
+    """Theorem 2's type part: ⟦A⟧p = Bag ⟨Index, F⟩ with F flat."""
+    result_type = infer(query, SCHEMA)
+    for path in paths(result_type):
+        shredded_type = outer_shred(result_type, path)
+        assert is_flat_shredded(shredded_type.element)
+        element = type_at(result_type, path).element
+        assert shredded_type.element.field_type("#2") == inner_shred(element)
+
+
+@given(queries_with_nesting())
+@_settings
+def test_blocks_grow_one_per_level(query):
+    """Each ↓ in the path prepends exactly one generator block."""
+    nf = normalise(query, SCHEMA)
+    result_type = infer(query, SCHEMA)
+    for path in paths(result_type):
+        depth = 1 + sum(1 for step in path.steps if repr(step) == "↓")
+        for comp in shred_query(nf, path).comps:
+            assert len(comp.blocks) == depth
+
+
+@given(queries_with_nesting())
+@_settings
+def test_all_schemes_valid(query):
+    """Lemma 24 on random queries, not just the paper's."""
+    nf = normalise(query, SCHEMA)
+    cans = canonical_indexes(nf, DB, SCHEMA)
+    for scheme in ("canonical", "natural", "flat"):
+        check_valid(index_fn_for(scheme, nf, DB, SCHEMA), cans)
+
+
+@given(queries_with_nesting())
+@_settings
+def test_child_rows_reference_existing_parents(query):
+    """Referential integrity of the shredded representation: every outer
+    index in a child query appears as an inner index of its parent."""
+    nf = normalise(query, SCHEMA)
+    result_type = infer(query, SCHEMA)
+    all_paths = paths(result_type)
+    rows = {p: run_shredded(shred_query(nf, p), DB) for p in all_paths}
+
+    def inner_indexes(value):
+        from repro.shred.indexes import CanonicalIndex
+
+        if isinstance(value, CanonicalIndex):
+            yield value
+        elif isinstance(value, dict):
+            for field in value.values():
+                yield from inner_indexes(field)
+
+    parent_inner: dict[str, set] = {}
+    for path in all_paths:
+        for _, value in rows[path]:
+            for index in inner_indexes(value):
+                parent_inner.setdefault(str(path), set()).add(index)
+    for path in all_paths:
+        if path.is_empty:
+            continue
+        from repro.baselines.looplifting.compile import parent_path
+
+        parent = parent_path(path)
+        available = parent_inner.get(str(parent), set())
+        for outer, _ in rows[path]:
+            assert outer in available, f"dangling outer index at {path}"

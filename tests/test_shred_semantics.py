@@ -1,0 +1,151 @@
+"""Tests for the shredded semantics S⟦−⟧ (Fig. 5), pinned to the paper's
+§3 result vectors r1/r2/r3 (natural indexes) and r'2/r'3 (flat indexes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import queries
+from repro.normalise import normalise
+from repro.nrc.typecheck import infer
+from repro.shred.indexes import (
+    FlatIndex,
+    NaturalIndex,
+    flat_index_fn,
+    natural_index_fn,
+)
+from repro.shred.paths import paths
+from repro.shred.semantics import (
+    run_shredded,
+    run_shredded_annotated,
+    top_index,
+)
+from repro.shred.shredded_ast import TOP_TAG
+from repro.shred.translate import shred_query
+
+
+@pytest.fixture
+def q6_shredded(schema, db):
+    nf = normalise(queries.Q6, schema)
+    a = infer(queries.Q6, schema)
+    p1, p2, p3 = paths(a)
+    return {
+        "nf": nf,
+        "q1": shred_query(nf, p1),
+        "q2": shred_query(nf, p2),
+        "q3": shred_query(nf, p3),
+    }
+
+
+def N(tag, *keys):
+    return NaturalIndex(tag, tuple(keys))
+
+
+class TestNaturalIndexResults:
+    """§3: the results r1, r2, r3 with ⟨a, ids…⟩ indexes."""
+
+    def test_r1(self, q6_shredded, db, schema):
+        index = natural_index_fn(q6_shredded["nf"], db, schema)
+        r1 = run_shredded(q6_shredded["q1"], db, index)
+        top = N(TOP_TAG)
+        assert r1 == [
+            (top, {"department": "Product", "people": N("a", 1)}),
+            (top, {"department": "Quality", "people": N("a", 2)}),
+            (top, {"department": "Research", "people": N("a", 3)}),
+            (top, {"department": "Sales", "people": N("a", 4)}),
+        ]
+
+    def test_r2(self, q6_shredded, db, schema):
+        index = natural_index_fn(q6_shredded["nf"], db, schema)
+        r2 = run_shredded(q6_shredded["q2"], db, index)
+        assert r2 == [
+            (N("a", 1), {"name": "Bert", "tasks": N("b", 1, 2)}),
+            (N("a", 4), {"name": "Erik", "tasks": N("b", 4, 5)}),
+            (N("a", 4), {"name": "Fred", "tasks": N("b", 4, 6)}),
+            (N("a", 1), {"name": "Pat", "tasks": N("d", 1, 2)}),
+            (N("a", 4), {"name": "Sue", "tasks": N("d", 4, 7)}),
+        ]
+
+    def test_r3(self, q6_shredded, db, schema):
+        index = natural_index_fn(q6_shredded["nf"], db, schema)
+        r3 = run_shredded(q6_shredded["q3"], db, index)
+        assert r3 == [
+            (N("b", 1, 2), "build"),
+            (N("b", 4, 5), "call"),
+            (N("b", 4, 5), "enthuse"),
+            (N("b", 4, 6), "call"),
+            (N("d", 1, 2), "buy"),
+            (N("d", 4, 7), "buy"),
+        ]
+
+
+class TestFlatIndexResults:
+    """§3: the surrogate-collapsed results r'2 and r'3."""
+
+    def test_r2_flat(self, q6_shredded, db, schema):
+        index = flat_index_fn(q6_shredded["nf"], db, schema)
+        r2 = run_shredded(q6_shredded["q2"], db, index)
+        assert r2 == [
+            (FlatIndex("a", 1), {"name": "Bert", "tasks": FlatIndex("b", 1)}),
+            (FlatIndex("a", 4), {"name": "Erik", "tasks": FlatIndex("b", 2)}),
+            (FlatIndex("a", 4), {"name": "Fred", "tasks": FlatIndex("b", 3)}),
+            (FlatIndex("a", 1), {"name": "Pat", "tasks": FlatIndex("d", 1)}),
+            (FlatIndex("a", 4), {"name": "Sue", "tasks": FlatIndex("d", 2)}),
+        ]
+
+    def test_r3_flat(self, q6_shredded, db, schema):
+        index = flat_index_fn(q6_shredded["nf"], db, schema)
+        r3 = run_shredded(q6_shredded["q3"], db, index)
+        assert r3 == [
+            (FlatIndex("b", 1), "build"),
+            (FlatIndex("b", 2), "call"),
+            (FlatIndex("b", 2), "enthuse"),
+            (FlatIndex("b", 3), "call"),
+            (FlatIndex("d", 1), "buy"),
+            (FlatIndex("d", 2), "buy"),
+        ]
+
+
+class TestCanonicalSemantics:
+    def test_top_index(self):
+        from repro.shred.indexes import CanonicalIndex
+
+        assert top_index() == CanonicalIndex(TOP_TAG, (1,))
+
+    def test_outer_strips_last_component(self, q6_shredded, db):
+        r2 = run_shredded(q6_shredded["q2"], db)
+        for outer, value in r2:
+            inner = value["tasks"]
+            # The inner index extends this row's context by one position.
+            assert len(inner.dyn) == len(outer.dyn) + 1
+
+    def test_annotated_semantics_tags_own_index(self, q6_shredded, db):
+        rows = run_shredded_annotated(q6_shredded["q2"], db)
+        for outer, value, own in rows:
+            assert own.tag in ("b", "d")
+            assert own.dyn[:-1] == outer.dyn
+
+    def test_annotations_unique(self, q6_shredded, db):
+        for q in ("q1", "q2", "q3"):
+            rows = run_shredded_annotated(q6_shredded[q], db)
+            anns = [own for _, _, own in rows]
+            assert len(set(anns)) == len(anns)
+
+    def test_empty_database(self, q6_shredded, empty_db):
+        for q in ("q1", "q2", "q3"):
+            assert run_shredded(q6_shredded[q], empty_db) == []
+
+
+class TestGeneratorlessBlock:
+    def test_buy_branch_fires_once_per_contact(self, q6_shredded, db):
+        r3 = run_shredded(q6_shredded["q3"], db)
+        buys = [v for _, v in r3 if v == "buy"]
+        assert len(buys) == 2  # Pat and Sue
+
+
+class TestEmptyConditionInShreddedQuery:
+    def test_qf5_shredded_and_run(self, schema, db):
+        nf = normalise(queries.QF5, schema)
+        shredded = shred_query(nf, paths(infer(queries.QF5, schema))[0])
+        rows = run_shredded(shredded, db)
+        assert [v["emp"] for _, v in rows] == ["Cora"]

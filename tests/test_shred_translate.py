@@ -1,0 +1,178 @@
+"""Tests for the shredding translation on terms ⟦L⟧p (Fig. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import queries
+from repro.errors import ShreddingError
+from repro.normalise import normalise
+from repro.normalise.normal_form import EmptyNF, PrimNF
+from repro.nrc.typecheck import infer
+from repro.shred.paths import EPSILON, paths
+from repro.shred.shredded_ast import (
+    IN,
+    OUT,
+    TOP_TAG,
+    IndexRef,
+    ShredQuery,
+    SRecord,
+)
+from repro.shred.translate import shred_query
+
+
+@pytest.fixture
+def q6_parts(schema):
+    nf = normalise(queries.Q6, schema)
+    a = infer(queries.Q6, schema)
+    p1, p2, p3 = paths(a)
+    return nf, (p1, p2, p3)
+
+
+class TestRunningExample:
+    """§4.1: shredding Qcomp at its three paths gives q1, q2, q3."""
+
+    def test_q1_shape(self, q6_parts):
+        nf, (p1, _, _) = q6_parts
+        q1 = shred_query(nf, p1)
+        assert len(q1.comps) == 1
+        comp = q1.comps[0]
+        assert comp.tag == "a"
+        assert comp.outer == IndexRef(TOP_TAG, OUT)
+        assert len(comp.blocks) == 1
+        assert [g.table for g in comp.blocks[0].generators] == ["departments"]
+        assert isinstance(comp.inner, SRecord)
+        assert comp.inner.field("people") == IndexRef("a", IN)
+
+    def test_q2_shape(self, q6_parts):
+        nf, (_, p2, _) = q6_parts
+        q2 = shred_query(nf, p2)
+        assert len(q2.comps) == 2
+        employees_branch, contacts_branch = q2.comps
+        assert employees_branch.tag == "b"
+        assert contacts_branch.tag == "d"
+        # Both branches splice into the same parent: outer index a·out.
+        assert employees_branch.outer == IndexRef("a", OUT)
+        assert contacts_branch.outer == IndexRef("a", OUT)
+        # The department block is prepended to each.
+        assert [g.table for g in employees_branch.all_generators] == [
+            "departments",
+            "employees",
+        ]
+        assert [g.table for g in contacts_branch.all_generators] == [
+            "departments",
+            "contacts",
+        ]
+        assert employees_branch.inner.field("tasks") == IndexRef("b", IN)
+        assert contacts_branch.inner.field("tasks") == IndexRef("d", IN)
+
+    def test_q3_shape(self, q6_parts):
+        nf, (_, _, p3) = q6_parts
+        q3 = shred_query(nf, p3)
+        assert len(q3.comps) == 2
+        task_branch, buy_branch = q3.comps
+        assert task_branch.tag == "c"
+        assert task_branch.outer == IndexRef("b", OUT)
+        assert [g.table for g in task_branch.all_generators] == [
+            "departments",
+            "employees",
+            "tasks",
+        ]
+        assert buy_branch.tag == "e"
+        assert buy_branch.outer == IndexRef("d", OUT)
+        # The "buy" branch has a generator-less final block.
+        assert buy_branch.blocks[-1].generators == ()
+        from repro.normalise.normal_form import ConstNF
+
+        assert buy_branch.inner == ConstNF("buy")
+
+    def test_blocks_one_per_level(self, q6_parts):
+        nf, (p1, p2, p3) = q6_parts
+        assert all(len(c.blocks) == 1 for c in shred_query(nf, p1).comps)
+        assert all(len(c.blocks) == 2 for c in shred_query(nf, p2).comps)
+        assert all(len(c.blocks) == 3 for c in shred_query(nf, p3).comps)
+
+
+class TestEmptinessShredding:
+    def test_empty_in_body_wraps_shredded_query(self, schema):
+        nf = normalise(queries.QF5, schema)
+        shredded = shred_query(nf, EPSILON)
+        condition = shredded.comps[0].blocks[0].where
+        # Conditions keep their NormQuery empties (only bodies re-shred).
+        from repro.normalise.normal_form import NormQuery
+
+        empties = _collect_empties(condition)
+        assert empties and all(
+            isinstance(e.query, NormQuery) for e in empties
+        )
+
+    def test_empty_in_body_is_shredded(self, schema):
+        from repro.nrc import builders as b
+
+        # Body contains empty(...) as a returned field value.
+        query = b.for_(
+            "d",
+            b.table("departments"),
+            lambda d: b.ret(
+                b.record(
+                    name=d["name"],
+                    lonely=b.is_empty(
+                        b.for_(
+                            "e",
+                            b.table("employees"),
+                            lambda e: b.where(
+                                b.eq(e["dept"], d["name"]), b.ret(b.record())
+                            ),
+                        )
+                    ),
+                )
+            ),
+        )
+        nf = normalise(query, schema)
+        shredded = shred_query(nf, EPSILON)
+        inner = shredded.comps[0].inner
+        lonely = inner.field("lonely")
+        assert isinstance(lonely, EmptyNF)
+        assert isinstance(lonely.query, ShredQuery)
+
+
+class TestErrors:
+    def test_untagged_normal_form_rejected(self, schema):
+        nf = normalise(queries.Q4, schema, with_tags=False)
+        with pytest.raises(ShreddingError):
+            shred_query(nf, EPSILON)
+
+    def test_bad_path_rejected(self, schema):
+        nf = normalise(queries.Q4, schema)
+        with pytest.raises(ShreddingError):
+            shred_query(nf, EPSILON.label("nonsense"))
+
+    def test_path_into_base_field_rejected(self, schema):
+        nf = normalise(queries.Q4, schema)
+        with pytest.raises(ShreddingError):
+            shred_query(nf, EPSILON.down().label("dept").down())
+
+
+class TestLinearity:
+    def test_translation_linear_size(self, schema):
+        """§4.1: the shredding translation is linear in time and space —
+        total blocks across all shredded queries stay proportional to the
+        normal form size."""
+        nf = normalise(queries.Q6, schema)
+        a = infer(queries.Q6, schema)
+        total_blocks = sum(
+            len(comp.blocks)
+            for path in paths(a)
+            for comp in shred_query(nf, path).comps
+        )
+        assert total_blocks == 1 + 2 + 2 + 3 + 3  # 1+2+2+3+3 = 11 ≤ O(|NF|)
+
+
+def _collect_empties(expr):
+    found = []
+    if isinstance(expr, EmptyNF):
+        found.append(expr)
+    elif isinstance(expr, PrimNF):
+        for arg in expr.args:
+            found.extend(_collect_empties(arg))
+    return found

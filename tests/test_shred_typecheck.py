@@ -1,0 +1,147 @@
+"""Theorems 2 and 5, executable: shredded and let-inserted terms are
+well-typed at their shredded types."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.data import queries
+from repro.data.organisation import ORGANISATION_SCHEMA
+from repro.errors import TypeCheckError
+from repro.letins.translate import let_insert
+from repro.letins.typecheck import check_let_query
+from repro.normalise import normalise
+from repro.nrc.typecheck import infer
+from repro.nrc.types import BagType
+from repro.shred.paths import paths, type_at
+from repro.shred.shred_types import shredded_row_type
+from repro.shred.translate import shred_query
+from repro.shred.typecheck import check_shredded_query
+
+from .strategies import queries_with_nesting
+
+ALL = {**queries.FLAT_QUERIES, **queries.NESTED_QUERIES}
+SCHEMA = ORGANISATION_SCHEMA
+
+
+class TestTheorem2:
+    """⊢ L : A and p ∈ paths(A) implies ⊢ ⟦L⟧p : ⟦A⟧p."""
+
+    @pytest.mark.parametrize("name", sorted(ALL))
+    def test_paper_queries_welltyped(self, name, schema):
+        query = ALL[name]
+        nf = normalise(query, schema)
+        result_type = infer(query, schema)
+        for path in paths(result_type):
+            bag = type_at(result_type, path)
+            assert isinstance(bag, BagType)
+            check_shredded_query(
+                shred_query(nf, path), shredded_row_type(bag.element), schema
+            )
+
+    def test_rejects_wrong_item_type(self, schema):
+        from repro.nrc.types import INT, bag
+
+        nf = normalise(queries.Q4, schema)
+        shredded = shred_query(nf, paths(infer(queries.Q4, schema))[0])
+        with pytest.raises(TypeCheckError):
+            check_shredded_query(shredded, shredded_row_type(INT), schema)
+        with pytest.raises(TypeCheckError):
+            check_shredded_query(shredded, bag(INT), schema)
+
+    def test_rejects_duplicate_binders(self, schema):
+        from repro.normalise.normal_form import Generator, TRUE_NF, ConstNF
+        from repro.nrc.types import STRING
+        from repro.shred.shredded_ast import (
+            Block,
+            IndexRef,
+            OUT,
+            ShredComp,
+            ShredQuery,
+            TOP_TAG,
+        )
+
+        duplicated = ShredQuery(
+            (
+                ShredComp(
+                    blocks=(
+                        Block(
+                            (
+                                Generator("x", "departments"),
+                                Generator("x", "departments"),
+                            ),
+                            TRUE_NF,
+                        ),
+                    ),
+                    tag="a",
+                    outer=IndexRef(TOP_TAG, OUT),
+                    inner=ConstNF("v"),
+                ),
+            )
+        )
+        with pytest.raises(TypeCheckError):
+            check_shredded_query(
+                duplicated, shredded_row_type(STRING), schema
+            )
+
+
+class TestTheorem5:
+    """⊢ M : Bag ⟨Index, F⟩ implies ⊢ L(M) : L(Bag ⟨Index, F⟩)."""
+
+    @pytest.mark.parametrize("name", sorted(ALL))
+    def test_paper_queries_welltyped(self, name, schema):
+        query = ALL[name]
+        nf = normalise(query, schema)
+        result_type = infer(query, schema)
+        for path in paths(result_type):
+            bag = type_at(result_type, path)
+            assert isinstance(bag, BagType)
+            check_let_query(
+                let_insert(shred_query(nf, path)),
+                shredded_row_type(bag.element),
+                schema,
+            )
+
+    def test_z_projection_bounds_checked(self, schema):
+        from repro.letins.ast import LetComp, LetIndex, ZProj
+        from repro.letins.translate import let_insert as _  # noqa: F401
+        from repro.normalise.normal_form import TRUE_NF
+        from repro.letins.ast import LetQuery
+        from repro.nrc.types import STRING
+        from repro.shred.shredded_ast import TOP_TAG
+
+        bogus = LetQuery(
+            (
+                LetComp(
+                    outer=None,
+                    generators=(),
+                    where=TRUE_NF,
+                    tag="a",
+                    body_outer=LetIndex(TOP_TAG, 1),
+                    body_value=ZProj(3, "name"),  # no outer query at all
+                ),
+            )
+        )
+        with pytest.raises(TypeCheckError):
+            check_let_query(bogus, shredded_row_type(STRING), schema)
+
+
+_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(queries_with_nesting())
+@_settings
+def test_theorems_2_and_5_on_random_queries(query):
+    nf = normalise(query, SCHEMA)
+    result_type = infer(query, SCHEMA)
+    for path in paths(result_type):
+        bag = type_at(result_type, path)
+        expected = shredded_row_type(bag.element)
+        shredded = shred_query(nf, path)
+        check_shredded_query(shredded, expected, SCHEMA)
+        check_let_query(let_insert(shredded), expected, SCHEMA)

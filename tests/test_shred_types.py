@@ -1,0 +1,75 @@
+"""Tests for shredded types ⟨A⟩ / ⟦A⟧p (§4.1, Theorem 2 type parts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidPathError
+from repro.nrc.types import INT, STRING, BagType, bag, record_type, tuple_type
+from repro.shred.paths import EPSILON, paths
+from repro.shred.shred_types import (
+    INDEX,
+    inner_shred,
+    is_flat_shredded,
+    outer_shred,
+)
+
+RESULT = bag(
+    record_type(
+        department=STRING,
+        people=bag(record_type(name=STRING, tasks=bag(STRING))),
+    )
+)
+
+
+class TestInnerShred:
+    def test_base(self):
+        assert inner_shred(INT) == INT
+
+    def test_bag_becomes_index(self):
+        assert inner_shred(bag(INT)) == INDEX
+
+    def test_record_recurses(self):
+        a = record_type(name=STRING, tasks=bag(STRING))
+        assert inner_shred(a) == record_type(name=STRING, tasks=INDEX)
+
+
+class TestOuterShred:
+    def test_paper_a1_a2_a3(self):
+        """§4.1: the three shredded types of Result."""
+        p1, p2, p3 = paths(RESULT)
+        a1 = outer_shred(RESULT, p1)
+        a2 = outer_shred(RESULT, p2)
+        a3 = outer_shred(RESULT, p3)
+        assert a1 == BagType(
+            tuple_type(
+                INDEX, record_type(department=STRING, people=INDEX)
+            )
+        )
+        assert a2 == BagType(
+            tuple_type(INDEX, record_type(name=STRING, tasks=INDEX))
+        )
+        assert a3 == BagType(tuple_type(INDEX, STRING))
+
+    def test_all_shredded_types_flat(self):
+        for p in paths(RESULT):
+            shredded = outer_shred(RESULT, p)
+            assert isinstance(shredded, BagType)
+            assert is_flat_shredded(shredded.element)
+
+    def test_epsilon_requires_bag(self):
+        with pytest.raises(InvalidPathError):
+            outer_shred(INT, EPSILON)
+
+    def test_bad_label(self):
+        with pytest.raises(InvalidPathError):
+            outer_shred(RESULT, EPSILON.down().label("nope"))
+
+
+class TestIsFlatShredded:
+    def test_flat(self):
+        assert is_flat_shredded(record_type(a=INT, i=INDEX))
+
+    def test_not_flat(self):
+        assert not is_flat_shredded(bag(INT))
+        assert not is_flat_shredded(record_type(a=bag(INT)))

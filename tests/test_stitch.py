@@ -1,0 +1,147 @@
+"""Tests for stitching (§5.2) and the end-to-end Theorem 4 property."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import queries
+from repro.errors import StitchError
+from repro.normalise import normalise
+from repro.nrc.semantics import evaluate
+from repro.nrc.typecheck import infer
+from repro.shred.indexes import index_fn_for, canonical_index_fn
+from repro.shred.packages import shred_query_package
+from repro.shred.semantics import run_package
+from repro.shred.stitch import stitch
+from repro.values import bag_equal, render
+
+
+def _shred_run_stitch(query, schema, db, scheme="canonical", one_pass=True):
+    nf = normalise(query, schema)
+    a = infer(query, schema)
+    package = shred_query_package(nf, a)
+    index = index_fn_for(scheme, nf, db, schema)
+    results = run_package(package, db, index)
+    return stitch(results, index, one_pass=one_pass)
+
+
+class TestRunningExample:
+    def test_q6_stitches_to_section3_result(self, schema, db):
+        """§3: the stitched Q(Qorg) result on the Fig. 3 instance."""
+        out = _shred_run_stitch(queries.Q6, schema, db)
+        expected = [
+            {
+                "department": "Product",
+                "people": [
+                    {"name": "Bert", "tasks": ["build"]},
+                    {"name": "Pat", "tasks": ["buy"]},
+                ],
+            },
+            {"department": "Quality", "people": []},
+            {"department": "Research", "people": []},
+            {
+                "department": "Sales",
+                "people": [
+                    {"name": "Erik", "tasks": ["call", "enthuse"]},
+                    {"name": "Fred", "tasks": ["call"]},
+                    {"name": "Sue", "tasks": ["buy"]},
+                ],
+            },
+        ]
+        assert bag_equal(out, expected), render(out)
+
+
+class TestTheorem4:
+    """stitch(H⟦L⟧) = N⟦L⟧ for every paper query × indexing scheme."""
+
+    @pytest.mark.parametrize("scheme", ["canonical", "natural", "flat"])
+    @pytest.mark.parametrize("name", sorted(queries.NESTED_QUERIES))
+    def test_nested_queries(self, name, scheme, schema, db):
+        query = queries.NESTED_QUERIES[name]
+        out = _shred_run_stitch(query, schema, db, scheme)
+        assert bag_equal(out, evaluate(query, db)), name
+
+    @pytest.mark.parametrize("name", sorted(queries.FLAT_QUERIES))
+    def test_flat_queries(self, name, schema, db):
+        query = queries.FLAT_QUERIES[name]
+        out = _shred_run_stitch(query, schema, db)
+        assert bag_equal(out, evaluate(query, db)), name
+
+    @pytest.mark.parametrize("name", ["Q1", "Q6"])
+    def test_on_random_database(self, name, schema, small_random_db):
+        query = queries.NESTED_QUERIES[name]
+        out = _shred_run_stitch(query, schema, small_random_db, "flat")
+        assert bag_equal(out, evaluate(query, small_random_db))
+
+    @pytest.mark.parametrize("name", sorted(queries.NESTED_QUERIES))
+    def test_on_empty_database(self, name, schema, empty_db):
+        query = queries.NESTED_QUERIES[name]
+        out = _shred_run_stitch(query, schema, empty_db)
+        assert out == []
+
+
+class TestOnePassEquivalence:
+    """§8: one-pass stitching is an optimisation, not a semantic change."""
+
+    @pytest.mark.parametrize("name", sorted(queries.NESTED_QUERIES))
+    def test_naive_equals_one_pass(self, name, schema, db):
+        query = queries.NESTED_QUERIES[name]
+        fast = _shred_run_stitch(query, schema, db, one_pass=True)
+        slow = _shred_run_stitch(query, schema, db, one_pass=False)
+        assert fast == slow  # identical including order
+
+
+class TestMultiplicity:
+    def test_duplicate_rows_preserved(self, schema):
+        """Bag semantics: duplicates survive shred + stitch (the property
+        Van den Bussche's simulation loses, App. A)."""
+        from repro.backend.database import Database
+        from repro.nrc import builders as b
+
+        db = Database(schema.__class__(schema.tables))
+        db.insert("departments", [{"id": 1, "name": "D"}, {"id": 2, "name": "D"}])
+        db.insert(
+            "employees",
+            [
+                {"id": 1, "dept": "D", "name": "E", "salary": 5},
+                {"id": 2, "dept": "D", "name": "E", "salary": 5},
+            ],
+        )
+        query = b.for_(
+            "d",
+            b.table("departments"),
+            lambda d: b.ret(
+                b.record(
+                    name=d["name"],
+                    emps=b.for_(
+                        "e",
+                        b.table("employees"),
+                        lambda e: b.where(
+                            b.eq(e["dept"], d["name"]), b.ret(e["name"])
+                        ),
+                    ),
+                )
+            ),
+        )
+        out = _shred_run_stitch(query, schema, db)
+        assert bag_equal(out, evaluate(query, db))
+        assert len(out) == 2
+        assert all(len(row["emps"]) == 2 for row in out)
+
+
+class TestErrors:
+    def test_top_must_be_bag(self):
+        from repro.shred.packages import PkgBase
+        from repro.nrc.types import INT
+
+        with pytest.raises(StitchError):
+            stitch(PkgBase(INT), canonical_index_fn)
+
+    def test_one_pass_requires_grouped(self, schema, db):
+        nf = normalise(queries.Q4, schema)
+        a = infer(queries.Q4, schema)
+        package = run_package(shred_query_package(nf, a), db)
+        from repro.shred.stitch import _stitch_bag
+
+        with pytest.raises(StitchError):
+            _stitch_bag(package, canonical_index_fn("top", (1,)), one_pass=True)

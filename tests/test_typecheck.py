@@ -1,0 +1,211 @@
+"""Tests for the λNRC type system (Fig. 12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    TypeCheckError,
+    UnboundVariableError,
+    UnknownTableError,
+)
+from repro.nrc import builders as b
+from repro.nrc import stdlib
+from repro.nrc.ast import Empty, Lam, Var
+from repro.nrc.typecheck import check, infer
+from repro.nrc.types import BOOL, INT, STRING, BagType, FunType, bag, record_type
+
+
+class TestBasics:
+    def test_const_types(self, schema):
+        assert infer(b.const(1), schema) == INT
+        assert infer(b.const(True), schema) == BOOL
+        assert infer(b.const("x"), schema) == STRING
+
+    def test_unbound_var(self, schema):
+        with pytest.raises(UnboundVariableError):
+            infer(Var("nope"), schema)
+
+    def test_env_lookup(self, schema):
+        assert infer(Var("x"), schema, {"x": INT}) == INT
+
+    def test_unknown_table(self, schema):
+        with pytest.raises(UnknownTableError):
+            infer(b.table("nope"), schema)
+
+    def test_table_type(self, schema):
+        t = infer(b.table("departments"), schema)
+        assert t == bag(record_type(id=INT, name=STRING))
+
+
+class TestPrims:
+    def test_arith(self, schema):
+        assert infer(b.add(b.const(1), b.const(2)), schema) == INT
+
+    def test_eq_polymorphic(self, schema):
+        assert infer(b.eq(b.const("a"), b.const("b")), schema) == BOOL
+        assert infer(b.eq(b.const(1), b.const(2)), schema) == BOOL
+
+    def test_eq_mismatch(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.eq(b.const(1), b.const("x")), schema)
+
+    def test_ordering_rejects_bool(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.lt(b.const(True), b.const(False)), schema)
+
+    def test_arity_error(self, schema):
+        from repro.nrc.ast import Prim
+
+        with pytest.raises(TypeCheckError):
+            infer(Prim("not", (b.const(True), b.const(False))), schema)
+
+    def test_prim_arg_must_be_base(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.not_(b.record(a=b.const(1))), schema)
+
+
+class TestCollections:
+    def test_return(self, schema):
+        assert infer(b.ret(b.const(1)), schema) == bag(INT)
+
+    def test_empty_needs_annotation(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(Empty(), schema)
+        assert infer(Empty(INT), schema) == bag(INT)
+
+    def test_union_infers_from_either_side(self, schema):
+        term = b.union(Empty(), b.ret(b.const(1)))
+        assert infer(term, schema) == bag(INT)
+        term = b.union(b.ret(b.const(1)), Empty())
+        assert infer(term, schema) == bag(INT)
+
+    def test_union_mismatch(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.union(b.ret(b.const(1)), b.ret(b.const("x"))), schema)
+
+    def test_for_comprehension(self, schema):
+        q = b.for_(
+            "e",
+            b.table("employees"),
+            lambda e: b.ret(b.record(n=e["name"])),
+        )
+        assert infer(q, schema) == bag(record_type(n=STRING))
+
+    def test_for_over_non_bag(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.for_("x", b.const(1), lambda x: b.ret(x)), schema)
+
+    def test_for_body_must_be_bag(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.for_("e", b.table("employees"), lambda e: e["name"]), schema)
+
+    def test_is_empty(self, schema):
+        assert infer(b.is_empty(b.table("tasks")), schema) == BOOL
+
+    def test_where_through_if(self, schema):
+        q = b.for_(
+            "e",
+            b.table("employees"),
+            lambda e: b.where(b.gt(e["salary"], b.const(1000)), b.ret(e["name"])),
+        )
+        assert infer(q, schema) == bag(STRING)
+
+
+class TestRecords:
+    def test_record_and_projection(self, schema):
+        r = b.record(a=b.const(1), z=b.const("s"))
+        assert infer(r, schema) == record_type(a=INT, z=STRING)
+        assert infer(r["z"], schema) == STRING
+
+    def test_projection_missing_field(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.record(a=b.const(1))["b"], schema)
+
+    def test_projection_from_non_record(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.const(1)["a"], schema)
+
+
+class TestFunctions:
+    def test_annotated_lam(self, schema):
+        f = b.lam("x", lambda x: b.add(x, b.const(1)), INT)
+        assert infer(f, schema) == FunType(INT, INT)
+
+    def test_unannotated_lam_fails_standalone(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.lam("x", lambda x: x), schema)
+
+    def test_unannotated_lam_in_application(self, schema):
+        term = b.app(b.lam("x", lambda x: b.add(x, b.const(1))), b.const(41))
+        assert infer(term, schema) == INT
+
+    def test_check_pushes_into_lam(self, schema):
+        check(b.lam("x", lambda x: x), FunType(INT, INT), schema)
+
+    def test_check_annotation_conflict(self, schema):
+        with pytest.raises(TypeCheckError):
+            check(
+                Lam("x", Var("x"), STRING),
+                FunType(INT, INT),
+                schema,
+            )
+
+    def test_application_of_non_function(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.app(b.const(1), b.const(2)), schema)
+
+
+class TestConditionals:
+    def test_if_infers(self, schema):
+        term = b.if_(b.TRUE, b.const(1), b.const(2))
+        assert infer(term, schema) == INT
+
+    def test_if_branch_mismatch(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.if_(b.TRUE, b.const(1), b.const("x")), schema)
+
+    def test_if_non_bool_condition(self, schema):
+        with pytest.raises(TypeCheckError):
+            infer(b.if_(b.const(1), b.const(1), b.const(2)), schema)
+
+    def test_if_with_one_empty_branch(self, schema):
+        term = b.if_(b.TRUE, b.ret(b.const(1)), Empty())
+        assert infer(term, schema) == bag(INT)
+
+
+class TestStdlib:
+    def test_filter_types(self, schema):
+        poor = b.lam("x", lambda x: b.lt(x["salary"], b.const(1000)))
+        q = stdlib.filter_(poor, b.table("employees"))
+        t = infer(q, schema)
+        assert t == schema.signature("employees")
+
+    def test_any_all_contains(self, schema):
+        tasks_of = b.for_(
+            "t", b.table("tasks"), lambda t: b.ret(t["task"])
+        )
+        assert infer(stdlib.contains(tasks_of, b.const("build")), schema) == BOOL
+        p = b.lam("x", lambda x: b.eq(x, b.const("build")))
+        assert infer(stdlib.any_(tasks_of, p), schema) == BOOL
+        assert infer(stdlib.all_(tasks_of, p), schema) == BOOL
+
+    def test_nested_result_type(self, schema):
+        q = b.for_(
+            "d",
+            b.table("departments"),
+            lambda d: b.ret(
+                b.record(
+                    name=d["name"],
+                    emps=b.for_(
+                        "e",
+                        b.table("employees"),
+                        lambda e: b.where(
+                            b.eq(d["name"], e["dept"]), b.ret(e["name"])
+                        ),
+                    ),
+                )
+            ),
+        )
+        t = infer(q, schema)
+        assert t == bag(record_type(name=STRING, emps=bag(STRING)))

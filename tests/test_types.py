@@ -1,0 +1,110 @@
+"""Tests for the λNRC type language (§2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.nrc.types import (
+    BOOL,
+    INT,
+    STRING,
+    BagType,
+    FunType,
+    RecordType,
+    bag,
+    is_base,
+    is_flat,
+    is_flat_relation,
+    is_nested,
+    iter_subtypes,
+    nesting_degree,
+    record_type,
+    tuple_type,
+)
+
+
+class TestConstruction:
+    def test_record_fields_sorted(self):
+        a = record_type(b=INT, a=STRING)
+        assert a.labels == ("a", "b")
+
+    def test_record_equality_ignores_declaration_order(self):
+        assert record_type(a=INT, b=STRING) == RecordType(
+            (("b", STRING), ("a", INT))
+        )
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(TypeCheckError):
+            RecordType((("a", INT), ("a", INT)))
+
+    def test_field_type_lookup(self):
+        a = record_type(name=STRING, salary=INT)
+        assert a.field_type("salary") == INT
+        with pytest.raises(TypeCheckError):
+            a.field_type("missing")
+
+    def test_tuple_type_labels(self):
+        a = tuple_type(INT, STRING)
+        assert a.labels == ("#1", "#2")
+        assert a.field_type("#1") == INT
+
+    def test_types_hashable(self):
+        {bag(record_type(a=INT)), FunType(INT, BOOL)}
+
+    def test_str_forms(self):
+        assert str(bag(record_type(a=INT))) == "Bag ⟨a: Int⟩"
+        assert str(FunType(INT, BOOL)) == "(Int → Bool)"
+
+
+class TestPredicates:
+    def test_is_base(self):
+        assert is_base(INT)
+        assert not is_base(record_type(a=INT))
+
+    def test_is_flat(self):
+        assert is_flat(record_type(a=INT, b=record_type(c=STRING)))
+        assert not is_flat(bag(INT))
+        assert not is_flat(FunType(INT, INT))
+
+    def test_is_nested(self):
+        assert is_nested(bag(record_type(a=bag(STRING))))
+        assert not is_nested(FunType(INT, INT))
+        assert not is_nested(bag(FunType(INT, INT)))
+
+    def test_is_flat_relation(self):
+        assert is_flat_relation(bag(record_type(a=INT, b=STRING)))
+        assert not is_flat_relation(bag(record_type(a=bag(INT))))
+        assert not is_flat_relation(record_type(a=INT))
+
+
+class TestNestingDegree:
+    def test_paper_example(self):
+        # §3: nesting degree of Bag ⟨A: Bag Int, B: Bag String⟩ is 3.
+        a = bag(record_type(A=bag(INT), B=bag(STRING)))
+        assert nesting_degree(a) == 3
+
+    def test_result_type(self):
+        # §3: Result = Bag ⟨department: String, people: Bag ⟨name, tasks: Bag String⟩⟩
+        result = bag(
+            record_type(
+                department=STRING,
+                people=bag(record_type(name=STRING, tasks=bag(STRING))),
+            )
+        )
+        assert nesting_degree(result) == 3
+
+    def test_base(self):
+        assert nesting_degree(INT) == 0
+
+
+class TestIterSubtypes:
+    def test_preorder(self):
+        a = bag(record_type(x=INT))
+        subtypes = list(iter_subtypes(a))
+        assert subtypes[0] == a
+        assert INT in subtypes
+
+    def test_fun_type_included(self):
+        a = FunType(INT, bag(BOOL))
+        assert BOOL in list(iter_subtypes(a))

@@ -1,0 +1,102 @@
+"""Tests for nested-value canonicalisation and multiset equality."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.values import bag_equal, bag_size, canonical, render, sort_bag
+
+
+class TestCanonical:
+    def test_base_values_distinct(self):
+        assert canonical(1) != canonical(True)
+        assert canonical(0) != canonical(False)
+        assert canonical("1") != canonical(1)
+
+    def test_record_label_order_irrelevant(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_bag_order_irrelevant(self):
+        assert canonical([1, 2, 3]) == canonical([3, 1, 2])
+
+    def test_bag_multiplicity_matters(self):
+        assert canonical([1, 1, 2]) != canonical([1, 2, 2])
+        assert canonical([1, 1]) != canonical([1])
+
+    def test_nested_bags(self):
+        left = [{"xs": [1, 2]}, {"xs": []}]
+        right = [{"xs": []}, {"xs": [2, 1]}]
+        assert canonical(left) == canonical(right)
+
+    def test_canonical_is_hashable(self):
+        hash(canonical([{"a": [1, "x", True]}]))
+
+
+class TestBagEqual:
+    def test_permutation(self):
+        assert bag_equal([1, 2, 2, 3], [2, 3, 2, 1])
+
+    def test_not_set_semantics(self):
+        assert not bag_equal([1, 1], [1])
+
+    def test_deep_permutation(self):
+        left = [{"d": "Sales", "ppl": [{"n": "Erik"}, {"n": "Fred"}]}]
+        right = [{"d": "Sales", "ppl": [{"n": "Fred"}, {"n": "Erik"}]}]
+        assert bag_equal(left, right)
+
+    def test_mismatch_inside(self):
+        assert not bag_equal([{"xs": [1]}], [{"xs": [2]}])
+
+
+class TestSortBag:
+    def test_deterministic(self):
+        assert sort_bag([3, 1, 2]) == [1, 2, 3]
+
+    def test_mixed_types(self):
+        out = sort_bag(["b", "a"])
+        assert out == ["a", "b"]
+
+
+class TestRender:
+    def test_record(self):
+        assert render({"name": "Bert"}) == "⟨name = “Bert”⟩"
+
+    def test_empty_bag(self):
+        assert render([]) == "∅"
+
+    def test_booleans(self):
+        assert render(True) == "true"
+        assert render(False) == "false"
+
+    def test_small_bag_inline(self):
+        assert render([1, 2]) == "[1, 2]"
+
+
+class TestBagSize:
+    def test_flat(self):
+        assert bag_size([1, 2, 3]) == 3
+
+    def test_nested(self):
+        assert bag_size([{"xs": [1, 2]}, {"xs": []}]) == 4
+
+    def test_scalar(self):
+        assert bag_size(42) == 0
+
+
+nested_values = st.recursive(
+    st.integers(-5, 5) | st.booleans() | st.text(max_size=3),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.sampled_from(["a", "b", "c"]), children, max_size=3),
+    max_leaves=12,
+)
+
+
+@given(nested_values)
+def test_canonical_idempotent_under_self(value):
+    assert canonical(value) == canonical(value)
+
+
+@given(st.lists(st.integers(-3, 3), max_size=6))
+def test_bag_equal_reflexive_under_shuffle(xs):
+    assert bag_equal(xs, list(reversed(xs)))

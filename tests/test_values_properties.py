@@ -1,0 +1,106 @@
+"""Property tests for nested-value utilities and flattening round trips."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flatten.unflatten import flatten_value, unflatten_value
+from repro.nrc.types import BOOL, INT, STRING, RecordType
+from repro.shred.indexes import FlatIndex, NaturalIndex
+from repro.shred.shred_types import INDEX
+from repro.values import bag_equal, canonical, dedup_nested
+
+nested_values = st.recursive(
+    st.integers(-5, 5) | st.booleans() | st.sampled_from(["a", "b", "c"]),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.sampled_from(["x", "y"]), children, max_size=2),
+    max_leaves=10,
+)
+
+
+@given(nested_values)
+def test_dedup_idempotent(value):
+    once = dedup_nested(value)
+    assert dedup_nested(once) == once
+
+
+@given(st.lists(st.integers(-3, 3), max_size=8))
+def test_dedup_is_set_of_bag(xs):
+    assert sorted(dedup_nested(xs)) == sorted(set(xs))
+
+
+@given(nested_values, nested_values)
+def test_bag_equal_implies_equal_dedup(a, b):
+    if bag_equal(a, b):
+        assert canonical(dedup_nested(a)) == canonical(dedup_nested(b))
+
+
+@given(st.lists(st.integers(-3, 3), max_size=8))
+def test_dedup_subset_of_original(xs):
+    deduped = dedup_nested(xs)
+    assert len(deduped) <= len(xs)
+    assert set(map(canonical, deduped)) == set(map(canonical, xs))
+
+
+# --------------------------------------------------------------------------
+# Flattening round trips over random flat shredded rows (Prop. 30).
+
+ROW_TYPE = RecordType(
+    (
+        ("item", RecordType((("n", STRING), ("k", INT), ("f", BOOL), ("sub", INDEX)))),
+        ("outer", INDEX),
+    )
+)
+
+flat_indexes = st.builds(
+    FlatIndex, st.sampled_from(["a", "b", "top"]), st.integers(1, 9)
+)
+
+rows = st.fixed_dictionaries(
+    {
+        "item": st.fixed_dictionaries(
+            {
+                "n": st.sampled_from(["x", "y"]),
+                "k": st.integers(-9, 9),
+                "f": st.booleans(),
+                "sub": flat_indexes,
+            }
+        ),
+        "outer": flat_indexes,
+    }
+)
+
+
+@given(rows)
+def test_flatten_unflatten_round_trip_flat(row):
+    cells = flatten_value(ROW_TYPE, row)
+    assert unflatten_value(ROW_TYPE, cells) == row
+
+
+natural_indexes = st.builds(
+    NaturalIndex,
+    st.sampled_from(["a", "b"]),
+    st.lists(st.integers(1, 5), min_size=0, max_size=3).map(tuple),
+)
+
+natural_rows = st.fixed_dictionaries(
+    {
+        "item": st.fixed_dictionaries(
+            {
+                "n": st.sampled_from(["x", "y"]),
+                "k": st.integers(-9, 9),
+                "f": st.booleans(),
+                "sub": natural_indexes,
+            }
+        ),
+        "outer": natural_indexes,
+    }
+)
+
+
+@given(natural_rows)
+def test_flatten_unflatten_round_trip_natural(row):
+    width = lambda path: 3  # noqa: E731 — max key arity in the strategy
+    cells = flatten_value(ROW_TYPE, row, width)
+    assert unflatten_value(ROW_TYPE, cells, width, natural=True) == row

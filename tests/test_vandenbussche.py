@@ -1,0 +1,96 @@
+"""Tests for Van den Bussche's simulation and the App. A counterexample."""
+
+from __future__ import annotations
+
+from repro.baselines import vandenbussche as V
+
+
+class TestFlatRepresentation:
+    def test_flat_rep_counts(self):
+        r, s = V.paper_example()
+        rep = V.flat_rep(r, "r")
+        assert len(rep.outer) == 2
+        assert len(rep.inner) == 2
+        assert rep.tuple_count == 4
+        s_rep = V.flat_rep(s, "s")
+        assert len(s_rep.inner) == 3
+
+    def test_duplicate_outer_rows_get_distinct_ids(self):
+        rel = V.NestedRelation(((1, (1,)), (1, (1,))))
+        rep = V.flat_rep(rel, "x")
+        ids = [row_id for _, row_id in rep.outer]
+        assert len(set(ids)) == 2
+
+    def test_active_domain(self):
+        r1, s1 = V.paper_flat_reps()
+        adom = V.active_domain(r1, s1)
+        # {1, 2, 3, 4} data values plus the two (shared) ids.
+        assert len(adom) == 6
+
+
+class TestAppendixA:
+    """The exact numbers of App. A."""
+
+    def test_t1_has_72_tuples(self):
+        r1, s1 = V.paper_flat_reps()
+        t = V.vdb_union(r1, s1)
+        assert len(t.outer) == 72
+
+    def test_natural_representation_needs_9(self):
+        r, s = V.paper_example()
+        assert V.natural_tuple_count(r, s) == 9
+
+    def test_set_semantics_decodes_correctly(self):
+        r, s = V.paper_example()
+        r1, s1 = V.paper_flat_reps()
+        t = V.vdb_union(r1, s1)
+        assert V.decode_sets(t) == V.nested_set(V.direct_union(r, s))
+
+    def test_union_not_commutative_under_simulation(self):
+        """R∪S and S∪R simulate to different tuple counts (174 vs 150):
+        neither represents the correct multiset."""
+        r1, s1 = V.paper_flat_reps()
+        assert V.vdb_union(r1, s1).tuple_count == 174
+        assert V.vdb_union(s1, r1).tuple_count == 150
+
+    def test_bag_reading_is_wrong(self):
+        r, s = V.paper_example()
+        r1, s1 = V.paper_flat_reps()
+        t = V.vdb_union(r1, s1)
+        assert V.bag_canonical(V.simulated_bag(t)) != V.bag_canonical(
+            V.direct_union(r, s)
+        )
+
+    def test_direct_union_is_correct_bag(self):
+        r, s = V.paper_example()
+        union = V.direct_union(r, s)
+        assert len(union.rows) == 4
+        assert union.tuple_count == 9
+
+
+class TestBlowupScaling:
+    """|T1| ∈ O(|adom|·|R1| + |adom|²·|S1|) — quadratic in the input."""
+
+    def test_quadratic_growth(self):
+        sizes = []
+        for n in (2, 4, 8):
+            r = V.NestedRelation(tuple((i, (i,)) for i in range(n)))
+            s = V.NestedRelation(tuple((i, (i,)) for i in range(n)))
+            r1 = V.flat_rep(r, "id")
+            s1 = V.flat_rep(s, "id")
+            adom = V.active_domain(r1, s1)
+            t = V.vdb_union(r1, s1)
+            expected = len(r1.outer) * len(adom) + len(s1.outer) * len(
+                adom
+            ) * (len(adom) - 1)
+            assert len(t.outer) == expected
+            sizes.append((n, len(t.outer), V.natural_tuple_count(r, s)))
+        # Blowup ratio grows superlinearly while natural stays linear.
+        ratios = [sim / nat for _, sim, nat in sizes]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_set_decode_correct_at_scale(self):
+        r = V.NestedRelation(tuple((i, (i, i + 1)) for i in range(5)))
+        s = V.NestedRelation(tuple((i, (i * 2,)) for i in range(3)))
+        t = V.vdb_union(V.flat_rep(r, "id"), V.flat_rep(s, "id"))
+        assert V.decode_sets(t) == V.nested_set(V.direct_union(r, s))
