@@ -14,8 +14,9 @@ engines support the SQL:1999 features the translation targets.
 
 from __future__ import annotations
 
+import hashlib
 import sqlite3
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import BackendError
 from repro.nrc.schema import Schema, TableSchema
@@ -65,6 +66,8 @@ class Database:
         }
         self._canonical: dict[str, list[dict]] = {}
         self._connection: sqlite3.Connection | None = None
+        self._ensured_indexes: dict[tuple[str, tuple[str, ...]], str] = {}
+        self._stats_stale = False
         if tables:
             for name, rows in tables.items():
                 self.insert(name, rows)
@@ -72,40 +75,70 @@ class Database:
     # ------------------------------------------------------------------ rows
 
     def insert(self, table: str, rows: Iterable[Mapping[str, object]]) -> None:
-        """Insert ``rows`` into ``table`` (validated against the schema)."""
+        """Insert ``rows`` into ``table`` (validated against the schema).
+
+        A live SQLite connection is updated incrementally (one
+        ``executemany`` of the new rows) rather than rebuilt from scratch,
+        so interleaving inserts and queries costs O(new rows), not
+        O(database).
+        """
         table_schema = self.schema.table(table)
         expected = set(table_schema.column_names)
         target = self._rows[table]
+        added: list[dict] = []
         for row in rows:
             if set(row) != expected:
                 raise BackendError(
                     f"row for table {table!r} has columns {sorted(row)}, "
                     f"expected {sorted(expected)}"
                 )
-            target.append(dict(row))
+            added.append(dict(row))
+        target.extend(added)
         self._canonical.pop(table, None)
-        self._dispose_connection()
+        if added and self._ensured_indexes:
+            self._stats_stale = True  # table sizes shifted under ANALYZE
+        if self._connection is not None and added:
+            try:
+                self._insert_into_connection(
+                    self._connection, table_schema, added
+                )
+                self._connection.commit()
+            except sqlite3.Error:
+                # e.g. a declared-key violation: fall back to the lazy
+                # rebuild, which re-raises at the next query (as a
+                # BackendError) exactly like a cold connection would.
+                self._dispose_connection()
 
     def raw_rows(self, table: str) -> list[dict]:
-        """Rows in insertion order (no canonicalisation)."""
+        """Rows in insertion order (no canonicalisation).
+
+        The returned list is fresh, but the row dicts are the live stored
+        rows — treat them as **read-only** (they are shared with every
+        other reader and with the canonical order cache).
+        """
         self.schema.table(table)
-        return [dict(row) for row in self._rows[table]]
+        return list(self._rows[table])
 
     def rows(self, table: str) -> list[dict]:
         """⟦t⟧: rows in the canonical order (all columns, lexicographic).
 
         This is the deterministic list interpretation of tables from §2.1;
-        both the in-memory semantics and ``row_number`` generation rely on it.
+        both the in-memory semantics and ``row_number`` generation rely on
+        it.  The canonical list is computed once per table and the *same*
+        list (and row dicts) is returned on every call — callers must
+        treat it as **read-only**.  Mutating the database goes through
+        :meth:`insert`, which invalidates the cache.
         """
-        if table not in self._canonical:
+        cached = self._canonical.get(table)
+        if cached is None:
             table_schema = self.schema.table(table)
             columns = sorted(table_schema.column_names)
-            ordered = sorted(
+            cached = sorted(
                 self._rows[table],
                 key=lambda row: tuple(_sort_key(row[c]) for c in columns),
             )
-            self._canonical[table] = ordered
-        return [dict(row) for row in self._canonical[table]]
+            self._canonical[table] = cached
+        return cached
 
     def row_count(self, table: str) -> int:
         self.schema.table(table)
@@ -127,6 +160,10 @@ class Database:
         for table_schema in self.schema.tables:
             self._create_table(connection, table_schema)
             self._load_table(connection, table_schema)
+        for (table, columns), name in self._ensured_indexes.items():
+            connection.execute(_index_ddl(name, table, columns))
+        if self._ensured_indexes:
+            self._stats_stale = True
         connection.commit()
         return connection
 
@@ -153,8 +190,15 @@ class Database:
         self, connection: sqlite3.Connection, table_schema: TableSchema
     ) -> None:
         rows = self._rows[table_schema.name]
-        if not rows:
-            return
+        if rows:
+            self._insert_into_connection(connection, table_schema, rows)
+
+    @staticmethod
+    def _insert_into_connection(
+        connection: sqlite3.Connection,
+        table_schema: TableSchema,
+        rows: Sequence[Mapping[str, object]],
+    ) -> None:
         names = table_schema.column_names
         placeholders = ", ".join("?" for _ in names)
         column_list = ", ".join(quote_identifier(name) for name in names)
@@ -173,11 +217,82 @@ class Database:
 
     def execute_sql(self, sql: str, params: Sequence[object] = ()) -> list[tuple]:
         """Run a query against the SQLite materialisation; returns raw rows."""
+        return self.execute_cursor(sql, params).fetchall()
+
+    def execute_cursor(
+        self, sql: str, params: Sequence[object] = ()
+    ) -> sqlite3.Cursor:
+        """Run a query, returning the live cursor (for ``fetchmany``
+        streaming — the executors' bounded-memory path)."""
         try:
-            cursor = self.connection().execute(sql, tuple(params))
+            return self.connection().execute(sql, tuple(params))
         except sqlite3.Error as error:
             raise BackendError(f"SQL execution failed: {error}\n{sql}") from error
-        return cursor.fetchall()
+
+    def execute_sql_chunks(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        batch_size: int = 1024,
+    ) -> Iterator[list[tuple]]:
+        """Stream a query's raw rows as ``batch_size``-bounded chunks.
+
+        The executors' streaming loop: peak raw-row memory is one chunk,
+        and decoding happens chunk by chunk.
+        """
+        if batch_size < 1:
+            raise BackendError(f"batch size must be ≥1, got {batch_size}")
+        cursor = self.execute_cursor(sql, params)
+        while True:
+            chunk = cursor.fetchmany(batch_size)
+            if not chunk:
+                return
+            yield chunk
+
+    def ensure_index(self, table: str, columns: Sequence[str]) -> bool:
+        """Create a (composite) index on ``table(columns)`` if not present.
+
+        Ensured indexes are remembered: repeat calls are O(1) dict hits,
+        and a connection rebuilt after disposal recreates them.  Unknown
+        tables/columns are ignored (the statement may reference CTE
+        aliases).  Returns True iff an index was actually created.
+        """
+        if table not in self.schema:
+            return False
+        table_schema = self.schema.table(table)
+        known = set(table_schema.column_names)
+        columns = tuple(columns)
+        if not columns or any(column not in known for column in columns):
+            return False
+        key = (table, columns)
+        if key in self._ensured_indexes:
+            return False
+        digest = hashlib.sha1(repr(key).encode()).hexdigest()[:12]
+        name = f"qsidx_{table}_{digest}"
+        self.connection().execute(_index_ddl(name, table, columns))
+        self._ensured_indexes[key] = name
+        self._stats_stale = True
+        return True
+
+    def refresh_statistics(self) -> bool:
+        """Run ``ANALYZE`` if statistics went stale since the last run —
+        new indexes, new rows, or a connection rebuilt from scratch.
+
+        SQLite's planner only prefers the advisory indexes once statistics
+        exist (the difference is order-of-magnitude on the correlated
+        NOT-EXISTS probes), so the batched executor calls this after
+        ensuring indexes.  A no-op when statistics are current; returns
+        True iff ANALYZE actually ran.
+        """
+        if self._ensured_indexes:
+            # Force the (re)build *before* consulting the flag: a rebuilt
+            # connection replays the indexes and marks statistics stale.
+            self.connection()
+        if not self._stats_stale:
+            return False
+        self.connection().execute("ANALYZE")
+        self._stats_stale = False
+        return True
 
     def _dispose_connection(self) -> None:
         if self._connection is not None:
@@ -193,6 +308,14 @@ class Database:
             name: _from_sql_value(value, ctype)
             for (name, ctype), value in zip(table_schema.columns, values)
         }
+
+
+def _index_ddl(name: str, table: str, columns: Sequence[str]) -> str:
+    column_list = ", ".join(quote_identifier(column) for column in columns)
+    return (
+        f"CREATE INDEX IF NOT EXISTS {quote_identifier(name)} "
+        f"ON {quote_identifier(table)} ({column_list})"
+    )
 
 
 def _sort_key(value: object) -> tuple:

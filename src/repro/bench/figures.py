@@ -27,18 +27,31 @@ NESTED = ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]
 
 
 def figure10(config: BenchConfig | None = None) -> str:
-    """Fig. 10: QF1-QF6 × {default, shredding, loop-lifting} × scale."""
-    results = sweep(FLAT, ["default", "shredding", "loop-lifting"], config)
+    """Fig. 10: QF1-QF6 × {default, shredding, loop-lifting} × scale
+    (plus the cached/batched shredding engine for comparison)."""
+    results = sweep(
+        FLAT,
+        ["default", "shredding", "shredding_cached", "loop-lifting"],
+        config,
+    )
     return format_tables(results, "Figure 10 — flat queries")
 
 
 def figure11(config: BenchConfig | None = None) -> str:
-    """Fig. 11: Q1-Q6 × {shredding, loop-lifting} × scale."""
-    results = sweep(NESTED, ["shredding", "loop-lifting"], config)
+    """Fig. 11: Q1-Q6 × {shredding, shredding_cached, loop-lifting} × scale.
+
+    ``shredding_cached`` (plan cache + batched executor) rides along so
+    the cached engine is always compared against the uncached baseline.
+    """
+    results = sweep(
+        NESTED, ["shredding", "shredding_cached", "loop-lifting"], config
+    )
     return (
         format_tables(results, "Figure 11 — nested queries")
         + "\n\n"
         + format_speedups(results, "loop-lifting", "shredding")
+        + "\n\n"
+        + format_speedups(results, "shredding", "shredding_cached")
     )
 
 

@@ -1,0 +1,87 @@
+"""Benchmark smoke test: one tiny sweep per system under a time budget.
+
+    python -m repro bench --smoke
+
+Runs every registered system (plus ``default-raw-sql``) once on a tiny
+generated instance — flat systems on a flat query, the rest on a nested
+query — and reports per-system wall time.  Any pipeline exception fails
+the run (non-zero exit), so the perf machinery can't silently rot; a
+per-system time budget catches pathological slowdowns on what should be a
+sub-second instance.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import SYSTEMS, run_system
+from repro.data.generator import scaled_database
+
+__all__ = ["SMOKE_SYSTEMS", "run_smoke", "format_smoke"]
+
+#: system → the query it smoke-tests on (flat pipelines can't run nested
+#: queries, the avalanche baseline is too slow for a big one).
+SMOKE_SYSTEMS: dict[str, str] = {
+    **{name: "Q4" for name in SYSTEMS},
+    "default": "QF1",
+    "default-raw-sql": "QF1",
+}
+
+
+def run_smoke(
+    departments: int = 2,
+    rows: int = 4,
+    budget_ms: float = 5000.0,
+) -> list[tuple[str, str, float | None, str]]:
+    """Run each system once on a tiny instance.
+
+    Returns (system, query, millis | None, error) rows; ``millis`` is None
+    when the system raised, ``error`` is non-empty on failure or budget
+    blowout.
+    """
+    db = scaled_database(departments, seed=0, scale_rows=rows)
+    db.connection()
+    results: list[tuple[str, str, float | None, str]] = []
+    for system, query_name in sorted(SMOKE_SYSTEMS.items()):
+        started = time.perf_counter()
+        try:
+            run_system(system, query_name, db, repeats=1)
+        except Exception as error:  # noqa: BLE001 — any failure must surface
+            results.append(
+                (system, query_name, None, f"{type(error).__name__}: {error}")
+            )
+            continue
+        millis = (time.perf_counter() - started) * 1000.0
+        note = "" if millis <= budget_ms else f"over budget ({budget_ms:.0f}ms)"
+        results.append((system, query_name, millis, note))
+    return results
+
+
+def format_smoke(
+    results: list[tuple[str, str, float | None, str]]
+) -> tuple[str, bool]:
+    """Render the smoke table; the bool is True iff everything passed."""
+    lines = [
+        "== bench smoke — one tiny run per system ==",
+        f"{'system':<24} {'query':>6} {'millis':>9}  status",
+    ]
+    ok = True
+    for system, query_name, millis, note in results:
+        if millis is None:
+            ok = False
+            lines.append(f"{system:<24} {query_name:>6} {'—':>9}  FAIL {note}")
+        elif note:
+            ok = False
+            lines.append(
+                f"{system:<24} {query_name:>6} {millis:>9.1f}  FAIL {note}"
+            )
+        else:
+            lines.append(f"{system:<24} {query_name:>6} {millis:>9.1f}  ok")
+    lines.append("smoke PASSED" if ok else "smoke FAILED")
+    return "\n".join(lines), ok
+
+
+def main(departments: int = 2, rows: int = 4, budget_ms: float = 5000.0) -> int:
+    text, ok = format_smoke(run_smoke(departments, rows, budget_ms))
+    print(text)
+    return 0 if ok else 1

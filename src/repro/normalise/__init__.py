@@ -12,7 +12,7 @@ Three stages:
 """
 
 from repro.normalise.hoist import hoist_ifs, is_h_normal
-from repro.normalise.norm import annotate, normalise
+from repro.normalise.norm import annotate, normalise, normalise_cached
 from repro.normalise.normal_form import (
     BaseExpr,
     Comprehension,
@@ -31,6 +31,7 @@ from repro.normalise.rewrite import is_c_normal, symbolic_eval
 
 __all__ = [
     "normalise",
+    "normalise_cached",
     "annotate",
     "symbolic_eval",
     "hoist_ifs",

@@ -16,6 +16,8 @@ let-insertion stage (§6.2) requires all bound names distinct.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.errors import NotNormalisableError
 from repro.nrc import ast
 from repro.nrc.schema import Schema
@@ -38,7 +40,7 @@ from repro.normalise.normal_form import (
 )
 from repro.normalise.rewrite import symbolic_eval
 
-__all__ = ["normalise", "annotate", "tag_names"]
+__all__ = ["normalise", "normalise_cached", "annotate", "tag_names"]
 
 
 def normalise(
@@ -53,6 +55,36 @@ def normalise(
     stage2 = hoist_ifs(stage1)
     query = _Normaliser(schema).query(stage2, {})
     return annotate(query) if with_tags else query
+
+
+#: Memo table for :func:`normalise_cached`, keyed on the structural
+#: fingerprints of the term and schema.  Bounded FIFO: normal forms are
+#: shared across SqlOptions variants (the plan cache keys on options too,
+#: but normalisation does not depend on them), so one memoised normal form
+#: can feed several compiled plans.
+_NF_MEMO: "OrderedDict[tuple[str, str, bool], NormQuery]" = OrderedDict()
+_NF_MEMO_LIMIT = 512
+
+
+def normalise_cached(
+    term: ast.Term, schema: Schema, with_tags: bool = True
+) -> NormQuery:
+    """:func:`normalise`, memoised on (term, schema) fingerprints.
+
+    Normal forms are immutable, so the cached instance is shared.  Used by
+    the plan cache's cold path: two pipelines differing only in SqlOptions
+    re-normalise nothing.
+    """
+    key = (ast.term_fingerprint(term), schema.fingerprint(), with_tags)
+    cached = _NF_MEMO.get(key)
+    if cached is not None:
+        _NF_MEMO.move_to_end(key)
+        return cached
+    normal_form = normalise(term, schema, with_tags)
+    _NF_MEMO[key] = normal_form
+    while len(_NF_MEMO) > _NF_MEMO_LIMIT:
+        _NF_MEMO.popitem(last=False)
+    return normal_form
 
 
 class _Normaliser:

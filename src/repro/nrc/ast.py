@@ -12,6 +12,7 @@ Tuples are encoded as records with labels ``#1 … #n`` (§2.1).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
@@ -38,6 +39,8 @@ __all__ = [
     "substitute",
     "subterms",
     "term_size",
+    "term_fingerprint",
+    "intern_term",
 ]
 
 
@@ -337,6 +340,109 @@ def subterms(term: Term) -> Iterator[Term]:
 def term_size(term: Term) -> int:
     """Number of syntax constructors in ``term`` (``size`` in App. C.2)."""
     return sum(1 for _ in subterms(term))
+
+
+# --------------------------------------------------------------------------
+# Structural hashing and interning (the plan-cache key machinery).
+#
+# ``term_fingerprint`` digests a term's full structure — constructor kinds,
+# variable names, labels, constants and type annotations — into a hex string
+# that two terms share iff they are structurally identical.  α-equivalent
+# terms with different bound-variable names fingerprint differently on
+# purpose: the plan cache treats them as distinct entries (each compiles
+# cold, both produce value-identical plans), keeping the hash O(size) with
+# no de Bruijn renaming pass on the hot path.
+#
+# Fingerprints are memoised on the term instance, so repeated hashing of a
+# shared subterm (or of the same query object on every ``compile`` call) is
+# O(1) after the first computation.
+
+_FP_ATTR = "_structural_fp"
+
+
+def _type_token(annotation: Optional[Type]) -> str:
+    return "" if annotation is None else str(annotation)
+
+
+def term_fingerprint(term: Term) -> str:
+    """A memoised structural hash of ``term`` (hex digest).
+
+    Structurally identical terms — same constructors, names, labels,
+    constants and annotations — share a fingerprint; everything else
+    (including α-variants) does not.  The digest is cached on the term, so
+    amortised cost is O(1) per node.
+    """
+    cached = getattr(term, _FP_ATTR, None)
+    if cached is not None:
+        return cached
+    if isinstance(term, Var):
+        token = f"V:{term.name}"
+    elif isinstance(term, Const):
+        token = f"C:{type(term.value).__name__}:{term.value!r}"
+    elif isinstance(term, Table):
+        token = f"T:{term.name}"
+    elif isinstance(term, Empty):
+        token = f"E:{_type_token(term.element_type)}"
+    elif isinstance(term, Prim):
+        token = f"P:{term.op}:" + ",".join(
+            term_fingerprint(arg) for arg in term.args
+        )
+    elif isinstance(term, Lam):
+        token = (
+            f"L:{term.param}:{_type_token(term.param_type)}:"
+            f"{term_fingerprint(term.body)}"
+        )
+    elif isinstance(term, App):
+        token = f"A:{term_fingerprint(term.fun)}:{term_fingerprint(term.arg)}"
+    elif isinstance(term, Record):
+        token = "R:" + ",".join(
+            f"{label}={term_fingerprint(value)}" for label, value in term.fields
+        )
+    elif isinstance(term, Project):
+        token = f"J:{term.label}:{term_fingerprint(term.record)}"
+    elif isinstance(term, If):
+        token = (
+            f"I:{term_fingerprint(term.cond)}:{term_fingerprint(term.then)}:"
+            f"{term_fingerprint(term.orelse)}"
+        )
+    elif isinstance(term, Return):
+        token = f"S:{term_fingerprint(term.element)}"
+    elif isinstance(term, Union):
+        token = f"U:{term_fingerprint(term.left)}:{term_fingerprint(term.right)}"
+    elif isinstance(term, For):
+        token = (
+            f"F:{term.var}:{term_fingerprint(term.source)}:"
+            f"{term_fingerprint(term.body)}"
+        )
+    elif isinstance(term, IsEmpty):
+        token = f"Y:{term_fingerprint(term.bag)}"
+    else:
+        raise TypeError(f"not a term: {term!r}")
+    digest = hashlib.sha256(token.encode()).hexdigest()
+    object.__setattr__(term, _FP_ATTR, digest)
+    return digest
+
+
+_INTERN_TABLE: dict[str, Term] = {}
+_INTERN_LIMIT = 4096
+
+
+def intern_term(term: Term) -> Term:
+    """Hash-consing: return the canonical instance for ``term``'s structure.
+
+    Structurally identical terms interned through here share one instance,
+    so their memoised fingerprints (and any downstream per-instance caches)
+    are shared too.  The table is bounded; when full it resets rather than
+    evicting piecemeal — interning is an optimisation, never a requirement.
+    """
+    digest = term_fingerprint(term)
+    canonical = _INTERN_TABLE.get(digest)
+    if canonical is not None:
+        return canonical
+    if len(_INTERN_TABLE) >= _INTERN_LIMIT:
+        _INTERN_TABLE.clear()
+    _INTERN_TABLE[digest] = term
+    return term
 
 
 #: A function that maps every immediate subterm of a term (used by rewriters).

@@ -9,6 +9,7 @@ table has an integer-valued key ``id``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import BackendError, UnknownTableError
@@ -98,3 +99,24 @@ class Schema:
     def signature(self, name: str) -> Type:
         """Σ(t): the type of ``table t``."""
         return self.table(name).bag_type
+
+    def fingerprint(self) -> str:
+        """A memoised structural hash of Σ (hex digest).
+
+        Two schemas share a fingerprint iff they declare the same tables
+        with the same columns, column types and keys, in the same order.
+        Part of the plan-cache key: a plan compiled under one schema is
+        never served under another.
+        """
+        cached = getattr(self, "_structural_fp", None)
+        if cached is not None:
+            return cached
+        tokens = []
+        for table in self.tables:
+            columns = ",".join(
+                f"{name}:{ctype.name}" for name, ctype in table.columns
+            )
+            tokens.append(f"{table.name}({columns})key[{','.join(table.key)}]")
+        digest = hashlib.sha256(";".join(tokens).encode()).hexdigest()
+        object.__setattr__(self, "_structural_fp", digest)
+        return digest

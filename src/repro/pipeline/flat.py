@@ -64,10 +64,36 @@ def _rebuild(ftype: Type, path: tuple[str, ...], cells: dict) -> object:
 
 
 def compile_flat_query(
-    query: ast.Term, schema: Schema, pretty: bool = True
+    query: ast.Term,
+    schema: Schema,
+    pretty: bool = True,
+    cache: "PlanCache | None" = None,
 ) -> FlatCompiled:
-    """Normalise and translate a flat–flat query to a single SQL statement."""
-    normal_form = normalise(query, schema)
+    """Normalise and translate a flat–flat query to a single SQL statement.
+
+    ``cache`` (a :class:`~repro.pipeline.plan_cache.PlanCache`) makes
+    repeat compiles O(hash), sharing the key scheme — term fingerprint +
+    schema fingerprint + options — with the shredding pipeline.
+    """
+    if cache is not None:
+        from repro.pipeline.plan_cache import plan_key
+
+        key = plan_key(query, schema, SqlOptions(pretty=pretty), pipeline="flat")
+        cached = cache.lookup(key)
+        if cached is not None:
+            return cached
+        compiled = _compile_flat_cold(query, schema, pretty, use_nf_memo=True)
+        cache.store(key, compiled)
+        return compiled
+    return _compile_flat_cold(query, schema, pretty, use_nf_memo=False)
+
+
+def _compile_flat_cold(
+    query: ast.Term, schema: Schema, pretty: bool, use_nf_memo: bool
+) -> FlatCompiled:
+    from repro.normalise import normalise_cached
+
+    normal_form = (normalise_cached if use_nf_memo else normalise)(query, schema)
     result_type = infer(nf_to_term(normal_form), schema)
     if not isinstance(result_type, BagType) or not is_flat(result_type.element):
         raise NotNormalisableError(

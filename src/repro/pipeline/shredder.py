@@ -11,16 +11,35 @@ Typical use::
     result = compiled.run(db)               # nested value
 
 or the one-shot helpers :func:`shred_run` / :func:`shred_sql`.
+
+Performance knobs (see ROADMAP.md "Performance architecture"):
+
+* ``ShreddingPipeline(schema, cache=PlanCache())`` (or ``cache=True`` for
+  the process-wide cache) makes repeat compiles O(hash) — keyed on the
+  term's structural fingerprint, the schema fingerprint and the options;
+* ``compiled.run(db, engine="batched")`` executes the whole package in
+  one pass with precompiled tuple decoders, advisory SQLite indexes and
+  compiled one-pass stitching — the fast path for repeated execution of
+  a cached plan (the ``shredding_cached`` benchmark system);
+* ``compiled.run(db, batch_size=…)`` bounds rows per ``fetchmany`` round
+  trip on either engine (default ``REPRO_FETCH_BATCH``, 1024);
+* ``compile(query, stats=…)`` / ``run(…, stats=…)`` record plan-cache
+  hits/misses, per-query row counts and wall times in
+  :class:`~repro.backend.executor.ExecutionStats`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.backend.database import Database
-from repro.backend.executor import ExecutionStats, execute_compiled
+from repro.backend.executor import (
+    ExecutionStats,
+    execute_compiled,
+    execute_package_batched,
+)
 from repro.errors import ShreddingError
-from repro.normalise import normalise
+from repro.normalise import normalise, normalise_cached
 from repro.normalise.normal_form import NormQuery, nf_to_term
 from repro.nrc import ast
 from repro.nrc.schema import Schema
@@ -35,8 +54,9 @@ from repro.shred.packages import (
     shred_query_package,
 )
 from repro.shred.paths import Path, paths, type_at
+from repro.pipeline.plan_cache import PlanCache, PlanKey, plan_key, shared_plan_cache
 from repro.shred.semantics import run_package
-from repro.shred.stitch import stitch
+from repro.shred.stitch import stitch, stitch_grouped
 from repro.sql.codegen import CompiledSql, SqlOptions, compile_shredded
 from repro.values import NestedValue
 
@@ -45,7 +65,13 @@ __all__ = ["ShreddingPipeline", "CompiledQuery", "shred_run", "shred_sql"]
 
 @dataclass
 class CompiledQuery:
-    """A nested query compiled to its package of flat SQL queries."""
+    """A nested query compiled to its package of flat SQL queries.
+
+    ``cache_key`` is the :class:`~repro.pipeline.plan_cache.PlanKey` the
+    plan was compiled under when the pipeline had a plan cache (None for
+    uncached compiles).  A cached ``CompiledQuery`` is shared across calls:
+    treat it as immutable.
+    """
 
     schema: Schema
     result_type: Type
@@ -53,6 +79,7 @@ class CompiledQuery:
     shredded_package: Package  # annotations: ShredQuery
     sql_package: Package  # annotations: CompiledSql
     options: SqlOptions
+    cache_key: PlanKey | None = field(default=None, compare=False)
 
     @property
     def query_paths(self) -> list[Path]:
@@ -105,6 +132,9 @@ class CompiledQuery:
         one_pass_stitch: bool = True,
         stats: ExecutionStats | None = None,
         collection: str = "bag",
+        engine: str = "per-path",
+        batch_size: int | None = None,
+        create_indexes: bool = True,
     ) -> NestedValue:
         """Execute all shredded queries on SQLite and stitch (§5.2).
 
@@ -115,6 +145,21 @@ class CompiledQuery:
         * ``"list"`` — deterministic order; requires the pipeline to be
           built with ``SqlOptions(ordered=True)`` so the shredded queries
           carry ordering columns.
+
+        ``engine`` selects the executor:
+
+        * ``"per-path"`` (default) — one
+          :func:`~repro.backend.executor.execute_compiled` call per
+          shredded query, decoding into ⟨index, value⟩ pair lists;
+        * ``"batched"`` — all queries of the package in one pass over the
+          shared connection, with precompiled tuple decoders, advisory
+          SQLite indexes (``create_indexes``) and results pre-grouped by
+          outer index so one-pass stitching never rebuilds a dict.  The
+          fast path for repeated execution of a cached plan; requires
+          ``one_pass_stitch``.
+
+        ``batch_size`` bounds rows per ``fetchmany`` round trip (default
+        ``REPRO_FETCH_BATCH``, 1024).
         """
         if collection not in ("bag", "set", "list"):
             raise ShreddingError(f"unknown collection semantics {collection!r}")
@@ -122,11 +167,32 @@ class CompiledQuery:
             raise ShreddingError(
                 "list-semantics output needs SqlOptions(ordered=True)"
             )
-        results = package_from(
-            self.result_type,
-            lambda path: execute_compiled(db, self.sql_at(path), stats),
-        )
-        value = stitch(results, self._top_index_fn(), one_pass=one_pass_stitch)
+        if engine == "batched":
+            if not one_pass_stitch:
+                raise ShreddingError(
+                    "the batched engine produces pre-grouped results; "
+                    "use one_pass_stitch=True (or the per-path engine)"
+                )
+            results = execute_package_batched(
+                db,
+                self.sql_package,
+                stats=stats,
+                create_indexes=create_indexes,
+                batch_size=batch_size,
+            )
+            value = stitch_grouped(results, self._top_key())
+        elif engine == "per-path":
+            results = package_from(
+                self.result_type,
+                lambda path: execute_compiled(
+                    db, self.sql_at(path), stats, batch_size=batch_size
+                ),
+            )
+            value = stitch(
+                results, self._top_index_fn(), one_pass=one_pass_stitch
+            )
+        else:
+            raise ShreddingError(f"unknown execution engine {engine!r}")
         if collection == "set":
             from repro.values import dedup_nested
 
@@ -146,13 +212,40 @@ class CompiledQuery:
             return lambda tag, dyn: NaturalIndex(tag, ())
         return lambda tag, dyn: FlatIndex(tag, 1)
 
+    def _top_key(self):
+        """The top-level ⊤·1 context in the batched engine's bare-tuple
+        index representation (cf. ``CompiledSql.key_decoders``)."""
+        from repro.shred.shredded_ast import TOP_TAG
+
+        if self.options.scheme == "natural":
+            return (TOP_TAG, ())
+        return (TOP_TAG, 1)
+
 
 class ShreddingPipeline:
     """Compile-and-run front end over a fixed schema.
 
-    ``validate=True`` runs the App. B type checkers on every translation
-    stage (Theorems 2 and 5 as assertions) — useful when extending the
-    compiler; off by default since the theorems guarantee success.
+    Knobs:
+
+    ``options``
+        :class:`~repro.sql.codegen.SqlOptions` — the §8 optimisations, the
+        §6 indexing schemes and the §9 extensions.  Part of the plan-cache
+        key: pipelines with different options never share plans.
+    ``validate``
+        Run the App. B type checkers on every translation stage (Theorems
+        2 and 5 as assertions) — useful when extending the compiler; off
+        by default since the theorems guarantee success.  Also part of the
+        plan-cache key.
+    ``cache``
+        A :class:`~repro.pipeline.plan_cache.PlanCache` making
+        :meth:`compile` O(hash) on repeat queries: pass an instance to
+        scope the cache, ``True`` for the process-wide shared cache, or
+        ``None``/``False`` (default) to compile cold every time.  Keys
+        combine the query term's structural fingerprint, the schema
+        fingerprint, ``options`` and ``validate``, so any input change
+        misses.  With a cache enabled, normalisation is additionally
+        memoised across option variants via
+        :func:`~repro.normalise.norm.normalise_cached`.
     """
 
     def __init__(
@@ -160,13 +253,43 @@ class ShreddingPipeline:
         schema: Schema,
         options: SqlOptions | None = None,
         validate: bool = False,
+        cache: PlanCache | bool | None = None,
     ) -> None:
         self.schema = schema
         self.options = options or SqlOptions()
         self.validate = validate
+        if cache is True:
+            cache = shared_plan_cache()
+        elif cache is False:
+            cache = None
+        self.cache: PlanCache | None = cache
 
-    def compile(self, query: ast.Term) -> CompiledQuery:
-        normal_form = normalise(query, self.schema)
+    def compile(
+        self, query: ast.Term, stats: ExecutionStats | None = None
+    ) -> CompiledQuery:
+        """Compile ``query`` to its package of flat SQL queries.
+
+        With a plan cache configured, a repeat compile of a structurally
+        identical term is a single hash + dict lookup; ``stats`` (if
+        given) receives the hit/miss count.
+        """
+        if self.cache is None:
+            return self._compile_cold(query, None)
+        key = plan_key(query, self.schema, self.options, self.validate)
+        cached = self.cache.lookup(key)
+        if stats is not None:
+            stats.record_cache(cached is not None)
+        if cached is not None:
+            return cached
+        compiled = self._compile_cold(query, key)
+        self.cache.store(key, compiled)
+        return compiled
+
+    def _compile_cold(
+        self, query: ast.Term, cache_key: PlanKey | None
+    ) -> CompiledQuery:
+        do_normalise = normalise if self.cache is None else normalise_cached
+        normal_form = do_normalise(query, self.schema)
         result_type = self._result_type(normal_form, query)
         shredded_package = shred_query_package(normal_form, result_type)
         if self.validate:
@@ -178,6 +301,7 @@ class ShreddingPipeline:
                 self._element_type(result_type, path),
                 self.schema,
                 self.options,
+                cache_key=cache_key,
             ),
         )
         return CompiledQuery(
@@ -187,10 +311,12 @@ class ShreddingPipeline:
             shredded_package=shredded_package,
             sql_package=sql_package,
             options=self.options,
+            cache_key=cache_key,
         )
 
     def run(self, query: ast.Term, db: Database, **kwargs) -> NestedValue:
-        return self.compile(query).run(db, **kwargs)
+        stats = kwargs.get("stats")
+        return self.compile(query, stats=stats).run(db, **kwargs)
 
     def _result_type(self, normal_form: NormQuery, original: ast.Term) -> Type:
         """The result type, inferred from the normal form (always closed and
@@ -235,10 +361,15 @@ def shred_run(
     db: Database,
     options: SqlOptions | None = None,
     validate: bool = False,
+    cache: PlanCache | bool | None = None,
     **run_kwargs,
 ) -> NestedValue:
-    """One-shot: compile ``query`` against ``db``'s schema, run and stitch."""
-    return ShreddingPipeline(db.schema, options, validate).run(
+    """One-shot: compile ``query`` against ``db``'s schema, run and stitch.
+
+    ``cache=True`` (or a :class:`PlanCache`) makes repeat calls with the
+    same query/schema/options reuse the compiled plan.
+    """
+    return ShreddingPipeline(db.schema, options, validate, cache=cache).run(
         query, db, **run_kwargs
     )
 

@@ -16,14 +16,14 @@ Two implementations:
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import StitchError
 from repro.shred.indexes import IndexFn, canonical_index_fn
 from repro.shred.packages import Package, PkgBag, PkgBase, PkgRecord, pmap
 from repro.shred.semantics import top_index
 
-__all__ = ["stitch", "stitch_value"]
+__all__ = ["stitch", "stitch_value", "stitch_grouped"]
 
 
 def stitch(
@@ -35,6 +35,8 @@ def stitch(
 
     ``result_package`` carries, on each bag node, the result list
     ``[⟨index, flat value⟩, …]`` of the corresponding shredded query.
+    (The batched engine's pre-grouped results go through
+    :func:`stitch_grouped` instead.)
     """
     if not isinstance(result_package, PkgBag):
         raise StitchError("the top of a query package must be a bag")
@@ -78,3 +80,54 @@ def _group(rows: list) -> dict:
     for outer, value in rows:
         grouped.setdefault(outer, []).append(value)
     return grouped
+
+
+# --------------------------------------------------------------------------
+# Compiled stitching — the batched engine's one-pass path.
+
+
+def stitch_grouped(result_package: Package, top_index_value: Any) -> list:
+    """Stitch pre-grouped results through a compiled closure tree.
+
+    ``result_package`` carries ``{outer index: [item, …]}`` dicts on its
+    bag nodes (the batched executor's output).  The package structure is
+    compiled once into nested closures, then stitching touches each tuple
+    exactly once — and any subtree with no inner bags is recognised as the
+    *identity*, so its decoded items pass through as the final values with
+    zero per-element rebuilding.
+    """
+    if not isinstance(result_package, PkgBag):
+        raise StitchError("the top of a query package must be a bag")
+    return _compile_bag(result_package)(top_index_value)
+
+
+def _compile_bag(package: PkgBag) -> Callable[[Any], list]:
+    grouped = package.annotation
+    if not isinstance(grouped, dict):
+        raise StitchError("compiled stitching requires pre-grouped results")
+    element = _compile_element(package.element)
+    if element is None:
+        return lambda index, _g=grouped: list(_g.get(index, ()))
+    return lambda index, _g=grouped, _e=element: [
+        _e(value) for value in _g.get(index, ())
+    ]
+
+
+def _compile_element(package: Package) -> Callable[[Any], Any] | None:
+    """A value-stitching closure for ``package`` — or None for identity
+    (no bag below this node: the flat value already is the result)."""
+    if isinstance(package, PkgBase):
+        return None
+    if isinstance(package, PkgRecord):
+        fields = tuple(
+            (label, _compile_element(sub)) for label, sub in package.fields
+        )
+        if all(sub is None for _, sub in fields):
+            return None
+        return lambda value, _fields=fields: {
+            label: (value[label] if sub is None else sub(value[label]))
+            for label, sub in _fields
+        }
+    if isinstance(package, PkgBag):
+        return _compile_bag(package)
+    raise StitchError(f"not a package: {package!r}")

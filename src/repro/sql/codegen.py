@@ -26,6 +26,7 @@ from typing import Callable, Sequence
 
 from repro.errors import SqlGenerationError
 from repro.flatten.flatten import (
+    FlatColumn,
     KIND_BASE,
     KIND_INDEX_DYN,
     KIND_INDEX_TAG,
@@ -105,7 +106,13 @@ class SqlOptions:
 
 @dataclass
 class CompiledSql:
-    """One shredded query compiled to SQL, with decode metadata."""
+    """One shredded query compiled to SQL, with decode metadata.
+
+    ``cache_key`` carries the plan-cache key the statement was compiled
+    under (None for uncached compiles); the precompiled tuple decoders are
+    memoised per instance, so a cached plan decodes every subsequent run
+    through the same closures.
+    """
 
     statement: Statement
     sql: str
@@ -113,11 +120,70 @@ class CompiledSql:
     width_fn: Callable[[tuple[str, ...]], int] | int
     natural: bool
     columns: tuple[str, ...] = field(default=())
+    cache_key: object = field(default=None, compare=False)
+    _decoders: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
+    _key_decoders: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: (table, columns) index hints mined from the statement — memoised by
+    #: the batched executor so repeat runs of a cached plan skip the AST walk.
+    index_hints: tuple | None = field(default=None, repr=False, compare=False)
+
+    def decoders(self) -> tuple[Callable, Callable]:
+        """(outer, item) tuple-level decoders, compiled once per plan.
+
+        Each decoder maps one raw SQL tuple straight to its value by
+        column *position* — no intermediate name→cell dict per row (the
+        batched engine's fast path).  Matches :func:`unflatten_value` on
+        every row (the slow reference path, kept for the property tests).
+        """
+        if self._decoders is None:
+            self._decoders = self._build_decoders(as_keys=False)
+        return self._decoders
+
+    def key_decoders(self) -> tuple[Callable, Callable]:
+        """Like :meth:`decoders`, but index leaves decode to plain tuples
+        ``(tag, dyn)`` instead of :class:`FlatIndex`/:class:`NaturalIndex`
+        objects.
+
+        Index values never reach stitched output — they only ever serve as
+        grouping/lookup keys joining a parent's item rows to a child's
+        outer rows — so the batched engine trades the index objects for
+        raw tuples: no per-row dataclass construction, cheaper hashing.
+        Both sides of every join decode through the same scheme, keeping
+        keys consistent across nesting levels.
+        """
+        if self._key_decoders is None:
+            self._key_decoders = self._build_decoders(as_keys=True)
+        return self._key_decoders
+
+    def _build_decoders(self, as_keys: bool) -> tuple[Callable, Callable]:
+        positions = {name: i for i, name in enumerate(self.columns)}
+        outer_fn = _compile_decoder(
+            INDEX, ("outer",), positions, self.width_fn, self.natural, as_keys
+        )
+        item_fn = _compile_decoder(
+            self.row_type.field_type("item"),
+            ("item",),
+            positions,
+            self.width_fn,
+            self.natural,
+            as_keys,
+        )
+        return (outer_fn, item_fn)
 
     def decode_rows(
         self, raw_rows: Sequence[Sequence[object]]
     ) -> list[tuple[object, object]]:
-        """Raw SQL tuples → ⟨index, value⟩ pairs (unflattening, App. E)."""
+        """Raw SQL tuples → ⟨index, value⟩ pairs (unflattening, App. E).
+
+        The literal App. E reading — one name→cell dict and one
+        :func:`unflatten_value` type walk per row.  The per-path engine
+        uses it; the batched engine's precompiled :meth:`decoders` are
+        property-tested against it.
+        """
         pairs = []
         for raw in raw_rows:
             cells = dict(zip(self.columns, raw))
@@ -127,19 +193,113 @@ class CompiledSql:
             pairs.append((row["outer"], row["item"]))
         return pairs
 
+    def decode_rows_fast(
+        self, raw_rows: Sequence[Sequence[object]]
+    ) -> list[tuple[object, object]]:
+        """:meth:`decode_rows` through the precompiled tuple decoders."""
+        decode_outer, decode_item = self.decoders()
+        return [(decode_outer(raw), decode_item(raw)) for raw in raw_rows]
+
+
+def _compile_decoder(
+    f: Type,
+    path: tuple[str, ...],
+    positions: dict[str, int],
+    width_fn: Callable[[tuple[str, ...]], int] | int,
+    natural: bool,
+    as_keys: bool = False,
+) -> Callable:
+    """Compile flat type ``f`` at ``path`` to a raw-tuple → value closure.
+
+    The closure tree mirrors :func:`unflatten_value` exactly, but resolves
+    every column to its tuple position at compile time.  With ``as_keys``,
+    index leaves decode to bare ``(tag, dyn)`` tuples (see
+    :meth:`CompiledSql.key_decoders`).
+    """
+    from repro.nrc.types import BOOL, BaseType
+    from repro.shred.indexes import FlatIndex, NaturalIndex
+    from repro.shred.shred_types import IndexType
+
+    if isinstance(f, IndexType):
+        tag_pos = positions[FlatColumn(path, KIND_INDEX_TAG).name]
+        width = width_fn if isinstance(width_fn, int) else width_fn(path)
+        dyn_pos = tuple(
+            positions[FlatColumn(path, KIND_INDEX_DYN, dyn_position=i).name]
+            for i in range(1, width + 1)
+        )
+        if natural:
+            if as_keys:
+                return lambda raw, _tag=tag_pos, _dyns=dyn_pos: (
+                    raw[_tag],
+                    tuple(raw[pos] for pos in _dyns if raw[pos] is not None),
+                )
+
+            def decode_natural(raw, _tag=tag_pos, _dyns=dyn_pos):
+                return NaturalIndex(
+                    str(raw[_tag]),
+                    tuple(
+                        raw[pos] for pos in _dyns if raw[pos] is not None
+                    ),
+                )
+
+            return decode_natural
+        if len(dyn_pos) != 1:
+            raise SqlGenerationError(
+                "flat indexes have exactly one dynamic column"
+            )
+        if as_keys:
+            return lambda raw, _tag=tag_pos, _dyn=dyn_pos[0]: (
+                raw[_tag],
+                raw[_dyn],
+            )
+
+        def decode_flat(raw, _tag=tag_pos, _dyn=dyn_pos[0]):
+            return FlatIndex(str(raw[_tag]), int(raw[_dyn]))
+
+        return decode_flat
+    if isinstance(f, BaseType):
+        pos = positions[FlatColumn(path, KIND_BASE, base=f).name]
+        if f == BOOL:
+            return lambda raw, _pos=pos: bool(raw[_pos])
+        return lambda raw, _pos=pos: raw[_pos]
+    if isinstance(f, RecordType):
+        subdecoders = tuple(
+            (
+                label,
+                _compile_decoder(
+                    ftype, path + (label,), positions, width_fn, natural, as_keys
+                ),
+            )
+            for label, ftype in f.fields
+        )
+
+        def decode_record(raw, _subs=subdecoders):
+            return {label: decode(raw) for label, decode in _subs}
+
+        return decode_record
+    raise SqlGenerationError(f"cannot compile a decoder for type {f}")
+
 
 def compile_shredded(
     shredded: ShredQuery,
     element_type: Type,
     schema: Schema,
     options: SqlOptions = SqlOptions(),
+    cache_key: object = None,
 ) -> CompiledSql:
-    """Compile one shredded query whose bag element type is ``element_type``."""
+    """Compile one shredded query whose bag element type is ``element_type``.
+
+    ``cache_key`` (threaded down from the plan cache, when one is active)
+    is recorded on the compiled statement for provenance/debugging.
+    """
     item_type = inner_shred(element_type)
     row_type = RecordType((("item", item_type), ("outer", INDEX)))
     if options.scheme == "natural":
-        return _compile_natural(shredded, row_type, schema, options)
-    return _compile_flat(let_insert(shredded), row_type, schema, options)
+        compiled = _compile_natural(shredded, row_type, schema, options)
+    else:
+        compiled = _compile_flat(let_insert(shredded), row_type, schema, options)
+    compiled.cache_key = cache_key
+    return compiled
 
 
 # --------------------------------------------------------------------------

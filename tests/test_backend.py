@@ -84,11 +84,18 @@ class TestRows:
         db.insert("u", [{"x": 1}, {"x": 1}])
         assert db.row_count("u") == 2
 
-    def test_rows_are_copies(self, tiny_schema):
+    def test_rows_are_cached_read_only_views(self, tiny_schema):
+        # rows() returns the canonical list itself (documented read-only):
+        # repeat calls are O(1) and share one list, no per-call deep copy.
         db = Database(tiny_schema)
         db.insert("u", [{"x": 1}])
-        db.rows("u")[0]["x"] = 99
-        assert db.rows("u")[0]["x"] == 1
+        assert db.rows("u") is db.rows("u")
+        # raw_rows() returns a fresh list, so reordering it is safe...
+        raw = db.raw_rows("u")
+        assert raw is not db.raw_rows("u")
+        # ...and an insert invalidates the canonical cache.
+        db.insert("u", [{"x": 0}])
+        assert [r["x"] for r in db.rows("u")] == [0, 1]
 
     def test_total_rows(self, tiny_schema):
         db = Database(tiny_schema)
@@ -136,6 +143,48 @@ class TestSqlite:
         assert db.execute_sql("SELECT COUNT(*) FROM u") == [(1,)]
         db.insert("u", [{"x": 2}])
         assert db.execute_sql("SELECT COUNT(*) FROM u") == [(2,)]
+
+    def test_insert_updates_live_connection_in_place(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert("u", [{"x": 1}])
+        connection = db.connection()
+        db.insert("u", [{"x": 2}])  # incremental: same connection object
+        assert db.connection() is connection
+        assert db.execute_sql("SELECT COUNT(*) FROM u") == [(2,)]
+
+    def test_execute_sql_chunks_streams_all_rows(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert("u", [{"x": i} for i in range(7)])
+        chunks = list(
+            db.execute_sql_chunks('SELECT x FROM "u" ORDER BY x', batch_size=3)
+        )
+        assert [len(chunk) for chunk in chunks] == [3, 3, 1]
+        assert [x for chunk in chunks for (x,) in chunk] == list(range(7))
+        with pytest.raises(BackendError):
+            list(db.execute_sql_chunks("SELECT 1", batch_size=0))
+
+    def test_ensure_index_created_once_and_survives_rebuild(self, tiny_schema):
+        db = Database(tiny_schema)
+        db.insert("t", [{"id": 1, "s": "a", "f": True}])
+        assert db.ensure_index("t", ("s",)) is True
+        assert db.ensure_index("t", ("s",)) is False  # remembered
+        assert db.ensure_index("t", ("nope",)) is False  # unknown column
+        assert db.ensure_index("cte", ("s",)) is False  # unknown table
+        names = {
+            name
+            for (name,) in db.execute_sql(
+                "SELECT name FROM sqlite_master WHERE type='index'"
+            )
+        }
+        assert any(name.startswith("qsidx_t_") for name in names)
+        db._dispose_connection()  # rebuilt connections replay the index
+        names = {
+            name
+            for (name,) in db.execute_sql(
+                "SELECT name FROM sqlite_master WHERE type='index'"
+            )
+        }
+        assert any(name.startswith("qsidx_t_") for name in names)
 
     def test_key_index_enforced(self, tiny_schema):
         db = Database(tiny_schema)
