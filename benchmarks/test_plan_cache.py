@@ -120,7 +120,9 @@ def sweep_results():
     results["min_speedup"] = min(
         cell["speedup"] for cell in results["queries"].values()
     )
-    _RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    from repro.bench.reporting import write_bench_json
+
+    write_bench_json(_RESULT_PATH, results)
     return results
 
 

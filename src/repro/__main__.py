@@ -35,12 +35,77 @@ def _cmd_sql(args: argparse.Namespace) -> int:
         inline_with=args.inline_with,
         order_by_keys=args.order_by_keys,
         dedup_cte=args.dedup_cte,
+        optimize=args.optimize,
     )
+    if args.explain:
+        print(_explain_sql(_query(args.query), options))
+        return 0
     for path, sql in shred_sql(_query(args.query), ORGANISATION_SCHEMA, options):
         print(f"-- query at path {path}")
         print(sql)
         print()
     return 0
+
+
+def _explain_sql(query, options) -> str:
+    """Optimised vs unoptimised SQL per package member, each with SQLite's
+    EXPLAIN QUERY PLAN on the Fig. 3 instance."""
+    from dataclasses import replace
+
+    from repro.backend.executor import shared_scan_tables
+    from repro.pipeline.shredder import ShreddingPipeline
+    from repro.shred.packages import annotations
+    from repro.sql.optimizer import statement_rule_names
+
+    db = figure3_database()
+    plain = ShreddingPipeline(
+        ORGANISATION_SCHEMA, replace(options, optimize=False)
+    ).compile(query)
+    optimized = ShreddingPipeline(
+        ORGANISATION_SCHEMA, replace(options, optimize=True)
+    ).compile(query)
+
+    def query_plan(sql: str) -> list[str]:
+        rows = db.execute_sql(f"EXPLAIN QUERY PLAN {sql}")
+        # (id, parent, notused, detail) with 2-space indentation per level.
+        depth = {0: 0}
+        lines = []
+        for node_id, parent, _notused, detail in rows:
+            level = depth.get(parent, 0) + 1
+            depth[node_id] = level
+            lines.append("  " * level + detail)
+        return lines
+
+    lines: list[str] = ["enabled rules (under SqlOptions.optimize):"]
+    for flag, description in statement_rule_names:
+        state = "on" if getattr(optimized.options, flag) else "off"
+        lines.append(f"  {flag:<14} [{state:>3}] {description}")
+    lines.append(
+        f"  {'opt_shared':<14} "
+        f"[{'on' if optimized.options.opt_shared else 'off':>3}] "
+        f"cross-statement shared scans "
+        f"({len(optimized.shared_scans)} hoisted here)"
+    )
+    with shared_scan_tables(db, optimized.shared_scans):
+        for scan in optimized.shared_scans:
+            lines.append("")
+            lines.append(f"== shared scan {scan.name} (materialised once) ==")
+            lines.append(scan.create_sql)
+        pairs = zip(
+            annotations(plain.sql_package), annotations(optimized.sql_package)
+        )
+        for (path, before), (_path, after) in pairs:
+            lines.append("")
+            lines.append(f"== query at path {path} ==")
+            lines.append("-- unoptimised")
+            lines.append(before.sql)
+            lines.append("   plan:")
+            lines.extend(query_plan(before.sql))
+            lines.append("-- optimised")
+            lines.append(after.sql)
+            lines.append("   plan:")
+            lines.extend(query_plan(after.sql))
+    return "\n".join(lines)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -80,6 +145,17 @@ def main(argv: list[str] | None = None) -> int:
     sql.add_argument("--inline-with", action="store_true")
     sql.add_argument("--order-by-keys", action="store_true")
     sql.add_argument("--dedup-cte", action="store_true")
+    sql.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the logical SQL optimizer over the generated statements",
+    )
+    sql.add_argument(
+        "--explain",
+        action="store_true",
+        help="print optimised vs unoptimised SQL plus SQLite's EXPLAIN "
+        "QUERY PLAN for every package member (implies both variants)",
+    )
     sql.set_defaults(fn=_cmd_sql)
 
     run = sub.add_parser("run", help="run a paper query on the Fig. 3 data")

@@ -15,6 +15,8 @@ engines support the SQL:1999 features the translation targets.
 from __future__ import annotations
 
 import hashlib
+import itertools
+import os
 import sqlite3
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -66,6 +68,8 @@ class Database:
         }
         self._canonical: dict[str, list[dict]] = {}
         self._connection: sqlite3.Connection | None = None
+        self._memory_uri: str | None = None
+        self._read_pool: list[sqlite3.Connection] = []
         self._ensured_indexes: dict[tuple[str, tuple[str, ...]], str] = {}
         self._stats_stale = False
         if tables:
@@ -156,7 +160,20 @@ class Database:
         return self._connection
 
     def _build_connection(self) -> sqlite3.Connection:
-        connection = sqlite3.connect(":memory:")
+        # A *named* shared-cache in-memory database instead of a private
+        # ":memory:" one: extra read-only connections (the parallel
+        # executor's pool) can attach to the same store by URI.  The store
+        # lives while at least one connection is open — the cached writer
+        # connection anchors it.  Each build gets a fresh name so a
+        # disposed-and-rebuilt connection never sees stale tables through
+        # pool connections that outlived the disposal.
+        self._memory_uri = (
+            f"file:repro-mem-{os.getpid()}-{next(_MEMORY_NAMES)}"
+            f"?mode=memory&cache=shared"
+        )
+        connection = sqlite3.connect(
+            self._memory_uri, uri=True, check_same_thread=False
+        )
         for table_schema in self.schema.tables:
             self._create_table(connection, table_schema)
             self._load_table(connection, table_schema)
@@ -220,12 +237,20 @@ class Database:
         return self.execute_cursor(sql, params).fetchall()
 
     def execute_cursor(
-        self, sql: str, params: Sequence[object] = ()
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        connection: sqlite3.Connection | None = None,
     ) -> sqlite3.Cursor:
         """Run a query, returning the live cursor (for ``fetchmany``
-        streaming — the executors' bounded-memory path)."""
+        streaming — the executors' bounded-memory path).
+
+        ``connection`` routes the query to a specific (pooled) connection;
+        default is the shared writer connection.
+        """
         try:
-            return self.connection().execute(sql, tuple(params))
+            target = connection if connection is not None else self.connection()
+            return target.execute(sql, tuple(params))
         except sqlite3.Error as error:
             raise BackendError(f"SQL execution failed: {error}\n{sql}") from error
 
@@ -234,15 +259,17 @@ class Database:
         sql: str,
         params: Sequence[object] = (),
         batch_size: int = 1024,
+        connection: sqlite3.Connection | None = None,
     ) -> Iterator[list[tuple]]:
         """Stream a query's raw rows as ``batch_size``-bounded chunks.
 
         The executors' streaming loop: peak raw-row memory is one chunk,
-        and decoding happens chunk by chunk.
+        and decoding happens chunk by chunk.  ``connection`` routes the
+        stream to a specific (pooled) connection.
         """
         if batch_size < 1:
             raise BackendError(f"batch size must be ≥1, got {batch_size}")
-        cursor = self.execute_cursor(sql, params)
+        cursor = self.execute_cursor(sql, params, connection=connection)
         while True:
             chunk = cursor.fetchmany(batch_size)
             if not chunk:
@@ -294,10 +321,43 @@ class Database:
         self._stats_stale = False
         return True
 
+    def read_connections(self, count: int) -> list[sqlite3.Connection]:
+        """``count`` pooled read-only connections to the live materialisation.
+
+        The pool shares the writer connection's in-memory store (named
+        shared-cache URI), so committed writes — table loads, advisory
+        indexes, ANALYZE statistics, materialised shared scans — are
+        visible to every reader.  Readers are created lazily, reused
+        across calls, and opened with ``PRAGMA query_only=ON`` so a
+        mis-routed statement cannot mutate the database.  Each connection
+        is intended for *exclusive* use by one thread at a time (the
+        parallel executor checks one out per worker); SQLite itself runs
+        in serialized threading mode.
+        """
+        if count < 1:
+            raise BackendError(f"pool size must be ≥1, got {count}")
+        self.connection()  # materialise (and pin the URI) first
+        while len(self._read_pool) < count:
+            reader = sqlite3.connect(
+                self._memory_uri, uri=True, check_same_thread=False
+            )
+            reader.execute("PRAGMA query_only=ON")
+            self._read_pool.append(reader)
+        return self._read_pool[:count]
+
+    @property
+    def pool_size(self) -> int:
+        """How many pooled read connections are currently open."""
+        return len(self._read_pool)
+
     def _dispose_connection(self) -> None:
+        for reader in self._read_pool:
+            reader.close()
+        self._read_pool.clear()
         if self._connection is not None:
             self._connection.close()
             self._connection = None
+            self._memory_uri = None
 
     # --------------------------------------------------------------- helpers
 
@@ -308,6 +368,10 @@ class Database:
             name: _from_sql_value(value, ctype)
             for (name, ctype), value in zip(table_schema.columns, values)
         }
+
+
+#: Process-unique suffixes for shared-cache memory database names.
+_MEMORY_NAMES = itertools.count()
 
 
 def _index_ddl(name: str, table: str, columns: Sequence[str]) -> str:

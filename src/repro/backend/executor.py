@@ -1,7 +1,7 @@
 """SQL execution: run compiled shredded queries, count round trips, and
-batch whole packages through one connection.
+batch whole packages through one connection — or fan them out in parallel.
 
-Two execution engines serve a compiled shredded package:
+Three execution engines serve a compiled shredded package:
 
 * :func:`execute_compiled` — the per-path engine: one call per shredded
   query, streaming rows in ``fetchmany`` batches and decoding each into
@@ -14,6 +14,20 @@ Two execution engines serve a compiled shredded package:
   them directly.  Before executing it creates (and reuses across runs)
   SQLite indexes on the base-table columns the generated SQL sorts and
   joins on.
+* the **parallel** engine (``execute_package_batched(parallel=True)``) —
+  the batched engine fanned across a pool of read-only connections
+  (:meth:`Database.read_connections`), one worker thread per package
+  member.  The sqlite3 module releases the GIL inside each C-level step,
+  so one statement's Python-side decode overlaps another's SQLite
+  evaluation.  Index advisement, ANALYZE and shared-scan materialisation
+  happen on the writer connection *before* the fan-out; per-query stats
+  are recorded in package order after every worker joins, so
+  :class:`ExecutionStats` stay deterministic under any scheduling.
+
+Packages whose statements were optimised by :mod:`repro.sql.optimizer` may
+carry :class:`~repro.sql.optimizer.SharedScan` preludes; both package
+engines materialise them once per run (and drop them afterwards) via
+:func:`shared_scan_tables`.
 
 :class:`ExecutionStats` counts queries and rows (the intro's N+1 "query
 avalanche" metric is #queries issued), records per-query wall time, and
@@ -24,6 +38,8 @@ from __future__ import annotations
 
 import os
 import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.backend.database import Database
@@ -45,11 +61,21 @@ __all__ = [
     "execute_compiled",
     "execute_package_batched",
     "ensure_compiled_indexes",
+    "shared_scan_tables",
     "DEFAULT_FETCH_BATCH",
+    "DEFAULT_POOL_SIZE",
 ]
 
 #: Rows fetched per cursor round trip (satellite: stream, don't fetchall).
 DEFAULT_FETCH_BATCH = int(os.environ.get("REPRO_FETCH_BATCH", "1024"))
+
+#: Upper bound on pooled read connections for the parallel engine.  Floor
+#: of 2 even on single-core hosts: sqlite3 releases the GIL inside each C
+#: step, so one worker's Python-side decode still overlaps another's
+#: SQLite evaluation.
+DEFAULT_POOL_SIZE = int(
+    os.environ.get("REPRO_POOL_SIZE", str(min(8, max(2, os.cpu_count() or 4))))
+)
 
 
 @dataclass
@@ -81,6 +107,23 @@ class ExecutionStats:
         else:
             self.cache_misses += 1
 
+    def merge(self, other: "ExecutionStats") -> None:
+        """Fold another stats object into this one (order-preserving).
+
+        Utility for aggregating stats across separate runs or carriers.
+        Note the parallel engine does *not* need it internally: workers
+        return raw ``(rows, millis)`` outcomes and the coordinator records
+        them in package order after all workers join, which already makes
+        a parallel run's stats identical to a sequential run's.
+        """
+        self.queries += other.queries
+        self.rows_fetched += other.rows_fetched
+        self.per_query_rows.extend(other.per_query_rows)
+        self.per_query_millis.extend(other.per_query_millis)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.indexes_created += other.indexes_created
+
     @property
     def total_millis(self) -> float:
         """Total recorded query wall time (execute + decode)."""
@@ -109,14 +152,71 @@ def execute_compiled(
     return pairs
 
 
+@contextmanager
+def shared_scan_tables(db: Database, shared_scans=()):
+    """Materialise a package's shared scans for the duration of a run.
+
+    Each scan is created on the *writer* connection and committed, so the
+    pooled readers of the parallel engine see it; every scan is dropped
+    again afterwards (the scan's rows are a function of the current table
+    contents, so caching across runs would go stale under inserts).
+    """
+    created = []
+    try:
+        for scan in shared_scans:
+            db.execute_cursor(scan.drop_sql)  # a crashed run may have left one
+            db.execute_cursor(scan.create_sql)
+            created.append(scan)
+        if created:
+            db.connection().commit()
+        yield
+    finally:
+        for scan in created:
+            db.execute_cursor(scan.drop_sql)
+        if created:
+            db.connection().commit()
+
+
+def _run_one_grouped(
+    db: Database,
+    compiled: CompiledSql,
+    batch: int,
+    connection=None,
+) -> tuple[dict, int, float]:
+    """Execute one compiled query, pre-grouping by outer index.
+
+    Returns ``(grouped, rows, millis)`` so callers can record stats in a
+    deterministic order regardless of which connection/thread ran it.
+    """
+    started = time.perf_counter()
+    decode_outer, decode_item = compiled.key_decoders()
+    grouped: dict = {}
+    rows = 0
+    for chunk in db.execute_sql_chunks(
+        compiled.sql, batch_size=batch, connection=connection
+    ):
+        rows += len(chunk)
+        for raw in chunk:
+            outer = decode_outer(raw)
+            bucket = grouped.get(outer)
+            if bucket is None:
+                grouped[outer] = [decode_item(raw)]
+            else:
+                bucket.append(decode_item(raw))
+    return grouped, rows, (time.perf_counter() - started) * 1000.0
+
+
 def execute_package_batched(
     db: Database,
     sql_package,
     stats: ExecutionStats | None = None,
     create_indexes: bool = True,
     batch_size: int | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    shared_scans=(),
 ):
-    """Run all shredded queries of a package in one pass over one connection.
+    """Run all shredded queries of a package in one pass.
 
     Returns the package with each bag annotation replaced by the query's
     results *pre-grouped by outer index*: ``{outer: [item, …]}`` with
@@ -125,8 +225,21 @@ def execute_package_batched(
     intermediate pair list or regrouping dict is ever materialised.  Index
     keys are the bare ``(tag, dyn)`` tuples of
     :meth:`~repro.sql.codegen.CompiledSql.key_decoders`.
+
+    ``parallel`` fans the package's statements across pooled read-only
+    connections (one worker thread per member, capped by ``max_workers`` /
+    ``REPRO_POOL_SIZE``): SQLite releases the GIL inside each step, so one
+    worker's decode overlaps another's evaluation.  Setup — advisory
+    indexes, ANALYZE, shared-scan materialisation — always happens on the
+    writer connection before any statement runs; stats are recorded in
+    package order after all workers join, so a parallel run's
+    :class:`ExecutionStats` match a sequential run's exactly.
+
+    ``shared_scans`` carries the package's
+    :class:`~repro.sql.optimizer.SharedScan` preludes (if the optimizer
+    hoisted any); they are materialised for the duration of the run.
     """
-    from repro.shred.packages import pmap
+    from repro.shred.packages import annotations, pmap
 
     batch = DEFAULT_FETCH_BATCH if batch_size is None else batch_size
     if create_indexes:
@@ -135,25 +248,62 @@ def execute_package_batched(
         if stats is not None:
             stats.indexes_created += created
 
-    def run_one(compiled: CompiledSql) -> dict:
-        started = time.perf_counter()
-        decode_outer, decode_item = compiled.key_decoders()
-        grouped: dict = {}
-        rows = 0
-        for chunk in db.execute_sql_chunks(compiled.sql, batch_size=batch):
-            rows += len(chunk)
-            for raw in chunk:
-                outer = decode_outer(raw)
-                bucket = grouped.get(outer)
-                if bucket is None:
-                    grouped[outer] = [decode_item(raw)]
-                else:
-                    bucket.append(decode_item(raw))
-        if stats is not None:
-            stats.record(rows, (time.perf_counter() - started) * 1000.0)
-        return grouped
+    with shared_scan_tables(db, shared_scans):
+        compiled_members = [compiled for _path, compiled in annotations(sql_package)]
+        workers = min(
+            len(compiled_members),
+            DEFAULT_POOL_SIZE if max_workers is None else max_workers,
+        )
+        if parallel and workers > 1:
+            connections = db.read_connections(workers)
+            outcomes: dict[int, tuple[dict, int, float]] = {}
 
-    return pmap(run_one, sql_package)
+            def run_member(task: tuple[int, CompiledSql]):
+                position, compiled = task
+                connection = connections[position % workers]
+                return position, _run_one_grouped(
+                    db, compiled, batch, connection=connection
+                )
+
+            # One worker per pooled connection; members are striped over
+            # connections so no two concurrent workers share one.
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                chunks = [
+                    [
+                        (position, compiled)
+                        for position, compiled in enumerate(compiled_members)
+                        if position % workers == lane
+                    ]
+                    for lane in range(workers)
+                ]
+
+                def run_lane(lane_tasks):
+                    return [run_member(task) for task in lane_tasks]
+
+                for lane_result in executor.map(run_lane, chunks):
+                    for position, outcome in lane_result:
+                        outcomes[position] = outcome
+            results = [outcomes[i][0] for i in range(len(compiled_members))]
+            if stats is not None:
+                for _grouped, rows, millis in (
+                    outcomes[i] for i in range(len(compiled_members))
+                ):
+                    stats.record(rows, millis)
+        else:
+            results = []
+            for compiled in compiled_members:
+                grouped, rows, millis = _run_one_grouped(db, compiled, batch)
+                if stats is not None:
+                    stats.record(rows, millis)
+                results.append(grouped)
+
+    # pmap's traversal order differs from annotations() (element before
+    # annotation), so route results by member identity, not position.
+    by_member = {
+        id(compiled): grouped
+        for compiled, grouped in zip(compiled_members, results)
+    }
+    return pmap(lambda compiled: by_member[id(compiled)], sql_package)
 
 
 # --------------------------------------------------------------------------

@@ -28,23 +28,43 @@ NESTED = ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]
 
 def figure10(config: BenchConfig | None = None) -> str:
     """Fig. 10: QF1-QF6 × {default, shredding, loop-lifting} × scale
-    (plus the cached/batched shredding engine for comparison)."""
+    (plus the cached/batched and optimized/parallel shredding engines
+    for comparison)."""
     results = sweep(
         FLAT,
-        ["default", "shredding", "shredding_cached", "loop-lifting"],
+        [
+            "default",
+            "shredding",
+            "shredding_cached",
+            "shredding_opt",
+            "loop-lifting",
+        ],
         config,
     )
     return format_tables(results, "Figure 10 — flat queries")
 
 
 def figure11(config: BenchConfig | None = None) -> str:
-    """Fig. 11: Q1-Q6 × {shredding, shredding_cached, loop-lifting} × scale.
+    """Fig. 11: Q1-Q6 × {shredding, shredding_cached, shredding_opt,
+    loop-lifting, loop-lifting-batched} × scale.
 
-    ``shredding_cached`` (plan cache + batched executor) rides along so
-    the cached engine is always compared against the uncached baseline.
+    ``shredding_cached`` (plan cache + batched executor) and
+    ``shredding_opt`` (plan cache + logical SQL optimizer + parallel
+    shared-scan executor) ride along so each engine generation is always
+    compared against the uncached baseline; ``loop-lifting-batched`` uses
+    the same batched decode style so the baseline ablation compares
+    engines, not decode styles.
     """
     results = sweep(
-        NESTED, ["shredding", "shredding_cached", "loop-lifting"], config
+        NESTED,
+        [
+            "shredding",
+            "shredding_cached",
+            "shredding_opt",
+            "loop-lifting",
+            "loop-lifting-batched",
+        ],
+        config,
     )
     return (
         format_tables(results, "Figure 11 — nested queries")
@@ -52,6 +72,8 @@ def figure11(config: BenchConfig | None = None) -> str:
         + format_speedups(results, "loop-lifting", "shredding")
         + "\n\n"
         + format_speedups(results, "shredding", "shredding_cached")
+        + "\n\n"
+        + format_speedups(results, "shredding", "shredding_opt")
     )
 
 

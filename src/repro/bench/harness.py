@@ -44,13 +44,17 @@ def _run_shredding(query: Term, db: Database) -> object:
 
 
 class _CachedShreddingRunner:
-    """The ``shredding_cached`` system: plan cache + batched executor.
+    """A stateful shredding system: plan cache + batched/parallel executor.
 
     One :class:`PlanCache` lives for the runner's lifetime (pipelines are
     reused per schema fingerprint), so the first run of a (query, options)
     cell compiles cold and every repeat — including the same query at a
     larger scale — is a cache hit followed by the batched execution path
     with reusable advisory indexes.
+
+    Two registered instances share this class: ``shredding_cached`` (plan
+    cache + batched engine, PR 1) and ``shredding_opt`` (plan cache + the
+    logical SQL optimizer + the parallel shared-scan engine).
 
     ``sweep`` instantiates a fresh runner per sweep (:meth:`fresh`), so
     cold-compile cells stay reproducible regardless of what ran earlier in
@@ -63,23 +67,35 @@ class _CachedShreddingRunner:
     #: against; sweeps must not share that database with baseline systems.
     mutates_database = True
 
-    def __init__(self) -> None:
+    def __init__(
+        self, options: SqlOptions | None = None, engine: str = "batched"
+    ) -> None:
         self.cache = PlanCache()
+        self.options = options
+        self.engine = engine
         self._pipelines: dict[str, ShreddingPipeline] = {}
 
-    @classmethod
-    def fresh(cls) -> "_CachedShreddingRunner":
-        return cls()
+    def fresh(self) -> "_CachedShreddingRunner":
+        return type(self)(self.options, self.engine)
 
     def __call__(self, query: Term, db: Database) -> object:
         pipeline = self._pipelines.get(db.schema.fingerprint())
         if pipeline is None:
-            pipeline = ShreddingPipeline(db.schema, cache=self.cache)
+            pipeline = ShreddingPipeline(
+                db.schema, self.options, cache=self.cache
+            )
             self._pipelines[db.schema.fingerprint()] = pipeline
-        return pipeline.run(query, db, engine="batched")
+        return pipeline.run(query, db, engine=self.engine)
 
 
 _run_shredding_cached = _CachedShreddingRunner()
+
+#: ``shredding_opt``: the full performance stack — plan cache, the logical
+#: SQL optimizer (projection pruning, pushdown, folding, CTE dedup, shared
+#: scans) and the thread-parallel pooled executor.
+_run_shredding_opt = _CachedShreddingRunner(
+    options=SqlOptions(optimize=True), engine="parallel"
+)
 
 
 def _run_shredding_natural(query: Term, db: Database) -> object:
@@ -113,6 +129,10 @@ def _run_looplifting(query: Term, db: Database) -> object:
     return LoopLiftingPipeline(db.schema).run(query, db)
 
 
+def _run_looplifting_batched(query: Term, db: Database) -> object:
+    return LoopLiftingPipeline(db.schema).run(query, db, engine="batched")
+
+
 def _run_default_flat(query: Term, db: Database) -> object:
     compiled = compile_flat_query(query, db.schema)
     return compiled.decode_rows(db.execute_sql(compiled.sql))
@@ -126,7 +146,9 @@ def _run_avalanche(query: Term, db: Database) -> object:
 SYSTEMS: dict[str, Runner] = {
     "shredding": _run_shredding,
     "shredding_cached": _run_shredding_cached,
+    "shredding_opt": _run_shredding_opt,
     "loop-lifting": _run_looplifting,
+    "loop-lifting-batched": _run_looplifting_batched,
     "default": _run_default_flat,
     "avalanche": _run_avalanche,
     "shredding-natural": _run_shredding_natural,
@@ -226,10 +248,13 @@ def sweep(
     its budget at some scale is skipped at larger scales for that query.
     Stateful systems get special handling so cells stay comparable:
 
-    * a system whose runner declares ``mutates_database`` (the cached
-      engine creates advisory indexes + statistics) runs against its own
-      identically-generated database per scale, so the uncached baselines
-      are never measured on a connection it has touched;
+    * a system whose runner declares ``mutates_database`` (the cached and
+      optimized engines create advisory indexes + statistics, and the
+      optimized engine materialises shared scans) runs against its own
+      identically-generated database per scale — one *per system*, so the
+      uncached baselines are never measured on a connection a stateful
+      system touched, and no two stateful systems warm each other's
+      indexes or planner statistics;
     * a runner with a ``fresh()`` factory is re-instantiated per sweep, so
       cold-compile cells don't depend on what ran earlier in the process.
     """
@@ -246,7 +271,7 @@ def sweep(
             departments, seed=config.seed, scale_rows=config.employees_per_dept
         )
         db.connection()  # materialise SQLite outside the timed region
-        mutating_db: Database | None = None
+        mutating_dbs: dict[str, Database] = {}
         for query_name in query_names:
             for system in systems:
                 if (query_name, system) in over_budget:
@@ -263,14 +288,14 @@ def sweep(
                     "mutates_database",
                     False,
                 ):
-                    if mutating_db is None:
-                        mutating_db = scaled_database(
+                    if system not in mutating_dbs:
+                        mutating_dbs[system] = scaled_database(
                             departments,
                             seed=config.seed,
                             scale_rows=config.employees_per_dept,
                         )
-                        mutating_db.connection()
-                    cell_db = mutating_db
+                        mutating_dbs[system].connection()
+                    cell_db = mutating_dbs[system]
                 millis = run_system(
                     system,
                     query_name,

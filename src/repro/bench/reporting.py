@@ -7,9 +7,45 @@ row per system, one column per scale — plus a speedup summary.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 from repro.bench.harness import CellResult
 
-__all__ = ["format_tables", "format_speedups", "series"]
+__all__ = [
+    "format_tables",
+    "format_speedups",
+    "series",
+    "bench_json",
+    "write_bench_json",
+]
+
+
+def _normalise_json(value, float_digits: int):
+    """Floats rounded to a fixed precision, recursively — with sorted keys
+    (see :func:`bench_json`) two runs of equal measurements produce
+    byte-identical documents, so ``BENCH_*.json`` diffs stay reviewable."""
+    if isinstance(value, float):
+        return round(value, float_digits)
+    if isinstance(value, dict):
+        return {key: _normalise_json(sub, float_digits) for key, sub in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalise_json(sub, float_digits) for sub in value]
+    return value
+
+
+def bench_json(payload: dict, float_digits: int = 3) -> str:
+    """Serialise a benchmark result document deterministically."""
+    return json.dumps(
+        _normalise_json(payload, float_digits), indent=2, sort_keys=True
+    ) + "\n"
+
+
+def write_bench_json(
+    path: "pathlib.Path | str", payload: dict, float_digits: int = 3
+) -> None:
+    """Write a ``BENCH_*.json`` document (sorted keys, fixed precision)."""
+    pathlib.Path(path).write_text(bench_json(payload, float_digits))
 
 
 def series(

@@ -68,28 +68,46 @@ def compile_flat_query(
     schema: Schema,
     pretty: bool = True,
     cache: "PlanCache | None" = None,
+    optimize: bool = False,
 ) -> FlatCompiled:
     """Normalise and translate a flat–flat query to a single SQL statement.
 
     ``cache`` (a :class:`~repro.pipeline.plan_cache.PlanCache`) makes
     repeat compiles O(hash), sharing the key scheme — term fingerprint +
     schema fingerprint + options — with the shredding pipeline.
+
+    ``optimize`` runs the statement-level logical optimizer
+    (:mod:`repro.sql.optimizer`) over the generated statement; it is part
+    of the plan-cache key, so optimised and unoptimised plans never mix.
     """
     if cache is not None:
         from repro.pipeline.plan_cache import plan_key
 
-        key = plan_key(query, schema, SqlOptions(pretty=pretty), pipeline="flat")
+        key = plan_key(
+            query,
+            schema,
+            SqlOptions(pretty=pretty, optimize=optimize),
+            pipeline="flat",
+        )
         cached = cache.lookup(key)
         if cached is not None:
             return cached
-        compiled = _compile_flat_cold(query, schema, pretty, use_nf_memo=True)
+        compiled = _compile_flat_cold(
+            query, schema, pretty, use_nf_memo=True, optimize=optimize
+        )
         cache.store(key, compiled)
         return compiled
-    return _compile_flat_cold(query, schema, pretty, use_nf_memo=False)
+    return _compile_flat_cold(
+        query, schema, pretty, use_nf_memo=False, optimize=optimize
+    )
 
 
 def _compile_flat_cold(
-    query: ast.Term, schema: Schema, pretty: bool, use_nf_memo: bool
+    query: ast.Term,
+    schema: Schema,
+    pretty: bool,
+    use_nf_memo: bool,
+    optimize: bool = False,
 ) -> FlatCompiled:
     from repro.normalise import normalise_cached
 
@@ -130,6 +148,12 @@ def _compile_flat_cold(
             )
         )
     statement = Statement((), tuple(selects), names)
+    if optimize:
+        from repro.sql.optimizer import optimize_statement
+
+        statement = optimize_statement(
+            statement, SqlOptions(pretty=pretty, optimize=True)
+        )
     return FlatCompiled(
         sql=render_statement(statement, pretty),
         element_type=element_type,

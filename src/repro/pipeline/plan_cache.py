@@ -10,7 +10,10 @@ cache key combines
   — α-variants key separately, each compiling cold to value-identical
   plans),
 * the schema fingerprint (:meth:`repro.nrc.schema.Schema.fingerprint`),
-* the :class:`~repro.sql.codegen.SqlOptions` (frozen, hashable), and
+* the :class:`~repro.sql.codegen.SqlOptions` (frozen, hashable — this
+  covers the logical optimizer's ``optimize`` master switch and every
+  per-rule ``opt_*`` flag, so optimised and unoptimised plans, or plans
+  under different rule subsets, key separately), and
 * the pipeline's ``validate`` flag,
 
 so any change to any compilation input misses the cache.  Eviction is LRU

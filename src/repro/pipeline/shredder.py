@@ -80,6 +80,9 @@ class CompiledQuery:
     sql_package: Package  # annotations: CompiledSql
     options: SqlOptions
     cache_key: PlanKey | None = field(default=None, compare=False)
+    #: Materialise-once common subplans hoisted across the package's
+    #: statements by the optimizer (empty unless ``options.optimize``).
+    shared_scans: tuple = field(default=(), compare=False)
 
     @property
     def query_paths(self) -> list[Path]:
@@ -157,6 +160,10 @@ class CompiledQuery:
           outer index so one-pass stitching never rebuilds a dict.  The
           fast path for repeated execution of a cached plan; requires
           ``one_pass_stitch``.
+        * ``"parallel"`` — the batched engine fanned across a pool of
+          read-only connections, one worker thread per package member
+          (``REPRO_POOL_SIZE`` caps the pool).  Same results, same stats,
+          overlapping SQLite evaluation with Python-side decode.
 
         ``batch_size`` bounds rows per ``fetchmany`` round trip (default
         ``REPRO_FETCH_BATCH``, 1024).
@@ -167,11 +174,12 @@ class CompiledQuery:
             raise ShreddingError(
                 "list-semantics output needs SqlOptions(ordered=True)"
             )
-        if engine == "batched":
+        if engine in ("batched", "parallel"):
             if not one_pass_stitch:
                 raise ShreddingError(
-                    "the batched engine produces pre-grouped results; "
-                    "use one_pass_stitch=True (or the per-path engine)"
+                    "the batched/parallel engines produce pre-grouped "
+                    "results; use one_pass_stitch=True (or the per-path "
+                    "engine)"
                 )
             results = execute_package_batched(
                 db,
@@ -179,15 +187,20 @@ class CompiledQuery:
                 stats=stats,
                 create_indexes=create_indexes,
                 batch_size=batch_size,
+                parallel=(engine == "parallel"),
+                shared_scans=self.shared_scans,
             )
             value = stitch_grouped(results, self._top_key())
         elif engine == "per-path":
-            results = package_from(
-                self.result_type,
-                lambda path: execute_compiled(
-                    db, self.sql_at(path), stats, batch_size=batch_size
-                ),
-            )
+            from repro.backend.executor import shared_scan_tables
+
+            with shared_scan_tables(db, self.shared_scans):
+                results = package_from(
+                    self.result_type,
+                    lambda path: execute_compiled(
+                        db, self.sql_at(path), stats, batch_size=batch_size
+                    ),
+                )
             value = stitch(
                 results, self._top_index_fn(), one_pass=one_pass_stitch
             )
@@ -304,6 +317,11 @@ class ShreddingPipeline:
                 cache_key=cache_key,
             ),
         )
+        shared_scans: tuple = ()
+        if self.options.optimize and self.options.opt_shared:
+            sql_package, shared_scans = _hoist_shared_scans(
+                sql_package, self.options
+            )
         return CompiledQuery(
             schema=self.schema,
             result_type=result_type,
@@ -312,6 +330,7 @@ class ShreddingPipeline:
             sql_package=sql_package,
             options=self.options,
             cache_key=cache_key,
+            shared_scans=shared_scans,
         )
 
     def run(self, query: ast.Term, db: Database, **kwargs) -> NestedValue:
@@ -354,6 +373,37 @@ class ShreddingPipeline:
             shredded = annotation_at(shredded_package, path)
             check_shredded_query(shredded, expected, self.schema)
             check_let_query(let_insert(shredded), expected, self.schema)
+
+
+def _hoist_shared_scans(sql_package: Package, options: SqlOptions):
+    """Package-level optimisation: hoist CTE bodies shared by ≥2 statements
+    into materialise-once :class:`~repro.sql.optimizer.SharedScan` preludes,
+    rewriting each member's statement (and re-rendering its SQL) in place of
+    the removed CTEs.  Decode metadata is untouched — only CTEs move."""
+    from dataclasses import replace
+
+    from repro.sql.optimizer import extract_shared_scans
+    from repro.sql.render import render_statement
+
+    members = [compiled for _path, compiled in annotations(sql_package)]
+    statements = [compiled.statement for compiled in members]
+    rewritten, shared_scans = extract_shared_scans(statements)
+    if not shared_scans:
+        return sql_package, ()
+    by_member = {}
+    for compiled, statement in zip(members, rewritten):
+        if statement == compiled.statement:
+            by_member[id(compiled)] = compiled
+        else:
+            by_member[id(compiled)] = replace(
+                compiled,
+                statement=statement,
+                sql=render_statement(statement, options.pretty),
+                index_hints=None,
+            )
+    from repro.shred.packages import pmap
+
+    return pmap(lambda compiled: by_member[id(compiled)], sql_package), shared_scans
 
 
 def shred_run(

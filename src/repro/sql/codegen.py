@@ -85,8 +85,15 @@ __all__ = ["SqlOptions", "CompiledSql", "compile_shredded"]
 
 @dataclass(frozen=True)
 class SqlOptions:
-    """Code-generation knobs: the §8 optimisations, the §6 schemes, and the
-    §9 extensions."""
+    """Code-generation knobs: the §8 optimisations, the §6 schemes, the §9
+    extensions, and the logical optimizer (:mod:`repro.sql.optimizer`).
+
+    ``optimize`` master-switches the optimizer; the ``opt_*`` flags gate
+    individual rules (only consulted when ``optimize`` is on).  All of them
+    participate in the plan-cache key automatically — the whole (frozen,
+    hashable) options value is a key component — so optimised and
+    unoptimised plans never collide in a cache.
+    """
 
     scheme: str = "flat"  # "flat" or "natural"
     inline_with: bool = False  # §8: inline WITH clauses as subqueries
@@ -94,6 +101,13 @@ class SqlOptions:
     dedup_cte: bool = False  # extension: share identical outer CTEs
     ordered: bool = False  # §9 list semantics: deterministic row order
     pretty: bool = True
+    optimize: bool = False  # run the logical optimizer over the SQL AST
+    opt_fold: bool = True  # constant folding + dead-branch elimination
+    opt_flatten: bool = True  # trivial-subquery flattening
+    opt_dedup: bool = True  # within-statement CTE deduplication
+    opt_pushdown: bool = True  # predicate pushdown into CTEs/subqueries
+    opt_prune: bool = True  # CTE projection pruning
+    opt_shared: bool = True  # cross-statement shared scans (package level)
 
     def __post_init__(self) -> None:
         if self.scheme not in ("flat", "natural"):
@@ -298,6 +312,13 @@ def compile_shredded(
         compiled = _compile_natural(shredded, row_type, schema, options)
     else:
         compiled = _compile_flat(let_insert(shredded), row_type, schema, options)
+    if options.optimize:
+        from repro.sql.optimizer import optimize_statement
+
+        optimized = optimize_statement(compiled.statement, options)
+        if optimized != compiled.statement:
+            compiled.statement = optimized
+            compiled.sql = render_statement(optimized, options.pretty)
     compiled.cache_key = cache_key
     return compiled
 
