@@ -11,6 +11,7 @@ shows that the residual query is first-order and flat.
 
 from __future__ import annotations
 
+from repro.api import connect
 from repro.data.organisation import ORGANISATION_SCHEMA, figure3_database
 from repro.data.queries import Q2, q_org
 from repro.normalise import normalise, pretty_nf, symbolic_eval
@@ -50,7 +51,9 @@ def main() -> None:
     for row in sorted(run_flat(Q2, db), key=lambda r: r["dept"]):
         print(" ", row)
 
-    print("\nBuild your own combinator: departments with ≥1 rich employee:")
+    print("\nBuild your own combinator: departments with ≥1 rich employee")
+    print("(run through the repro.api façade — shredding handles flat")
+    print("results as a package of one statement):")
     rich = b.lam("e", lambda e: b.gt(e["salary"], b.const(1_000_000)))
     query = b.for_(
         "d",
@@ -61,7 +64,8 @@ def main() -> None:
         ),
     )
     print("  source:", pretty(query)[:80], "…")
-    for row in run_flat(query, db):
+    session = connect(db)
+    for row in session.query(query).run().sorted_by("dept"):
         print(" ", row)
 
 

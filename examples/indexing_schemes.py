@@ -13,7 +13,7 @@ from repro.data.organisation import ORGANISATION_SCHEMA, figure3_database
 from repro.data.queries import Q6
 from repro.normalise import normalise
 from repro.nrc.typecheck import infer
-from repro.pipeline.shredder import ShreddingPipeline
+from repro.api import connect
 from repro.shred.indexes import (
     canonical_indexes,
     check_valid,
@@ -22,7 +22,6 @@ from repro.shred.indexes import (
 from repro.shred.paths import paths
 from repro.shred.semantics import run_shredded
 from repro.shred.translate import shred_query
-from repro.sql.codegen import SqlOptions
 from repro.values import bag_equal
 
 
@@ -45,18 +44,17 @@ def main() -> None:
                   f"tasks={value['tasks']}")
         print()
 
+    session = connect(db)
     print("SQL under the flat scheme (ROW_NUMBER surrogates, §6.2):")
-    flat_sql = ShreddingPipeline(schema).compile(Q6)
-    print(dict(flat_sql.sql_by_path)[str(people_path)])
+    flat_prepared = session.query(Q6)
+    print(dict(flat_prepared.sql_by_path)[str(people_path)])
 
     print("\nSQL under the natural scheme (key columns, no OLAP, §6.1):")
-    natural_sql = ShreddingPipeline(
-        schema, SqlOptions(scheme="natural")
-    ).compile(Q6)
-    print(dict(natural_sql.sql_by_path)[str(people_path)])
+    natural_prepared = session.with_options(scheme="natural").query(Q6)
+    print(dict(natural_prepared.sql_by_path)[str(people_path)])
 
-    flat_out = flat_sql.run(db)
-    natural_out = natural_sql.run(db)
+    flat_out = flat_prepared.run().value
+    natural_out = natural_prepared.run().value
     print(
         "\nboth schemes stitch to the same nested value:",
         bag_equal(flat_out, natural_out),

@@ -10,6 +10,7 @@ indexing (§3's tables), and the stitched result.
 
 from __future__ import annotations
 
+from repro.api import connect
 from repro.data.organisation import ORGANISATION_SCHEMA, figure3_database
 from repro.data.queries import Q6
 from repro.normalise import normalise, pretty_nf
@@ -19,7 +20,6 @@ from repro.shred.paths import paths
 from repro.shred.semantics import run_shredded
 from repro.shred.shredded_ast import pretty_shredded
 from repro.shred.translate import shred_query
-from repro.pipeline.shredder import ShreddingPipeline
 from repro.values import render
 
 
@@ -70,13 +70,13 @@ def main() -> None:
     print("=" * 72)
     print("5. The SQL (§7) and the stitched result (§5.2)")
     print("=" * 72)
-    compiled = ShreddingPipeline(schema).compile(Q6)
-    for path, sql in compiled.sql_by_path:
+    prepared = connect(db).query(Q6)
+    for path, sql in prepared.sql_by_path:
         print(f"\n-- SQL at {path}")
         print(sql)
-    result = compiled.run(db)
+    result = prepared.run()
     print("\nstitched nested result (= N⟦Q(Qorg)⟧):")
-    print(render(sorted(result, key=lambda row: row["department"])))
+    print(render(result.sorted_by("department")))
 
 
 if __name__ == "__main__":

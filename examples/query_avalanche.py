@@ -10,12 +10,12 @@ strategy issues one query per row per nested collection.
 
 from __future__ import annotations
 
+from repro.api import connect
 from repro.backend.executor import ExecutionStats
 from repro.baselines.naive import AvalanchePipeline
 from repro.bench.harness import time_run, SYSTEMS
 from repro.data.generator import generate_organisation
 from repro.data.queries import Q1
-from repro.pipeline.shredder import ShreddingPipeline
 
 
 def main() -> None:
@@ -28,9 +28,7 @@ def main() -> None:
         )
         db.connection()
 
-        shredding = ShreddingPipeline(db.schema).compile(Q1)
-        shred_stats = ExecutionStats()
-        shredding.run(db, stats=shred_stats)
+        shred_stats = connect(db).query(Q1).run().stats
 
         naive = AvalanchePipeline(db.schema).compile(Q1)
         naive_stats = ExecutionStats()

@@ -2,53 +2,42 @@
 
     python examples/quickstart.py
 
-Builds the paper's Fig. 3 sample database, writes a nested query with the
-DSL, shows the flat SQL it shreds into, runs it, and prints the stitched
-nested result.
+Opens a `repro.api` session on the paper's Fig. 3 sample database, builds a
+nested query with the fluent builder, shows the flat SQL it shreds into,
+runs it, and prints the stitched nested result.
 """
 
 from __future__ import annotations
 
+from repro.api import connect
 from repro.data.organisation import figure3_database
-from repro.nrc import builders as b
-from repro.pipeline.shredder import ShreddingPipeline
 from repro.values import render
 
 
 def main() -> None:
-    db = figure3_database()
+    session = connect(figure3_database())
 
     # Each department with the bag of its employees' names and salaries.
-    query = b.for_(
-        "d",
-        b.table("departments"),
-        lambda d: b.ret(
-            b.record(
-                department=d["name"],
-                staff=b.for_(
-                    "e",
-                    b.table("employees"),
-                    lambda e: b.where(
-                        b.eq(e["dept"], d["name"]),
-                        b.ret(b.record(name=e["name"], salary=e["salary"])),
-                    ),
-                ),
-            )
-        ),
+    query = (
+        session.table("departments", alias="d")
+        .select(department="name")
+        .nest(
+            staff=lambda d: session.table("employees", alias="e")
+            .where(lambda e: e.dept == d.name)
+            .select("name", "salary")
+        )
     )
 
-    pipeline = ShreddingPipeline(db.schema)
-    compiled = pipeline.compile(query)
-
-    print(f"nested query shreds into {compiled.query_count} flat queries:\n")
-    for path, sql in compiled.sql_by_path:
+    prepared = query.prepare()
+    print(f"nested query shreds into {prepared.query_count} flat queries:\n")
+    for path, sql in prepared.sql_by_path:
         print(f"-- query at path {path}")
         print(sql)
         print()
 
-    result = compiled.run(db)
-    print("stitched nested result:")
-    print(render(sorted(result, key=lambda row: row["department"])))
+    result = prepared.run()
+    print(f"stitched nested result (engine={result.engine}):")
+    print(render(result.sorted_by("department")))
 
 
 if __name__ == "__main__":

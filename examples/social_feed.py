@@ -4,17 +4,17 @@
 
 The library is schema-agnostic — nothing in the pipeline is tied to the
 paper's organisation tables.  This example defines a users/posts/comments
-schema, builds a per-city feed where every user carries their posts and
-every post its comments (nesting degree 4 → 4 flat queries), and runs it.
+schema, opens a `repro.api` session on it, and builds a per-city feed where
+every user carries their posts and every post its comments (nesting degree
+4 → 4 flat queries) with the fluent builder.
 """
 
 from __future__ import annotations
 
+from repro.api import connect
 from repro.backend.database import Database
-from repro.nrc import builders as b
 from repro.nrc.schema import Schema, TableSchema
 from repro.nrc.types import INT, STRING
-from repro.pipeline.shredder import ShreddingPipeline
 from repro.values import render
 
 SOCIAL_SCHEMA = Schema(
@@ -58,69 +58,43 @@ def sample_database() -> Database:
     )
 
 
-def feed_query():
+def feed_query(session):
     """Cities → users → posts → comments: nesting degree 4."""
-    return b.for_(
-        "c",
-        b.table("cities"),
-        lambda c: b.ret(
-            b.record(
-                city=c["name"],
-                people=b.for_(
-                    "u",
-                    b.table("users"),
-                    lambda u: b.where(
-                        b.eq(u["city"], c["name"]),
-                        b.ret(
-                            b.record(
-                                user=u["name"],
-                                posts=b.for_(
-                                    "p",
-                                    b.table("posts"),
-                                    lambda p: b.where(
-                                        b.eq(p["author"], u["name"]),
-                                        b.ret(
-                                            b.record(
-                                                title=p["title"],
-                                                comments=b.for_(
-                                                    "k",
-                                                    b.table("comments"),
-                                                    lambda k: b.where(
-                                                        b.eq(
-                                                            k["post_id"],
-                                                            p["id"],
-                                                        ),
-                                                        b.ret(k["text"]),
-                                                    ),
-                                                ),
-                                            )
-                                        ),
-                                    ),
-                                ),
-                            )
-                        ),
-                    ),
-                ),
+    return (
+        session.table("cities", alias="c")
+        .select(city="name")
+        .nest(
+            people=lambda c: session.table("users", alias="u")
+            .where(lambda u: u.city == c.name)
+            .select(user="name")
+            .nest(
+                posts=lambda u: session.table("posts", alias="p")
+                .where(lambda p: p.author == u.name)
+                .select(title="title")
+                .nest(
+                    comments=lambda p: session.table("comments", alias="k")
+                    .where(lambda k: k.post_id == p.id)
+                    .select(lambda k: k.text)
+                )
             )
-        ),
+        )
     )
 
 
 def main() -> None:
-    db = sample_database()
-    pipeline = ShreddingPipeline(SOCIAL_SCHEMA)
-    compiled = pipeline.compile(feed_query())
+    session = connect(sample_database())
+    prepared = feed_query(session).prepare()
     print(
-        f"feed query: nesting degree {compiled.query_count} "
-        f"→ {compiled.query_count} flat queries\n"
+        f"feed query: nesting degree {prepared.query_count} "
+        f"→ {prepared.query_count} flat queries\n"
     )
-    for path, sql in compiled.sql_by_path:
+    for path, sql in prepared.sql_by_path:
         print(f"-- {path}")
         print(sql[:200] + ("…" if len(sql) > 200 else ""))
         print()
-    result = compiled.run(db)
-    print("the stitched feed:")
-    print(render(sorted(result, key=lambda r: r["city"])))
+    result = prepared.run()
+    print(f"the stitched feed (engine={result.engine}):")
+    print(render(result.sorted_by("city")))
 
 
 if __name__ == "__main__":

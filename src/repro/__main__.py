@@ -2,9 +2,14 @@
 
     python -m repro sql Q6               # the SQL a paper query shreds into
     python -m repro run Q6               # run it on the Fig. 3 instance
+    python -m repro run Q6 --engine parallel --stats
     python -m repro normal-form Q2       # show the normal form
     python -m repro figures --figure 11  # regenerate an evaluation figure
     python -m repro bench --smoke        # tiny per-system sweep, fail on error
+
+The programmatic entry point is the `repro.api` façade: `connect()` opens a
+Session owning the database, plan cache, SqlOptions and engine policy; the
+`run` subcommand is a thin wrapper over it.
 """
 
 from __future__ import annotations
@@ -109,11 +114,24 @@ def _explain_sql(query, options) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.pipeline.shredder import shred_run
-    from repro.values import render
+    from repro.api import connect
 
-    result = shred_run(_query(args.query), figure3_database())
-    print(render(result))
+    session = connect(figure3_database(), engine=args.engine)
+    prepared = session.query(_query(args.query))
+    if args.explain:
+        print(prepared.explain())
+        return 0
+    result = prepared.run()
+    print(result.render())
+    if args.stats:
+        stats = result.stats
+        session_stats = session.stats  # adds the compile-side cache counters
+        print(
+            f"-- engine={result.engine} queries={stats.queries} "
+            f"rows={stats.rows_fetched} "
+            f"millis={stats.total_millis:.1f} "
+            f"cache={session_stats.cache_hits}h/{session_stats.cache_misses}m"
+        )
     return 0
 
 
@@ -158,8 +176,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     sql.set_defaults(fn=_cmd_sql)
 
-    run = sub.add_parser("run", help="run a paper query on the Fig. 3 data")
+    run = sub.add_parser(
+        "run",
+        help="run a paper query on the Fig. 3 data via the repro.api façade",
+    )
     run.add_argument("query")
+    run.add_argument(
+        "--engine",
+        choices=["auto", "per-path", "batched", "parallel"],
+        default="auto",
+        help="execution engine (auto picks from the package shape)",
+    )
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print query/row/time counters and plan-cache hits after the "
+        "result",
+    )
+    run.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the façade's compilation + engine report instead of "
+        "running",
+    )
     run.set_defaults(fn=_cmd_run)
 
     nf = sub.add_parser("normal-form", help="show a query's normal form")

@@ -1,0 +1,525 @@
+"""Language integration: capture Python comprehensions into λNRC terms.
+
+The ``@query`` decorator inspects a function's source with :mod:`ast` and
+translates its returned comprehension into the paper's calculus, so nested
+queries read like Links/LINQ comprehensions::
+
+    from repro.api import query
+
+    @query
+    def org():
+        return [
+            {"name": d.name,
+             "staff": [e.name for e in employees if e.dept == d.name]}
+            for d in departments
+        ]
+
+    session.run(org)          # or org.term() for the raw λNRC term
+
+Translation rules (anything else raises :class:`~repro.errors.CaptureError`
+with the offending source line):
+
+* list comprehensions → ``for (x ← …) where (…) return …``; generators
+  nest left-to-right, ``if`` clauses conjoin;
+* ``x.field`` / ``x["field"]`` → record projection;
+* ``{"label": expr, …}`` → record construction (string keys only);
+* ``== != < <= > >= + - *`` and ``and or not`` → λNRC primitives;
+* ``a if c else b`` → conditionals; ``[e1, e2]`` → literal bags;
+* ``left + right`` where either side is a comprehension or list literal
+  → bag union ⊎ (otherwise arithmetic);
+* ``any(p for x in src)`` → ``¬ empty(for x ← src where p return ⟨⟩)``;
+  ``all(p for x in src)`` → ``empty(for x ← src where ¬p return ⟨⟩)``;
+* free names resolve in order: comprehension variables → function
+  parameters (bound at call time) → enclosing Python scope (λNRC terms,
+  other ``@query`` functions, fluent queries, base literals, or *callables
+  invoked at capture time* with term arguments — meta-level helpers) →
+  otherwise a table reference ``table name``.
+
+A captured query with parameters is itself a query *function*: calling it
+with λNRC terms (or other captured/fluent queries) substitutes them, which
+is the paper's §3 query-composition story in Python syntax.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+import inspect
+import textwrap
+from typing import Any, Callable, Mapping
+
+from repro.errors import CaptureError
+from repro.nrc import ast, builders as b
+
+__all__ = ["query", "CapturedQuery"]
+
+
+def query(fn: Callable | None = None) -> "CapturedQuery | Callable":
+    """Decorator: capture a comprehension-returning function as λNRC.
+
+    Usable bare (``@query``) or called (``@query()``).
+    """
+    if fn is None:
+        return query
+    if not callable(fn):
+        raise CaptureError(f"@query expects a function, got {type(fn).__name__}")
+    return CapturedQuery(fn)
+
+
+class CapturedQuery:
+    """A Python function captured as a λNRC query (see :func:`query`).
+
+    ``term()`` yields the λNRC term (parameters must be bound by keyword);
+    calling the object binds parameters positionally and returns the bound
+    term, so captured queries compose like the paper's query functions.
+    """
+
+    def __init__(self, fn: Callable) -> None:
+        self._fn = fn
+        self._params = tuple(inspect.signature(fn).parameters)
+        self._body: pyast.expr | None = None
+        self._closure: dict[str, Any] | None = None
+        self._nullary_term: ast.Term | None = None
+
+    @property
+    def name(self) -> str:
+        return getattr(self._fn, "__name__", "<captured>")
+
+    @property
+    def parameters(self) -> tuple[str, ...]:
+        return self._params
+
+    def term(self, **bindings: Any) -> ast.Term:
+        """Translate to λNRC, binding parameters by keyword."""
+        missing = [p for p in self._params if p not in bindings]
+        if missing:
+            raise CaptureError(
+                f"@query function {self.name!r} needs parameters "
+                f"{missing} bound (pass terms by keyword or call it)"
+            )
+        unknown = [k for k in bindings if k not in self._params]
+        if unknown:
+            raise CaptureError(
+                f"@query function {self.name!r} has no parameters {unknown}"
+            )
+        if not bindings and self._nullary_term is not None:
+            return self._nullary_term
+        env = {name: _bound_term(name, value) for name, value in bindings.items()}
+        term = _Translator(self).translate(self._parse(), env)
+        if not bindings:
+            self._nullary_term = term
+        return term
+
+    def __call__(self, *args: Any, **kwargs: Any) -> ast.Term:
+        """Bind parameters and return the λNRC term."""
+        if len(args) > len(self._params):
+            raise CaptureError(
+                f"@query function {self.name!r} takes "
+                f"{len(self._params)} parameters, got {len(args)}"
+            )
+        bindings = dict(zip(self._params, args))
+        overlap = set(bindings) & set(kwargs)
+        if overlap:
+            raise CaptureError(
+                f"parameter(s) {sorted(overlap)} bound twice"
+            )
+        bindings.update(kwargs)
+        return self.term(**bindings)
+
+    # ---------------------------------------------------------------- source
+
+    def _parse(self) -> pyast.expr:
+        """The function's single returned expression, parsed once."""
+        if self._body is not None:
+            return self._body
+        try:
+            source = textwrap.dedent(inspect.getsource(self._fn))
+        except (OSError, TypeError) as error:
+            raise CaptureError(
+                f"cannot read the source of {self.name!r} "
+                f"(interactive definitions are not capturable): {error}"
+            ) from None
+        try:
+            module = pyast.parse(source)
+        except SyntaxError as error:  # decorator-line artefacts etc.
+            raise CaptureError(
+                f"cannot parse the source of {self.name!r}: {error}"
+            ) from None
+        fndef = next(
+            (
+                node
+                for node in pyast.walk(module)
+                if isinstance(node, (pyast.FunctionDef, pyast.AsyncFunctionDef))
+            ),
+            None,
+        )
+        if fndef is None:
+            raise CaptureError(f"no function definition found in {self.name!r}")
+        statements = [
+            stmt
+            for stmt in fndef.body
+            if not (
+                isinstance(stmt, pyast.Expr)
+                and isinstance(stmt.value, pyast.Constant)
+                and isinstance(stmt.value.value, str)
+            )
+        ]
+        if len(statements) != 1 or not isinstance(statements[0], pyast.Return):
+            raise CaptureError(
+                f"@query function {self.name!r} must consist of a single "
+                f"return statement (plus an optional docstring)"
+            )
+        returned = statements[0].value
+        if returned is None:
+            raise CaptureError(
+                f"@query function {self.name!r} returns nothing"
+            )
+        self._body = returned
+        return returned
+
+    def resolve_outer(self, name: str) -> tuple[bool, Any]:
+        """Look ``name`` up in the function's closure, then globals."""
+        if self._closure is None:
+            closure: dict[str, Any] = {}
+            if self._fn.__closure__:
+                for var, cell in zip(
+                    self._fn.__code__.co_freevars, self._fn.__closure__
+                ):
+                    try:
+                        closure[var] = cell.cell_contents
+                    except ValueError:  # still-empty cell
+                        pass
+            self._closure = closure
+        if name in self._closure:
+            return True, self._closure[name]
+        if name in self._fn.__globals__:
+            return True, self._fn.__globals__[name]
+        return False, None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = ", ".join(self._params)
+        return f"<CapturedQuery {self.name}({params})>"
+
+
+def _bound_term(name: str, value: Any) -> ast.Term:
+    try:
+        return _as_capture_term(value)
+    except CaptureError:
+        raise CaptureError(
+            f"parameter {name!r} must be bound to a λNRC term, a @query "
+            f"function, a fluent query, or a base literal; "
+            f"got {type(value).__name__}"
+        ) from None
+
+
+def _as_capture_term(value: Any) -> ast.Term:
+    """Convert a Python-scope value to a term, if it is term-like.
+
+    Parameterless :class:`CapturedQuery` values get a dedicated error;
+    everything else shares :func:`repro.api.fluent.to_term`'s dispatch
+    (terms, Expr, fluent queries, base literals, literal bags).
+    """
+    if isinstance(value, CapturedQuery):
+        if value.parameters:
+            raise CaptureError(
+                f"@query function {value.name!r} has parameters "
+                f"{list(value.parameters)}; call it with arguments"
+            )
+        return value.term()
+    from repro.api.fluent import to_term
+    from repro.errors import ShreddingError
+
+    try:
+        return to_term(value)
+    except ShreddingError:
+        raise CaptureError(
+            f"not a term-like value: {type(value).__name__}"
+        ) from None
+
+
+_COMPARE_OPS = {
+    pyast.Eq: b.eq,
+    pyast.NotEq: b.ne,
+    pyast.Lt: b.lt,
+    pyast.LtE: b.le,
+    pyast.Gt: b.gt,
+    pyast.GtE: b.ge,
+}
+
+_ARITH_OPS = {pyast.Add: b.add, pyast.Sub: b.sub, pyast.Mult: b.mul}
+
+
+class _Translator:
+    """One capture pass: Python expression AST → λNRC term."""
+
+    def __init__(self, captured: CapturedQuery) -> None:
+        self._captured = captured
+
+    def translate(
+        self, node: pyast.expr, env: Mapping[str, ast.Term]
+    ) -> ast.Term:
+        method = getattr(self, f"_node_{type(node).__name__}", None)
+        if method is None:
+            raise self._error(node, f"unsupported syntax {type(node).__name__}")
+        return method(node, dict(env))
+
+    # -------------------------------------------------------- comprehensions
+
+    def _node_ListComp(self, node: pyast.ListComp, env) -> ast.Term:
+        return self._comprehension(node, node.generators, node.elt, env)
+
+    def _node_GeneratorExp(self, node: pyast.GeneratorExp, env) -> ast.Term:
+        return self._comprehension(node, node.generators, node.elt, env)
+
+    def _comprehension(
+        self,
+        node: pyast.expr,
+        generators: list[pyast.comprehension],
+        elt: pyast.expr,
+        env: dict[str, ast.Term],
+        body_wrap: Callable[[ast.Term], ast.Term] | None = None,
+        negate_elt: bool = False,
+    ) -> ast.Term:
+        """``for … for … if …`` → nested ``For`` with ``where`` sugar.
+
+        ``body_wrap``/``negate_elt`` serve the ``any``/``all`` encodings:
+        the element becomes (part of) the condition and the body a unit
+        record.
+        """
+        env = dict(env)
+        bound: list[tuple[str, pyast.comprehension]] = []
+        for gen in generators:
+            if gen.is_async:
+                raise self._error(node, "async comprehensions")
+            if not isinstance(gen.target, pyast.Name):
+                raise self._error(
+                    gen.target, "comprehension targets must be simple names"
+                )
+            bound.append((gen.target.id, gen))
+        # Bind every generator variable before translating elements: Python
+        # scopes each target over all *later* generators and the element.
+        sources: list[tuple[str, ast.Term, list[ast.Term]]] = []
+        for name, gen in bound:
+            source = self.translate(gen.iter, env)
+            env[name] = ast.Var(name)
+            conditions = [self.translate(test, env) for test in gen.ifs]
+            sources.append((name, source, conditions))
+        if body_wrap is None:
+            body: ast.Term = b.ret(self.translate(elt, env))
+        else:
+            condition = self.translate(elt, env)
+            if negate_elt:
+                condition = b.not_(condition)
+            body = b.where(condition, b.ret(ast.Record(())))
+        for name, source, conditions in reversed(sources):
+            if conditions:
+                body = b.where(b.and_(*conditions), body)
+            body = ast.For(name, source, body)
+        return body if body_wrap is None else body_wrap(body)
+
+    # ------------------------------------------------------------ structure
+
+    def _node_Dict(self, node: pyast.Dict, env) -> ast.Term:
+        fields = []
+        for key, value in zip(node.keys, node.values):
+            if not (
+                isinstance(key, pyast.Constant) and isinstance(key.value, str)
+            ):
+                raise self._error(
+                    key if key is not None else node,
+                    "record labels must be string literals",
+                )
+            fields.append((key.value, self.translate(value, env)))
+        labels = [label for label, _ in fields]
+        if len(set(labels)) != len(labels):
+            raise self._error(node, f"duplicate record labels in {labels}")
+        return ast.Record(tuple(fields))
+
+    def _node_List(self, node: pyast.List, env) -> ast.Term:
+        return b.bag_of(*(self.translate(item, env) for item in node.elts))
+
+    def _node_Attribute(self, node: pyast.Attribute, env) -> ast.Term:
+        return ast.Project(self.translate(node.value, env), node.attr)
+
+    def _node_Subscript(self, node: pyast.Subscript, env) -> ast.Term:
+        index = node.slice
+        if isinstance(index, pyast.Constant) and isinstance(index.value, str):
+            return ast.Project(self.translate(node.value, env), index.value)
+        raise self._error(node, "subscripts must be string-literal labels")
+
+    def _node_Constant(self, node: pyast.Constant, env) -> ast.Term:
+        if isinstance(node.value, (bool, int, str)):
+            return ast.Const(node.value)
+        raise self._error(
+            node, f"unsupported constant {node.value!r} (int/bool/str only)"
+        )
+
+    def _node_Name(self, node: pyast.Name, env) -> ast.Term:
+        if node.id in env:
+            return env[node.id]
+        found, value = self._captured.resolve_outer(node.id)
+        if found:
+            try:
+                return _as_capture_term(value)
+            except CaptureError:
+                raise self._error(
+                    node,
+                    f"name {node.id!r} resolves to a "
+                    f"{type(value).__name__}, which is not term-like",
+                ) from None
+        return ast.Table(node.id)
+
+    # ------------------------------------------------------------- operators
+
+    def _node_Compare(self, node: pyast.Compare, env) -> ast.Term:
+        operands = [self.translate(node.left, env)] + [
+            self.translate(comparator, env) for comparator in node.comparators
+        ]
+        clauses = []
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            builder = _COMPARE_OPS.get(type(op))
+            if builder is None:
+                raise self._error(
+                    node, f"unsupported comparison {type(op).__name__}"
+                )
+            clauses.append(builder(left, right))
+        return b.and_(*clauses)
+
+    def _node_BoolOp(self, node: pyast.BoolOp, env) -> ast.Term:
+        terms = [self.translate(value, env) for value in node.values]
+        joiner = b.and_ if isinstance(node.op, pyast.And) else b.or_
+        return joiner(*terms)
+
+    def _node_UnaryOp(self, node: pyast.UnaryOp, env) -> ast.Term:
+        if isinstance(node.op, pyast.Not):
+            return b.not_(self.translate(node.operand, env))
+        if isinstance(node.op, pyast.USub):
+            operand = node.operand
+            if isinstance(operand, pyast.Constant) and isinstance(
+                operand.value, int
+            ):
+                return ast.Const(-operand.value)
+        raise self._error(node, f"unsupported operator {type(node.op).__name__}")
+
+    def _node_BinOp(self, node: pyast.BinOp, env) -> ast.Term:
+        left = self.translate(node.left, env)
+        right = self.translate(node.right, env)
+        if isinstance(node.op, pyast.Add) and (
+            _is_bag_node(node.left, left) or _is_bag_node(node.right, right)
+        ):
+            return ast.Union(left, right)
+        builder = _ARITH_OPS.get(type(node.op))
+        if builder is None:
+            raise self._error(
+                node, f"unsupported operator {type(node.op).__name__}"
+            )
+        return builder(left, right)
+
+    def _node_IfExp(self, node: pyast.IfExp, env) -> ast.Term:
+        return b.if_(
+            self.translate(node.test, env),
+            self.translate(node.body, env),
+            self.translate(node.orelse, env),
+        )
+
+    # ----------------------------------------------------------------- calls
+
+    def _node_Call(self, node: pyast.Call, env) -> ast.Term:
+        if node.keywords:
+            raise self._error(node, "keyword arguments in captured calls")
+        if isinstance(node.func, pyast.Name):
+            if node.func.id in ("any", "all") and node.func.id not in env:
+                return self._quantifier(node, env)
+            if node.func.id in env:
+                raise self._error(
+                    node, f"comprehension variable {node.func.id!r} is not "
+                    f"callable"
+                )
+        found, value = self._resolve_python(node.func, env)
+        if found and callable(value):
+            return self._meta_call(node, value, env)
+        target = pyast.unparse(node.func)
+        raise self._error(
+            node,
+            f"cannot capture a call to {target!r}: only any/all, @query "
+            f"functions and term-building Python helpers are callable in "
+            f"a captured query",
+        )
+
+    def _resolve_python(
+        self, node: pyast.expr, env
+    ) -> tuple[bool, Any]:
+        """Resolve a Name / dotted-Attribute chain to a Python object in
+        the function's enclosing scope (never a comprehension variable)."""
+        if isinstance(node, pyast.Name):
+            if node.id in env:
+                return False, None
+            return self._captured.resolve_outer(node.id)
+        if isinstance(node, pyast.Attribute):
+            found, base = self._resolve_python(node.value, env)
+            if not found:
+                return False, None
+            try:
+                return True, getattr(base, node.attr)
+            except AttributeError:
+                return False, None
+        return False, None
+
+    def _quantifier(self, node: pyast.Call, env) -> ast.Term:
+        """``any(p for x in s)`` / ``all(p for x in s)`` as emptiness tests."""
+        kind = node.func.id  # type: ignore[union-attr]
+        if len(node.args) != 1 or not isinstance(
+            node.args[0], pyast.GeneratorExp
+        ):
+            raise self._error(
+                node, f"{kind}() must be applied to a generator expression"
+            )
+        comp = node.args[0]
+        if kind == "any":
+            return self._comprehension(
+                comp, comp.generators, comp.elt, env,
+                body_wrap=lambda probe: b.not_(b.is_empty(probe)),
+            )
+        return self._comprehension(
+            comp, comp.generators, comp.elt, env,
+            body_wrap=b.is_empty, negate_elt=True,
+        )
+
+    def _meta_call(self, node: pyast.Call, fn: Callable, env) -> ast.Term:
+        """Invoke a Python helper *at capture time* with term arguments —
+        the §3 meta-level query-composition functions."""
+        args = [self.translate(arg, env) for arg in node.args]
+        try:
+            result = fn(*args)
+        except CaptureError:
+            raise
+        except Exception as error:
+            raise self._error(
+                node,
+                f"helper {getattr(fn, '__name__', fn)!r} failed at capture "
+                f"time: {error}",
+            ) from error
+        try:
+            return _as_capture_term(result)
+        except CaptureError:
+            raise self._error(
+                node,
+                f"helper {getattr(fn, '__name__', fn)!r} returned a "
+                f"{type(result).__name__}, not a term",
+            ) from None
+
+    # ---------------------------------------------------------------- errors
+
+    def _error(self, node: pyast.AST, message: str) -> CaptureError:
+        line = getattr(node, "lineno", None)
+        where = f" (line {line} of {self._captured.name!r})" if line else ""
+        return CaptureError(f"cannot capture: {message}{where}")
+
+
+def _is_bag_node(node: pyast.expr, term: ast.Term) -> bool:
+    """Heuristic for ``+`` as bag union ⊎: the Python operand is literally a
+    comprehension/list, or its translation is unambiguously bag-shaped."""
+    if isinstance(node, (pyast.ListComp, pyast.GeneratorExp, pyast.List)):
+        return True
+    return isinstance(
+        term, (ast.For, ast.Union, ast.Return, ast.Empty, ast.Table)
+    )

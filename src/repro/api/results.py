@@ -1,0 +1,215 @@
+"""Results and prepared queries: the façade's execution-side surface.
+
+A :class:`Prepared` pairs a λNRC term with the :class:`~repro.api.session.
+Session` that will run it.  Compilation happens lazily (and hits the
+session's plan cache); every ``run`` produces a :class:`Result` that carries
+the stitched nested value *and* the :class:`~repro.backend.executor.
+ExecutionStats` of that run, so callers inspect engine behaviour without
+touching pipeline internals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.backend.executor import ExecutionStats
+from repro.errors import ShreddingError
+from repro.values import NestedValue, render
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.session import Session
+    from repro.nrc.ast import Term
+    from repro.pipeline.shredder import CompiledQuery
+
+
+class Runnable:
+    """Mixin giving query-shaped objects the run/sql/explain surface.
+
+    Anything that can produce a λNRC term (the fluent :class:`~repro.api.
+    fluent.Query`, a union of queries, …) mixes this in and delegates to
+    its session's :meth:`~repro.api.session.Session.prepare`.
+    """
+
+    _session: "Session"
+
+    def term(self) -> "Term":
+        raise NotImplementedError
+
+    def prepare(self) -> "Prepared":
+        """Compile (or fetch from the plan cache) without executing."""
+        return self._session.prepare(self)
+
+    def run(self, **kwargs: Any) -> "Result":
+        """Compile and execute; see :meth:`Prepared.run` for the knobs."""
+        return self.prepare().run(**kwargs)
+
+    def sql(self) -> str:
+        """The flat SQL this query shreds into, one block per path."""
+        return self.prepare().sql()
+
+    @property
+    def sql_by_path(self) -> list[tuple[str, str]]:
+        return self.prepare().sql_by_path
+
+    def explain(self) -> str:
+        """Human-readable compilation + engine report."""
+        return self.prepare().explain()
+
+    def to_dicts(self, **kwargs: Any) -> list:
+        """Run and return the nested value as plain dicts/lists."""
+        return self.run(**kwargs).to_dicts()
+
+
+class Prepared(Runnable):
+    """A query bound to a session, compiled on first use.
+
+    The compiled plan is cached on the instance (and, when the session has
+    a plan cache, shared across structurally identical queries).  ``stats()``
+    returns the :class:`ExecutionStats` of the most recent :meth:`run`.
+    """
+
+    def __init__(self, session: "Session", term: "Term") -> None:
+        self._session = session
+        self._term = term
+        self._compiled: "CompiledQuery | None" = None
+        self._last_stats: ExecutionStats | None = None
+
+    def term(self) -> "Term":
+        return self._term
+
+    def prepare(self) -> "Prepared":
+        return self
+
+    @property
+    def compiled(self) -> "CompiledQuery":
+        """The underlying :class:`~repro.pipeline.shredder.CompiledQuery`."""
+        if self._compiled is None:
+            self._compiled = self._session._compile(self._term)
+        return self._compiled
+
+    @property
+    def query_count(self) -> int:
+        """Number of flat queries = nesting degree of the result type."""
+        return self.compiled.query_count
+
+    @property
+    def sql_by_path(self) -> list[tuple[str, str]]:
+        """Human-readable (path, SQL) pairs — one per nesting level."""
+        return self.compiled.sql_by_path
+
+    def sql(self) -> str:
+        return "\n\n".join(
+            f"-- query at path {path}\n{sql}" for path, sql in self.sql_by_path
+        )
+
+    def run(
+        self,
+        engine: str | None = None,
+        collection: str = "bag",
+        stats: ExecutionStats | None = None,
+        **kwargs: Any,
+    ) -> "Result":
+        """Execute on the session's database and stitch the nested result.
+
+        ``engine`` defaults to the session's engine policy (``"auto"``
+        resolves from the package shape — see
+        :meth:`~repro.api.session.Session.resolve_engine`); ``collection``
+        selects bag/set/list semantics; extra keyword arguments
+        (``batch_size``, ``create_indexes``, ``one_pass_stitch``) pass
+        through to :meth:`~repro.pipeline.shredder.CompiledQuery.run`.
+        ``stats`` (if given) additionally accumulates this run's stats.
+        """
+        compiled = self.compiled
+        resolved = self._session.resolve_engine(engine, compiled)
+        run_stats = ExecutionStats()
+        value = compiled.run(
+            self._session.db,
+            engine=resolved,
+            collection=collection,
+            stats=run_stats,
+            **kwargs,
+        )
+        self._last_stats = run_stats
+        self._session.stats.merge(run_stats)
+        if stats is not None:
+            stats.merge(run_stats)
+        return Result(value=value, stats=run_stats, engine=resolved)
+
+    def stats(self) -> ExecutionStats:
+        """The :class:`ExecutionStats` of the most recent :meth:`run`."""
+        if self._last_stats is None:
+            raise ShreddingError(
+                "no execution stats yet: call .run() first"
+            )
+        return self._last_stats
+
+    def explain(self) -> str:
+        """The pipeline's compilation report plus the façade's engine and
+        optimizer summary for this query."""
+        compiled = self.compiled
+        resolved = self._session.resolve_engine(None, compiled)
+        header = [
+            f"engine         : {self._session.engine}"
+            + (f" → {resolved}" if self._session.engine == "auto" else ""),
+            f"optimizer      : "
+            f"{'on' if compiled.options.optimize else 'off'}"
+            + (
+                f" ({len(compiled.shared_scans)} shared scans hoisted)"
+                if compiled.options.optimize
+                else ""
+            ),
+            f"plan cache     : "
+            f"{'on' if self._session.pipeline.cache is not None else 'off'}",
+        ]
+        return "\n".join(header) + "\n" + compiled.explain()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "compiled" if self._compiled is not None else "uncompiled"
+        return f"<Prepared {state} query on {self._session!r}>"
+
+
+class Result:
+    """A stitched nested value plus the stats of the run that produced it.
+
+    Iterates (and indexes) like the underlying list of rows; ``engine`` is
+    the concrete engine the run used after ``"auto"`` resolution.
+    """
+
+    __slots__ = ("value", "stats", "engine")
+
+    def __init__(
+        self, value: NestedValue, stats: ExecutionStats, engine: str
+    ) -> None:
+        self.value = value
+        self.stats = stats
+        self.engine = engine
+
+    def to_dicts(self) -> list:
+        """The nested value as a plain list of dicts/lists/base values."""
+        return list(self.value)
+
+    def sorted_by(self, *labels: str) -> list:
+        """Rows sorted by the given record field(s) — a display helper
+        (bags are unordered; use ``collection="list"`` for real ordering)."""
+        return sorted(
+            self.value, key=lambda row: tuple(row[label] for label in labels)
+        )
+
+    def render(self) -> str:
+        """Pretty-print the nested value (the paper's ⟨…⟩ notation)."""
+        return render(self.value)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.value)
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def __getitem__(self, item):
+        return self.value[item]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Result rows={len(self.value)} engine={self.engine!r} "
+            f"queries={self.stats.queries}>"
+        )

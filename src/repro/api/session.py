@@ -1,0 +1,245 @@
+"""The :class:`Session`: the one documented way into the shredding engine.
+
+A session owns a :class:`~repro.backend.database.Database`, its schema, a
+plan cache, the :class:`~repro.sql.codegen.SqlOptions`, and an *engine
+policy* — everything PRs 1–2 built, behind a single object::
+
+    from repro.api import connect
+
+    session = connect(figure3_database())          # engine="auto", cached
+    result = session.table("departments").select("name").run()
+    session.query(Q6).run(engine="parallel")       # hand-built λNRC terms
+
+``engine="auto"`` (the default) picks the executor from the compiled
+package's shape: single-statement packages run batched (index advisement +
+one-pass stitch without thread overhead), packages of
+:data:`PARALLEL_THRESHOLD` or more statements fan out across the read-only
+connection pool.  Explicit engines are validated against
+:data:`~repro.pipeline.shredder.KNOWN_ENGINES` up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Iterable, Mapping
+
+from repro.api.fluent import Query, TermQuery, to_term
+from repro.api.results import Prepared, Result
+from repro.backend.database import Database
+from repro.backend.executor import ExecutionStats
+from repro.errors import ShreddingError, UnknownTableError
+from repro.nrc import ast
+from repro.nrc.schema import Schema
+from repro.pipeline.shredder import (
+    KNOWN_ENGINES,
+    CompiledQuery,
+    ShreddingPipeline,
+    validate_engine,
+)
+from repro.sql.codegen import SqlOptions
+
+__all__ = ["Session", "connect", "PARALLEL_THRESHOLD"]
+
+#: Package size (number of flat statements) from which ``engine="auto"``
+#: prefers the parallel executor: below this, thread fan-out costs more
+#: than overlapping two or fewer statements can recover.
+PARALLEL_THRESHOLD = 3
+
+
+class Session:
+    """A connection-like façade over the whole shredding pipeline.
+
+    Parameters
+    ----------
+    database:
+        An existing :class:`Database`; alternatively pass ``schema`` (and
+        optionally ``tables``) to create a fresh one.
+    options:
+        :class:`SqlOptions` for code generation and the logical optimizer.
+    engine:
+        The session's default executor: ``"auto"`` (default) or one of
+        :data:`~repro.pipeline.shredder.KNOWN_ENGINES`.
+    cache:
+        ``True`` (default) → the process-wide shared plan cache; a
+        :class:`~repro.pipeline.plan_cache.PlanCache` to scope it;
+        ``False``/``None`` → compile cold every time.
+    validate:
+        Run the App. B type checkers on every compile (Theorems 2 and 5
+        as assertions).
+
+    Sessions are context managers: leaving the ``with`` block closes the
+    pooled SQLite connections (the Python-side rows survive — a later query
+    rebuilds lazily).
+    """
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        *,
+        schema: Schema | None = None,
+        tables: Mapping[str, Iterable[Mapping[str, object]]] | None = None,
+        options: SqlOptions | None = None,
+        engine: str = "auto",
+        cache: object = True,
+        validate: bool = False,
+    ) -> None:
+        if database is None:
+            if schema is None:
+                raise ShreddingError(
+                    "connect() needs a Database or a Schema"
+                )
+            database = Database(schema, tables)
+        elif schema is not None and schema is not database.schema:
+            raise ShreddingError(
+                "pass either a Database or a Schema, not both"
+            )
+        elif tables:
+            for name, rows in tables.items():
+                database.insert(name, rows)
+        validate_engine(engine, extra=("auto",))
+        self.db = database
+        self.schema = database.schema
+        self.engine = engine
+        self.options = options or SqlOptions()
+        self.pipeline = ShreddingPipeline(
+            self.schema, self.options, validate=validate, cache=cache
+        )
+        #: Session-lifetime accumulation of every run's stats (plus the
+        #: plan cache's hit/miss counters from compiles).
+        self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------- building
+
+    def table(self, name: str, alias: str | None = None) -> Query:
+        """A fluent query over a base table (validated against the schema)."""
+        if name not in self.schema:
+            raise UnknownTableError(name)
+        return Query(self, name, alias or name[0])
+
+    def from_(self, source: object, alias: str = "x") -> Query:
+        """A fluent query over any bag-valued source: another
+        :class:`Query`, a ``@query`` capture, or a raw λNRC term —
+        querying *views* the way §3 queries Qorg."""
+        return Query(self, source, alias)
+
+    def query(self, source: object) -> Prepared:
+        """Bind any query-shaped object to this session, ready to run.
+
+        Accepts fluent queries, ``@query``-captured functions, and
+        hand-built λNRC terms.
+        """
+        return self.prepare(source)
+
+    def prepare(self, source: object) -> Prepared:
+        if isinstance(source, Prepared):
+            # Rebind another session's prepared query rather than running
+            # it against the wrong database/options.
+            if source._session is self:
+                return source
+            return Prepared(self, source.term())
+        return Prepared(self, to_term(source))
+
+    def lift(self, term: ast.Term) -> TermQuery:
+        """Wrap a hand-built λNRC term with the fluent surface (so it can
+        be unioned, nested, or used as a ``from_`` source)."""
+        return TermQuery(self, term)
+
+    # -------------------------------------------------------------- running
+
+    def run(self, source: object, **kwargs: Any) -> Result:
+        """One-shot: compile (cache-aware) and execute ``source``."""
+        return self.prepare(source).run(**kwargs)
+
+    def sql(self, source: object) -> list[tuple[str, str]]:
+        """The (path, SQL) pairs ``source`` shreds into."""
+        return self.prepare(source).sql_by_path
+
+    def explain(self, source: object) -> str:
+        """Compilation + engine report for ``source``."""
+        return self.prepare(source).explain()
+
+    def compile(self, source: object) -> CompiledQuery:
+        """The underlying compiled plan (engine-internal escape hatch)."""
+        return self.prepare(source).compiled
+
+    def _compile(self, term: ast.Term) -> CompiledQuery:
+        return self.pipeline.compile(term, stats=self.stats)
+
+    def resolve_engine(
+        self, engine: str | None, compiled: CompiledQuery
+    ) -> str:
+        """Validate ``engine`` and resolve ``"auto"`` from package shape."""
+        if engine is None:
+            engine = self.engine
+        validate_engine(engine, extra=("auto",))
+        if engine != "auto":
+            return engine
+        if compiled.query_count >= PARALLEL_THRESHOLD:
+            return "parallel"
+        return "batched"
+
+    # ----------------------------------------------------------------- data
+
+    def insert(
+        self, table: str, rows: Iterable[Mapping[str, object]]
+    ) -> None:
+        """Insert rows into a base table (schema-validated, incremental)."""
+        self.db.insert(table, rows)
+
+    def with_options(self, **changes: Any) -> "Session":
+        """A derived session over the *same* database with adjusted
+        :class:`SqlOptions` (e.g. ``with_options(scheme="natural")`` or
+        ``with_options(optimize=True)``); plan caches never mix plans
+        across option values, so both sessions stay coherent."""
+        session = Session(
+            self.db,
+            options=replace(self.options, **changes),
+            engine=self.engine,
+            cache=self.pipeline.cache,
+            validate=self.pipeline.validate,
+        )
+        session.stats = self.stats  # one accumulation stream per family
+        return session
+
+    def close(self) -> None:
+        """Close the SQLite materialisation and its read pool."""
+        self.db._dispose_connection()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Session tables={len(self.schema.tables)} "
+            f"engine={self.engine!r} "
+            f"cache={'on' if self.pipeline.cache is not None else 'off'}>"
+        )
+
+
+def connect(
+    database: Database | None = None,
+    *,
+    schema: Schema | None = None,
+    tables: Mapping[str, Iterable[Mapping[str, object]]] | None = None,
+    options: SqlOptions | None = None,
+    engine: str = "auto",
+    cache: object = True,
+    validate: bool = False,
+) -> Session:
+    """Open a :class:`Session` — the library's front door.
+
+    >>> session = connect(schema=MY_SCHEMA, tables={"users": [...]})
+    >>> session.table("users").select("name").run().to_dicts()
+    """
+    return Session(
+        database,
+        schema=schema,
+        tables=tables,
+        options=options,
+        engine=engine,
+        cache=cache,
+        validate=validate,
+    )

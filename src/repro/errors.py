@@ -13,6 +13,15 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class CaptureError(ReproError):
+    """A Python function could not be captured as a λNRC query.
+
+    Raised by :mod:`repro.api.capture` when the ``@query`` decorator meets
+    syntax outside the capturable fragment; the message names the offending
+    construct and source line.
+    """
+
+
 class TypeCheckError(ReproError):
     """The query is ill-typed with respect to the λNRC type system."""
 

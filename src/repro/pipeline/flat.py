@@ -4,11 +4,17 @@ Flat queries (no nested collections in the result) translate to a single
 SQL query with no indexes and no OLAP operations — this is the "default"
 system in the Fig. 10 experiments.  Nested queries are rejected, exactly as
 Links rejects them at runtime (§1).
+
+This module is a *baseline system*, kept for the evaluation sweeps; for
+application code the primary entry point is the :mod:`repro.api` façade
+(``connect()`` / ``Session``), whose shredding engine subsumes the flat
+case (a flat query is simply a package of one statement).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.backend.database import Database
 from repro.backend.executor import ExecutionStats
@@ -29,6 +35,9 @@ from repro.nrc.types import BagType, Type, is_flat
 from repro.sql.ast import SelectCore, SelectItem, Statement, TableRef
 from repro.sql.codegen import SqlOptions, _expr, _ExprContext, _where_sql
 from repro.sql.render import render_statement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.plan_cache import PlanCache
 
 __all__ = ["FlatCompiled", "compile_flat_query", "run_flat"]
 
@@ -67,7 +76,7 @@ def compile_flat_query(
     query: ast.Term,
     schema: Schema,
     pretty: bool = True,
-    cache: "PlanCache | None" = None,
+    cache: PlanCache | None = None,
     optimize: bool = False,
 ) -> FlatCompiled:
     """Normalise and translate a flat–flat query to a single SQL statement.

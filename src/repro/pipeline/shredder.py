@@ -1,16 +1,21 @@
-"""The end-to-end shredding pipeline (Fig. 1c) — the headline public API.
+"""The end-to-end shredding pipeline (Fig. 1c) — the engine room.
 
     normalise ──► annotate ──► shred (one query per path) ──► let-insert
     ──► flatten ──► SQL ──► execute ──► stitch
 
-Typical use::
+**The primary entry point now lives in** :mod:`repro.api`: a
+:class:`~repro.api.session.Session` (``connect()``) owns a database, the
+plan cache, the options and an engine policy, and fronts this module's
+machinery with a fluent builder and the ``@query`` capture decorator::
 
-    from repro.pipeline.shredder import ShreddingPipeline
-    pipeline = ShreddingPipeline(schema)
-    compiled = pipeline.compile(query)      # inspect compiled.sql_by_path
-    result = compiled.run(db)               # nested value
+    from repro.api import connect
+    session = connect(db)
+    session.query(term).run()               # what shred_run used to do
 
-or the one-shot helpers :func:`shred_run` / :func:`shred_sql`.
+Constructing :class:`ShreddingPipeline` directly remains supported for
+engine work (benchmarks, baselines, new translation stages); the one-shot
+helpers :func:`shred_run` / :func:`shred_sql` are kept as thin deprecated
+shims over the façade.
 
 Performance knobs (see ROADMAP.md "Performance architecture"):
 
@@ -60,7 +65,32 @@ from repro.shred.stitch import stitch, stitch_grouped
 from repro.sql.codegen import CompiledSql, SqlOptions, compile_shredded
 from repro.values import NestedValue
 
-__all__ = ["ShreddingPipeline", "CompiledQuery", "shred_run", "shred_sql"]
+__all__ = [
+    "ShreddingPipeline",
+    "CompiledQuery",
+    "shred_run",
+    "shred_sql",
+    "KNOWN_ENGINES",
+    "validate_engine",
+]
+
+#: The execution engines :meth:`CompiledQuery.run` accepts (the façade's
+#: ``"auto"`` resolves to one of these before reaching the pipeline).
+KNOWN_ENGINES = ("per-path", "batched", "parallel")
+
+
+def validate_engine(engine: str, extra: tuple[str, ...] = ()) -> None:
+    """Reject unknown engine names up front with the known-engine list.
+
+    ``extra`` admits façade-level aliases (``"auto"``) on top of
+    :data:`KNOWN_ENGINES`.
+    """
+    known = tuple(extra) + KNOWN_ENGINES
+    if engine not in known:
+        raise ShreddingError(
+            f"unknown execution engine {engine!r}; known engines: "
+            + ", ".join(known)
+        )
 
 
 @dataclass
@@ -168,6 +198,7 @@ class CompiledQuery:
         ``batch_size`` bounds rows per ``fetchmany`` round trip (default
         ``REPRO_FETCH_BATCH``, 1024).
         """
+        validate_engine(engine)
         if collection not in ("bag", "set", "list"):
             raise ShreddingError(f"unknown collection semantics {collection!r}")
         if collection == "list" and not self.options.ordered:
@@ -416,16 +447,38 @@ def shred_run(
 ) -> NestedValue:
     """One-shot: compile ``query`` against ``db``'s schema, run and stitch.
 
+    .. deprecated::
+        Thin shim over the façade — prefer
+        ``repro.api.connect(db).query(query).run(...)``, which adds the
+        engine policy, result/stats objects and the fluent builder.
+
     ``cache=True`` (or a :class:`PlanCache`) makes repeat calls with the
-    same query/schema/options reuse the compiled plan.
+    same query/schema/options reuse the compiled plan.  The historical
+    default engine (``"per-path"``) is preserved.
     """
-    return ShreddingPipeline(db.schema, options, validate, cache=cache).run(
-        query, db, **run_kwargs
+    from repro.api import Session
+
+    run_kwargs.setdefault("engine", "per-path")
+    # `cache is None` → cold compiles; an *empty* PlanCache instance is
+    # falsy (it defines __len__), so no truthiness coercion here.
+    session = Session(
+        db,
+        options=options,
+        validate=validate,
+        cache=cache if cache is not None else False,
     )
+    return session.query(query).run(**run_kwargs).value
 
 
 def shred_sql(
     query: ast.Term, schema: Schema, options: SqlOptions | None = None
 ) -> list[tuple[str, str]]:
-    """One-shot: the (path, SQL) pairs the query shreds into."""
-    return ShreddingPipeline(schema, options).compile(query).sql_by_path
+    """One-shot: the (path, SQL) pairs the query shreds into.
+
+    .. deprecated::
+        Thin shim over the façade — prefer
+        ``repro.api.connect(schema=schema).sql(query)``.
+    """
+    from repro.api import Session
+
+    return Session(schema=schema, options=options, cache=False).sql(query)

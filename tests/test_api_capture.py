@@ -1,0 +1,345 @@
+"""The ``@query`` capture layer: Python comprehensions → λNRC.
+
+The paper queries Q1–Q6 are re-written as captured Python comprehensions
+and must produce values identical to the builder-DSL terms on the same
+data, end-to-end through `repro.api` only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import CapturedQuery, connect, query
+from repro.data import queries as paper
+from repro.errors import CaptureError, TypeCheckError
+from repro.values import bag_equal
+
+# --------------------------------------------------------------------------
+# Captured versions of the paper's Fig. 9 queries.  Free names (departments,
+# employees, tasks, contacts) resolve to table references; `org` resolves to
+# the captured nested view exactly as Q6 composes over Q1.
+
+SALARY_CAP = 50000  # closure constants are captured as literals
+
+
+@query
+def org():
+    """Q1/Qorg: the nested organisation view."""
+    return [
+        {
+            "name": d.name,
+            "employees": [
+                {
+                    "name": e.name,
+                    "salary": e.salary,
+                    "tasks": [t.task for t in tasks if t.employee == e.name],
+                }
+                for e in employees
+                if d.name == e.dept
+            ],
+            "contacts": [
+                {"name": c.name, "client": c.client}
+                for c in contacts
+                if d.name == c.dept
+            ],
+        }
+        for d in departments
+    ]
+
+
+@query
+def q2():
+    """Q2: departments where every employee can do the abstract task."""
+    return [
+        {"dept": d.name}
+        for d in org
+        if all(any(t == "abstract" for t in x.tasks) for x in d.employees)
+    ]
+
+
+@query
+def q3():
+    return [
+        {"name": e.name,
+         "tasks": [t.task for t in tasks if t.employee == e.name]}
+        for e in employees
+    ]
+
+
+@query
+def q4():
+    return [
+        {"dept": d.name,
+         "employees": [e.name for e in employees if d.name == e.dept]}
+        for d in departments
+    ]
+
+
+@query
+def q5():
+    return [
+        {"a": t.task,
+         "b": [
+             {"b": e.name, "c": d.name}
+             for e in employees
+             for d in departments
+             if e.name == t.employee and e.dept == d.name
+         ]}
+        for t in tasks
+    ]
+
+
+@query
+def q6():
+    """Q6: outliers and clients with their tasks — union via ``+``."""
+    return [
+        {
+            "department": x.name,
+            "people": [
+                {"name": y.name, "tasks": y.tasks}
+                for y in x.employees
+                if y.salary > 1000000 or y.salary < 1000
+            ]
+            + [
+                {"name": y.name, "tasks": ["buy"]}
+                for y in x.contacts
+                if y.client
+            ],
+        }
+        for x in org
+    ]
+
+
+PAPER_PAIRS = [
+    ("Q1", org, paper.Q1),
+    ("Q2", q2, paper.Q2),
+    ("Q3", q3, paper.Q3),
+    ("Q4", q4, paper.Q4),
+    ("Q5", q5, paper.Q5),
+    ("Q6", q6, paper.Q6),
+]
+
+
+@pytest.fixture
+def session(db):
+    return connect(db)
+
+
+class TestPaperQueriesCaptured:
+    @pytest.mark.parametrize(
+        "name,captured,builder", PAPER_PAIRS, ids=[p[0] for p in PAPER_PAIRS]
+    )
+    def test_captured_matches_builder_dsl(self, session, name, captured, builder):
+        got = session.run(captured)
+        want = session.run(builder)
+        assert bag_equal(got.value, want.value), name
+
+    @pytest.mark.parametrize(
+        "name,captured,builder", PAPER_PAIRS, ids=[p[0] for p in PAPER_PAIRS]
+    )
+    def test_captured_agrees_across_engines(
+        self, session, name, captured, builder
+    ):
+        auto = session.run(captured)
+        per_path = session.run(captured, engine="per-path")
+        assert bag_equal(auto.value, per_path.value), name
+
+
+class TestCaptureFeatures:
+    def test_closure_constants_become_literals(self, session, db):
+        @query
+        def high_earners():
+            return [{"emp": e.name} for e in employees if e.salary > SALARY_CAP]
+
+        rows = session.run(high_earners).to_dicts()
+        expected = [
+            {"emp": row["name"]}
+            for row in db.rows("employees")
+            if row["salary"] > SALARY_CAP
+        ]
+        assert bag_equal(rows, expected)
+
+    def test_parameterised_capture_composes(self, session, db):
+        @query
+        def depts_of(view):
+            return [{"dept": d.name} for d in view]
+
+        bound = depts_of(org.term())
+        rows = session.run(bound).to_dicts()
+        assert bag_equal(
+            rows, [{"dept": row["name"]} for row in db.rows("departments")]
+        )
+
+    def test_parameters_bindable_by_keyword(self, session):
+        @query
+        def depts_of(view):
+            return [{"dept": d.name} for d in view]
+
+        by_kw = session.run(depts_of.term(view=org.term()))
+        positional = session.run(depts_of(org.term()))
+        assert bag_equal(by_kw.value, positional.value)
+
+    def test_unbound_parameter_raises(self):
+        @query
+        def depts_of(view):
+            return [{"dept": d.name} for d in view]
+
+        with pytest.raises(CaptureError, match="view"):
+            depts_of.term()
+
+    def test_meta_helpers_run_at_capture_time(self, session, db):
+        @query
+        def with_tasks():
+            return [
+                {"name": e.name, "tasks": paper.tasks_of_emp(e)}
+                for e in employees
+            ]
+
+        got = session.run(with_tasks)
+        want = session.run(paper.Q3)
+        assert bag_equal(got.value, want.value)
+
+    def test_subscript_labels(self, session, db):
+        @query
+        def names():
+            return [{"n": e["name"]} for e in employees]
+
+        assert bag_equal(
+            session.run(names).value,
+            [{"n": row["name"]} for row in db.rows("employees")],
+        )
+
+    def test_conditional_expression(self, session, db):
+        @query
+        def banded():
+            return [
+                {"name": e.name,
+                 "band": "high" if e.salary > 50000 else "low"}
+                for e in employees
+            ]
+
+        rows = session.run(banded).to_dicts()
+        expected = [
+            {"name": row["name"],
+             "band": "high" if row["salary"] > 50000 else "low"}
+            for row in db.rows("employees")
+        ]
+        assert bag_equal(rows, expected)
+
+    def test_literal_bags_and_union(self, session):
+        @query
+        def fixed():
+            return [{"xs": [1, 2] + [3]} for d in departments]
+
+        rows = session.run(fixed).to_dicts()
+        assert all(sorted(row["xs"]) == [1, 2, 3] for row in rows)
+
+    def test_comparison_chain(self, session, db):
+        @query
+        def mid():
+            return [{"n": e.name} for e in employees if 1000 < e.salary < 100000]
+
+        rows = session.run(mid).to_dicts()
+        expected = [
+            {"n": row["name"]}
+            for row in db.rows("employees")
+            if 1000 < row["salary"] < 100000
+        ]
+        assert bag_equal(rows, expected)
+
+    def test_decorator_with_parentheses(self):
+        @query()
+        def depts():
+            return [{"n": d.name} for d in departments]
+
+        assert isinstance(depts, CapturedQuery)
+        assert depts.parameters == ()
+
+
+class TestCaptureErrors:
+    def test_unsupported_syntax_names_the_construct_and_line(self):
+        @query
+        def bad():
+            return {d.name for d in departments}  # set comprehension
+
+        with pytest.raises(CaptureError, match="SetComp"):
+            bad.term()
+
+    def test_multi_statement_bodies_rejected(self):
+        @query
+        def bad():
+            xs = [d.name for d in departments]
+            return xs
+
+        with pytest.raises(CaptureError, match="single"):
+            bad.term()
+
+    def test_duplicate_record_labels_rejected(self):
+        @query
+        def bad():
+            return [{"n": d.name, "n": d.id} for d in departments]  # noqa: F601
+
+        with pytest.raises(CaptureError, match="duplicate"):
+            bad.term()
+
+    def test_non_string_record_labels_rejected(self):
+        @query
+        def bad():
+            return [{1: d.name} for d in departments]
+
+        with pytest.raises(CaptureError, match="string literals"):
+            bad.term()
+
+    def test_unknown_calls_rejected(self):
+        @query
+        def bad():
+            return [{"n": len(d.name)} for d in departments]
+
+        with pytest.raises(CaptureError, match="len"):
+            bad.term()
+
+    def test_any_requires_a_generator(self):
+        @query
+        def bad():
+            return [{"n": d.name} for d in departments if any(True)]
+
+        with pytest.raises(CaptureError, match="generator"):
+            bad.term()
+
+    def test_tuple_targets_rejected(self):
+        @query
+        def bad():
+            return [{"n": a} for a, b in departments]
+
+        with pytest.raises(CaptureError, match="simple names"):
+            bad.term()
+
+    def test_non_boolean_condition_fails_the_type_checker(self, session):
+        @query
+        def bad():
+            return [{"n": e.name} for e in employees if e.salary]
+
+        with pytest.raises(TypeCheckError):
+            session.query(bad).compiled
+
+    def test_interactive_definitions_are_rejected(self):
+        namespace: dict = {}
+        exec(
+            "def interactive():\n"
+            "    return [{'n': d.name} for d in departments]\n",
+            namespace,
+        )
+        with pytest.raises(CaptureError, match="source"):
+            query(namespace["interactive"]).term()
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(CaptureError, match="function"):
+            query(42)
+
+    def test_bound_non_term_parameter_rejected(self):
+        @query
+        def depts_of(view):
+            return [{"dept": d.name} for d in view]
+
+        with pytest.raises(CaptureError, match="view"):
+            depts_of(object())

@@ -1,0 +1,199 @@
+"""Edge cases of the `nrc.builders` DSL that the façade's capture and
+fluent layers lean on: comprehensions over non-table sources, non-boolean
+``where`` conditions, and record-label shadowing.
+
+Until now these paths were only exercised incidentally through the paper
+queries; the capture layer generates them systematically (literal bags from
+list displays, conditions from arbitrary expressions, records from dict
+displays), so they get direct coverage here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import connect
+from repro.errors import TypeCheckError
+from repro.nrc import builders as b
+from repro.nrc.ast import Record
+from repro.nrc.semantics import evaluate
+from repro.nrc.typecheck import infer
+from repro.values import bag_equal
+
+
+class TestForOverNonTableSources:
+    def test_for_over_literal_bag(self, db, schema):
+        query = b.for_(
+            "x",
+            b.bag_of(b.const(1), b.const(2), b.const(3)),
+            lambda x: b.ret(b.record(n=x, m=b.mul(x, b.const(10)))),
+        )
+        expected = [{"n": 1, "m": 10}, {"n": 2, "m": 20}, {"n": 3, "m": 30}]
+        assert bag_equal(evaluate(query, db), expected)
+        assert bag_equal(connect(db).run(query).value, expected)
+
+    def test_for_over_for(self, db):
+        inner = b.for_(
+            "e",
+            b.table("employees"),
+            lambda e: b.ret(b.record(name=e["name"], dept=e["dept"])),
+        )
+        outer = b.for_(
+            "r",
+            inner,
+            lambda r: b.where(
+                b.eq(r["dept"], b.const("Sales")),
+                b.ret(b.record(who=r["name"])),
+            ),
+        )
+        expected = [
+            {"who": row["name"]}
+            for row in db.rows("employees")
+            if row["dept"] == "Sales"
+        ]
+        assert bag_equal(connect(db).run(outer).value, expected)
+
+    def test_for_over_union_of_sources(self, db):
+        source = b.union(
+            b.for_(
+                "t",
+                b.table("tasks"),
+                lambda t: b.ret(b.record(who=t["employee"])),
+            ),
+            b.for_(
+                "e",
+                b.table("employees"),
+                lambda e: b.ret(b.record(who=e["name"])),
+            ),
+        )
+        query = b.for_("s", source, lambda s: b.ret(s["who"]))
+        expected = [row["employee"] for row in db.rows("tasks")] + [
+            row["name"] for row in db.rows("employees")
+        ]
+        assert bag_equal(connect(db).run(query).value, expected)
+
+    def test_for_over_empty_bag_is_empty(self, db):
+        from repro.nrc.types import INT, BagType, RecordType
+
+        query = b.for_(
+            "x",
+            b.empty_bag(RecordType((("n", INT),))),
+            lambda x: b.ret(b.record(n=x["n"], xs=b.bag_of(x["n"]))),
+        )
+        assert connect(db).run(query).value == []
+        assert isinstance(infer(query, db.schema), BagType)
+
+
+class TestNonBooleanWhere:
+    def test_integer_condition_is_ill_typed(self, schema):
+        query = b.for_(
+            "e",
+            b.table("employees"),
+            lambda e: b.where(e["salary"], b.ret(b.record(n=e["name"]))),
+        )
+        with pytest.raises(TypeCheckError):
+            infer(query, schema)
+
+    def test_string_condition_is_ill_typed(self, schema):
+        query = b.for_(
+            "e",
+            b.table("employees"),
+            lambda e: b.where(e["name"], b.ret(b.record(n=e["name"]))),
+        )
+        with pytest.raises(TypeCheckError):
+            infer(query, schema)
+
+    def test_pipeline_rejects_non_boolean_condition(self, db):
+        query = b.for_(
+            "e",
+            b.table("employees"),
+            lambda e: b.where(
+                b.add(e["salary"], b.const(1)), b.ret(b.record(n=e["name"]))
+            ),
+        )
+        with pytest.raises(TypeCheckError):
+            connect(db).query(query).compiled
+
+    def test_boolean_field_condition_is_fine(self, db):
+        query = b.for_(
+            "c",
+            b.table("contacts"),
+            lambda c: b.where(c["client"], b.ret(b.record(n=c["name"]))),
+        )
+        expected = [
+            {"n": row["name"]} for row in db.rows("contacts") if row["client"]
+        ]
+        assert bag_equal(connect(db).run(query).value, expected)
+
+
+class TestRecordFieldShadowing:
+    def test_duplicate_labels_rejected_at_construction(self):
+        with pytest.raises(TypeCheckError, match="duplicate"):
+            Record((("n", b.const(1)), ("n", b.const(2))))
+
+    def test_builder_kwargs_cannot_shadow(self):
+        # Python keyword arguments already forbid duplicates; the record
+        # builder therefore always produces distinct labels.
+        record = b.record(a=b.const(1), b=b.const(2))
+        assert record.labels == ("a", "b")
+
+    def test_fields_are_sorted_but_lookup_is_by_label(self):
+        record = b.record(z=b.const(1), a=b.const(2))
+        assert record.labels == ("a", "z")
+        assert record.field("z") == b.const(1)
+
+    def test_tuple_encoding_uses_positional_labels(self):
+        encoded = b.tuple_(b.const(10), b.const(20))
+        assert encoded.labels == ("#1", "#2")
+
+    def test_nested_record_fields_shadow_independently(self, db):
+        # The same label at different nesting levels is not shadowing.
+        query = b.for_(
+            "d",
+            b.table("departments"),
+            lambda d: b.ret(
+                b.record(
+                    name=d["name"],
+                    inner=b.for_(
+                        "e",
+                        b.table("employees"),
+                        lambda e: b.where(
+                            b.eq(e["dept"], d["name"]),
+                            b.ret(b.record(name=e["name"])),
+                        ),
+                    ),
+                )
+            ),
+        )
+        result = connect(db).run(query)
+        for row in result:
+            assert set(row) == {"name", "inner"}
+            for inner in row["inner"]:
+                assert set(inner) == {"name"}
+
+
+class TestVariadicBuilders:
+    def test_zero_argument_conjunction_is_true(self):
+        assert b.and_() == b.TRUE
+        assert b.or_() == b.FALSE
+
+    def test_zero_argument_union_is_empty(self, db):
+        from repro.nrc.ast import Empty
+        from repro.nrc.types import INT
+
+        # A bare ∅ needs an element-type annotation to type-check.
+        assert b.union() == Empty()
+        result = connect(db).run(
+            b.for_("d", b.table("departments"), lambda d: b.ret(
+                b.record(n=d["name"], xs=b.empty_bag(INT))
+            ))
+        )
+        expected = [
+            {"n": row["name"], "xs": []} for row in db.rows("departments")
+        ]
+        assert bag_equal(result.value, expected)
+
+    def test_union_of_singletons_matches_bag_of(self, db):
+        literal = b.bag_of(b.const(1), b.const(2))
+        unioned = b.union(b.ret(b.const(1)), b.ret(b.const(2)))
+        assert bag_equal(evaluate(literal, db), evaluate(unioned, db))

@@ -34,6 +34,33 @@ class TestRun:
         out = capsys.readouterr().out
         assert "Sales" in out and "⟨" in out
 
+    def test_run_explicit_engine_matches_auto(self, capsys):
+        assert main(["run", "Q4", "--engine", "per-path"]) == 0
+        per_path = capsys.readouterr().out
+        assert main(["run", "Q4", "--engine", "auto"]) == 0
+        auto = capsys.readouterr().out
+        assert per_path == auto
+
+    def test_run_stats_reports_engine_and_counters(self, capsys):
+        assert main(["run", "Q6", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine=parallel" in out  # Q6: 3 statements → auto=parallel
+        assert "queries=3" in out
+
+    def test_run_explain(self, capsys):
+        assert main(["run", "Q6", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "engine" in out and "nesting degree" in out
+
+    def test_run_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["run", "Q4", "--engine", "warp"])
+
+    def test_help_points_at_the_facade(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "repro.api" in capsys.readouterr().out
+
 
 class TestNormalForm:
     def test_normal_form_q6(self, capsys):

@@ -34,6 +34,45 @@ def test_examples_directory_complete():
     } <= names
 
 
+def test_examples_use_the_facade():
+    """Every example goes through the `repro.api` Session façade: no direct
+    ShreddingPipeline construction outside `repro.api` and its shims."""
+    for path in sorted(EXAMPLES.glob("*.py")):
+        source = path.read_text()
+        assert "ShreddingPipeline" not in source, (
+            f"{path.name} constructs the pipeline directly; "
+            f"use repro.api.connect()"
+        )
+        assert "repro.api" in source, (
+            f"{path.name} does not import the repro.api façade"
+        )
+
+
+def test_pipeline_construction_is_contained_in_the_engine():
+    """`ShreddingPipeline(...)` may only be constructed inside `repro.api`,
+    its pipeline home, and the engine-room modules (baselines/bench); the
+    application surface goes through `Session`."""
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    allowed = {
+        src / "api" / "session.py",          # the façade itself
+        src / "pipeline" / "shredder.py",    # the class definition + shims
+        src / "pipeline" / "plan_cache.py",  # docstring mention
+        src / "bench" / "harness.py",        # benchmark systems
+        src / "bench" / "figures.py",
+        src / "bench" / "smoke.py",
+        src / "__main__.py",                 # sql --explain engine report
+    }
+    offenders = [
+        path
+        for path in src.rglob("*.py")
+        if path not in allowed and "ShreddingPipeline(" in path.read_text()
+    ]
+    assert not offenders, (
+        f"direct ShreddingPipeline construction outside the engine room: "
+        f"{[str(p) for p in offenders]}"
+    )
+
+
 def test_social_feed():
     out = _run("social_feed.py")
     assert "4 flat queries" in out

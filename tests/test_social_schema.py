@@ -12,6 +12,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "examples"))
 
 from social_feed import SOCIAL_SCHEMA, feed_query, sample_database  # noqa: E402
 
+from repro.api import connect
 from repro.baselines.looplifting import LoopLiftingPipeline
 from repro.baselines.naive import AvalanchePipeline
 from repro.nrc.semantics import evaluate
@@ -29,7 +30,9 @@ def social_db():
 
 @pytest.fixture(scope="module")
 def query():
-    return feed_query()
+    # The example builds the feed with the fluent façade; lowering it to a
+    # λNRC term lets every baseline system below consume the same query.
+    return feed_query(connect(schema=SOCIAL_SCHEMA)).term()
 
 
 class TestFeed:
