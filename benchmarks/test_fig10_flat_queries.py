@@ -30,9 +30,10 @@ def test_fig10_cell(benchmark, bench_db, query_name, system):
 def test_fig10_shredding_overhead_is_bounded(bench_db):
     """Sanity assertion behind the figure: for flat queries, shredding's
     query is a single SELECT like the default pipeline's (no OLAP)."""
-    from repro.pipeline.shredder import shred_sql
+    from repro.api import connect
 
+    session = connect(schema=bench_db.schema, cache=False)
     for name, query in FLAT_QUERIES.items():
-        pairs = shred_sql(query, bench_db.schema)
+        pairs = session.sql(query)
         assert len(pairs) == 1, name
         assert "ROW_NUMBER" not in pairs[0][1], name

@@ -7,11 +7,19 @@ machinery (plan cache, batched engine, baselines) can't silently rot.
 
 from __future__ import annotations
 
-from repro.bench.smoke import SMOKE_SYSTEMS, format_smoke, run_smoke
+from repro.bench.smoke import (
+    SERVICE_ENGINES,
+    SMOKE_SYSTEMS,
+    format_smoke,
+    run_smoke,
+)
 
 
 def test_smoke_all_systems_pass():
     results = run_smoke()
     text, ok = format_smoke(results)
     assert ok, f"bench smoke failed:\n{text}"
-    assert {system for system, *_ in results} == set(SMOKE_SYSTEMS)
+    expected = set(SMOKE_SYSTEMS) | {
+        f"service[{engine}]" for engine in SERVICE_ENGINES
+    }
+    assert {system for system, *_ in results} == expected

@@ -3,6 +3,7 @@
     python -m repro sql Q6               # the SQL a paper query shreds into
     python -m repro run Q6               # run it on the Fig. 3 instance
     python -m repro run Q6 --engine parallel --stats
+    python -m repro serve --port 7411    # the asyncio query service
     python -m repro normal-form Q2       # show the normal form
     python -m repro figures --figure 11  # regenerate an evaluation figure
     python -m repro bench --smoke        # tiny per-system sweep, fail on error
@@ -32,7 +33,7 @@ def _query(name: str):
 
 
 def _cmd_sql(args: argparse.Namespace) -> int:
-    from repro.pipeline.shredder import shred_sql
+    from repro.api import connect
     from repro.sql.codegen import SqlOptions
 
     options = SqlOptions(
@@ -45,7 +46,8 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     if args.explain:
         print(_explain_sql(_query(args.query), options))
         return 0
-    for path, sql in shred_sql(_query(args.query), ORGANISATION_SCHEMA, options):
+    session = connect(schema=ORGANISATION_SCHEMA, options=options, cache=False)
+    for path, sql in session.sql(_query(args.query)):
         print(f"-- query at path {path}")
         print(sql)
         print()
@@ -135,6 +137,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.api import connect
+    from repro.data.generator import scaled_database
+    from repro.service.registry import paper_registry
+    from repro.service.server import QueryServer
+
+    if args.scale:
+        db = scaled_database(args.scale, seed=0, scale_rows=args.rows)
+    else:
+        db = figure3_database()
+    session = connect(db)
+    registry = paper_registry()
+    server = QueryServer(session, registry, pool_size=args.pool)
+
+    async def serve() -> None:
+        host, port = await server.start(args.host, args.port)
+        print(f"repro query service on {host}:{port}")
+        print(f"  queries : {', '.join(registry.names())}")
+        print(f"  pool    : {args.pool} read connections")
+        print("  protocol: length-prefixed JSON frames "
+              "(prepare/execute/explain/stats/close) — see README")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 def _cmd_normal_form(args: argparse.Namespace) -> int:
     from repro.normalise import normalise, pretty_nf
 
@@ -200,6 +234,33 @@ def main(argv: list[str] | None = None) -> int:
         "running",
     )
     run.set_defaults(fn=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio query service on the organisation data",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411)
+    serve.add_argument(
+        "--pool",
+        type=int,
+        default=4,
+        help="read-only connection leases (concurrent request slots)",
+    )
+    serve.add_argument(
+        "--scale",
+        type=int,
+        default=0,
+        help="serve a generated instance with this many departments "
+        "(default: the Fig. 3 instance)",
+    )
+    serve.add_argument(
+        "--rows",
+        type=int,
+        default=20,
+        help="employees per department for --scale instances",
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     nf = sub.add_parser("normal-form", help="show a query's normal form")
     nf.add_argument("query")

@@ -31,9 +31,10 @@ the old entry points remain as deprecated shims.
 """
 
 from repro.api.capture import CapturedQuery, query
-from repro.api.fluent import Expr, Query, TermQuery, as_term
+from repro.api.fluent import Expr, Query, TermQuery, as_term, param
 from repro.api.results import Prepared, Result, Runnable
 from repro.api.session import PARALLEL_THRESHOLD, Session, connect
+from repro.nrc.ast import Param
 from repro.sql.codegen import SqlOptions
 
 __all__ = [
@@ -44,6 +45,8 @@ __all__ = [
     "Query",
     "TermQuery",
     "Expr",
+    "Param",
+    "param",
     "Prepared",
     "Result",
     "Runnable",

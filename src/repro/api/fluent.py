@@ -30,12 +30,47 @@ from typing import TYPE_CHECKING, Any, Callable, Union as PyUnion
 
 from repro.errors import ShreddingError
 from repro.nrc import ast, builders as b
+from repro.nrc.types import BOOL, INT, STRING, BaseType
 from repro.api.results import Runnable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.session import Session
 
-__all__ = ["Expr", "Query", "as_term", "to_term"]
+__all__ = ["Expr", "Query", "as_term", "param", "to_term"]
+
+_PARAM_TYPES = {
+    "int": INT,
+    "integer": INT,
+    "bool": BOOL,
+    "boolean": BOOL,
+    "str": STRING,
+    "string": STRING,
+}
+
+
+def param(name: str, type: object = "int") -> Expr:
+    """A typed host-parameter placeholder: compile once, bind per call.
+
+    The returned :class:`Expr` drops into fluent predicates, captured
+    comprehensions (close over it) and hand-built terms (``.term``); the
+    query compiles with a SQL placeholder ``:name`` and every ``run``
+    supplies the value via ``params={name: value}``.  Two runs differing
+    only in bound values share one plan-cache entry by construction.
+
+    ``type`` is ``"int"`` (default), ``"bool"``, ``"str"`` — or a
+    :class:`~repro.nrc.types.BaseType`.
+    """
+    if isinstance(type, BaseType):
+        base = type
+    else:
+        base = _PARAM_TYPES.get(str(type).lower())
+        if base is None:
+            raise ShreddingError(
+                f"unknown parameter type {type!r}; one of: "
+                + ", ".join(sorted(set(_PARAM_TYPES)))
+                + " (or a BaseType)"
+            )
+    return Expr(ast.Param(name, base))
 
 
 class _Scope:

@@ -93,6 +93,12 @@ class Prepared(Runnable):
         return self.compiled.query_count
 
     @property
+    def params(self) -> tuple[str, ...]:
+        """Host-parameter names every :meth:`run` must bind
+        (``run(params={name: value, …})``)."""
+        return self.compiled.param_names
+
+    @property
     def sql_by_path(self) -> list[tuple[str, str]]:
         """Human-readable (path, SQL) pairs — one per nesting level."""
         return self.compiled.sql_by_path
@@ -115,7 +121,8 @@ class Prepared(Runnable):
         resolves from the package shape — see
         :meth:`~repro.api.session.Session.resolve_engine`); ``collection``
         selects bag/set/list semantics; extra keyword arguments
-        (``batch_size``, ``create_indexes``, ``one_pass_stitch``) pass
+        (``params`` for host-parameter bindings, ``batch_size``,
+        ``create_indexes``, ``one_pass_stitch``, ``connection``) pass
         through to :meth:`~repro.pipeline.shredder.CompiledQuery.run`.
         ``stats`` (if given) additionally accumulates this run's stats.
         """
@@ -130,7 +137,7 @@ class Prepared(Runnable):
             **kwargs,
         )
         self._last_stats = run_stats
-        self._session.stats.merge(run_stats)
+        self._session._merge_stats(run_stats)
         if stats is not None:
             stats.merge(run_stats)
         return Result(value=value, stats=run_stats, engine=resolved)

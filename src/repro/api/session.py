@@ -20,6 +20,7 @@ connection pool.  Explicit engines are validated against
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
 from typing import Any, Iterable, Mapping
 
@@ -105,8 +106,11 @@ class Session:
             self.schema, self.options, validate=validate, cache=cache
         )
         #: Session-lifetime accumulation of every run's stats (plus the
-        #: plan cache's hit/miss counters from compiles).
+        #: plan cache's hit/miss counters from compiles).  Guarded by
+        #: ``_stats_lock``: the service layer runs many handler threads
+        #: through one shared session.
         self.stats = ExecutionStats()
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------- building
 
@@ -163,7 +167,30 @@ class Session:
         return self.prepare(source).compiled
 
     def _compile(self, term: ast.Term) -> CompiledQuery:
-        return self.pipeline.compile(term, stats=self.stats)
+        # Record cache counters into a local carrier first, then fold under
+        # the lock: compile work itself (possibly slow) stays unlocked.
+        local = ExecutionStats()
+        compiled = self.pipeline.compile(term, stats=local)
+        self._merge_stats(local)
+        return compiled
+
+    def _merge_stats(self, run_stats: ExecutionStats) -> None:
+        """Fold one run's stats into the session total (thread-safe)."""
+        with self._stats_lock:
+            self.stats.merge(run_stats)
+
+    def stats_snapshot(self) -> dict[str, object]:
+        """A consistent point-in-time view of the session counters —
+        never torn mid-merge, unlike reading ``stats`` fields directly
+        while handler threads are recording."""
+        with self._stats_lock:
+            return {
+                "queries": self.stats.queries,
+                "rows_fetched": self.stats.rows_fetched,
+                "cache_hits": self.stats.cache_hits,
+                "cache_misses": self.stats.cache_misses,
+                "millis": round(self.stats.total_millis, 3),
+            }
 
     def resolve_engine(
         self, engine: str | None, compiled: CompiledQuery
@@ -199,6 +226,7 @@ class Session:
             validate=self.pipeline.validate,
         )
         session.stats = self.stats  # one accumulation stream per family
+        session._stats_lock = self._stats_lock
         return session
 
     def close(self) -> None:

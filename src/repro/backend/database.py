@@ -18,6 +18,8 @@ import hashlib
 import itertools
 import os
 import sqlite3
+import threading
+import time
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import BackendError
@@ -70,8 +72,22 @@ class Database:
         self._connection: sqlite3.Connection | None = None
         self._memory_uri: str | None = None
         self._read_pool: list[sqlite3.Connection] = []
+        self._dedicated_readers: list[sqlite3.Connection] = []
         self._ensured_indexes: dict[tuple[str, tuple[str, ...]], str] = {}
         self._stats_stale = False
+        #: Live shared-scan materialisations by table name → [holders,
+        #: data_version at creation] (see acquire/release_shared_scan):
+        #: concurrent runs of plans sharing a content-addressed scan must
+        #: not drop it under each other, and a scan created before an
+        #: insert must not serve runs that started after it.
+        self._scan_refs: dict[str, list[int]] = {}
+        #: Bumped on every insert; lets scan holders detect staleness.
+        self._data_version = 0
+        # Serialises connection building, index DDL, ANALYZE and pool
+        # growth: the service layer drives this object from many handler
+        # threads at once.  Reentrant — ensure_index / refresh_statistics
+        # call connection() while holding it.
+        self._setup_lock = threading.RLock()
         if tables:
             for name, rows in tables.items():
                 self.insert(name, rows)
@@ -99,14 +115,33 @@ class Database:
             added.append(dict(row))
         target.extend(added)
         self._canonical.pop(table, None)
-        if added and self._ensured_indexes:
-            self._stats_stale = True  # table sizes shifted under ANALYZE
-        if self._connection is not None and added:
-            try:
+        if not added:
+            return
+        # The version bump and the SQLite apply are one unit under the
+        # setup lock: a shared-scan acquirer must never observe the new
+        # version while the store still holds the old rows.
+        with self._setup_lock:
+            self._data_version += 1
+            if self._ensured_indexes:
+                self._stats_stale = True  # table sizes shifted under ANALYZE
+            if self._connection is None:
+                return
+
+            def apply() -> None:
+                # A prior attempt may have died between executemany and
+                # commit; clear the open transaction so a retry cannot
+                # stack the rows twice (rollback is a no-op when clean).
+                self._connection.rollback()
                 self._insert_into_connection(
                     self._connection, table_schema, added
                 )
                 self._connection.commit()
+
+            try:
+                # Briefly retry on shared-cache lock contention (a leased
+                # reader mid-statement): disposing would close pooled
+                # connections other threads are still using.
+                self._retry_locked(apply)
             except sqlite3.Error:
                 # e.g. a declared-key violation: fall back to the lazy
                 # rebuild, which re-raises at the next query (as a
@@ -156,7 +191,9 @@ class Database:
     def connection(self) -> sqlite3.Connection:
         """A SQLite connection with all tables materialised (cached)."""
         if self._connection is None:
-            self._connection = self._build_connection()
+            with self._setup_lock:
+                if self._connection is None:
+                    self._connection = self._build_connection()
         return self._connection
 
     def _build_connection(self) -> sqlite3.Connection:
@@ -239,7 +276,7 @@ class Database:
     def execute_cursor(
         self,
         sql: str,
-        params: Sequence[object] = (),
+        params: Sequence[object] | Mapping[str, object] = (),
         connection: sqlite3.Connection | None = None,
     ) -> sqlite3.Cursor:
         """Run a query, returning the live cursor (for ``fetchmany``
@@ -250,14 +287,16 @@ class Database:
         """
         try:
             target = connection if connection is not None else self.connection()
-            return target.execute(sql, tuple(params))
+            # Named host parameters bind as a mapping; positional as a tuple.
+            bound = params if isinstance(params, Mapping) else tuple(params)
+            return target.execute(sql, bound)
         except sqlite3.Error as error:
             raise BackendError(f"SQL execution failed: {error}\n{sql}") from error
 
     def execute_sql_chunks(
         self,
         sql: str,
-        params: Sequence[object] = (),
+        params: Sequence[object] | Mapping[str, object] = (),
         batch_size: int = 1024,
         connection: sqlite3.Connection | None = None,
     ) -> Iterator[list[tuple]]:
@@ -294,12 +333,23 @@ class Database:
         key = (table, columns)
         if key in self._ensured_indexes:
             return False
-        digest = hashlib.sha1(repr(key).encode()).hexdigest()[:12]
-        name = f"qsidx_{table}_{digest}"
-        self.connection().execute(_index_ddl(name, table, columns))
-        self._ensured_indexes[key] = name
-        self._stats_stale = True
-        return True
+        with self._setup_lock:
+            if key in self._ensured_indexes:
+                return False
+            digest = hashlib.sha1(repr(key).encode()).hexdigest()[:12]
+            name = f"qsidx_{table}_{digest}"
+            try:
+                self.connection().execute(_index_ddl(name, table, columns))
+            except sqlite3.OperationalError as error:
+                if _is_locked(error):
+                    # A concurrent leased reader has an active statement;
+                    # shared-cache DDL cannot take the schema lock.  The
+                    # index is advisory — skip now, a later run retries.
+                    return False
+                raise
+            self._ensured_indexes[key] = name
+            self._stats_stale = True
+            return True
 
     def refresh_statistics(self) -> bool:
         """Run ``ANALYZE`` if statistics went stale since the last run —
@@ -311,15 +361,24 @@ class Database:
         ensuring indexes.  A no-op when statistics are current; returns
         True iff ANALYZE actually ran.
         """
-        if self._ensured_indexes:
-            # Force the (re)build *before* consulting the flag: a rebuilt
-            # connection replays the indexes and marks statistics stale.
-            self.connection()
-        if not self._stats_stale:
-            return False
-        self.connection().execute("ANALYZE")
-        self._stats_stale = False
-        return True
+        with self._setup_lock:
+            if self._ensured_indexes:
+                # Force the (re)build *before* consulting the flag: a
+                # rebuilt connection replays the indexes and marks
+                # statistics stale.
+                self.connection()
+            if not self._stats_stale:
+                return False
+            try:
+                self.connection().execute("ANALYZE")
+            except sqlite3.OperationalError as error:
+                if _is_locked(error):
+                    # Statistics are an optimisation; stay stale and let a
+                    # quieter run refresh them.
+                    return False
+                raise
+            self._stats_stale = False
+            return True
 
     def read_connections(self, count: int) -> list[sqlite3.Connection]:
         """``count`` pooled read-only connections to the live materialisation.
@@ -336,24 +395,143 @@ class Database:
         """
         if count < 1:
             raise BackendError(f"pool size must be ≥1, got {count}")
-        self.connection()  # materialise (and pin the URI) first
-        while len(self._read_pool) < count:
-            reader = sqlite3.connect(
-                self._memory_uri, uri=True, check_same_thread=False
-            )
-            reader.execute("PRAGMA query_only=ON")
-            self._read_pool.append(reader)
-        return self._read_pool[:count]
+        with self._setup_lock:
+            self.connection()  # materialise (and pin the URI) first
+            while len(self._read_pool) < count:
+                self._read_pool.append(self._open_reader())
+            return self._read_pool[:count]
+
+    def dedicated_read_connections(self, count: int) -> list[sqlite3.Connection]:
+        """``count`` fresh read-only connections *outside* the shared pool.
+
+        The service layer leases these one-per-request: unlike
+        :meth:`read_connections` (whose pool prefix every parallel-engine
+        run reuses), dedicated readers are owned by the caller, so no other
+        executor can stripe work onto a connection a request currently
+        holds.  They are still closed by :meth:`_dispose_connection`.
+        """
+        if count < 1:
+            raise BackendError(f"pool size must be ≥1, got {count}")
+        with self._setup_lock:
+            self.connection()
+            readers = [self._open_reader() for _ in range(count)]
+            self._dedicated_readers.extend(readers)
+            return readers
+
+    def release_dedicated_reader(self, connection: sqlite3.Connection) -> None:
+        """Close one dedicated reader and forget it (lease retirement)."""
+        with self._setup_lock:
+            try:
+                connection.close()
+            except sqlite3.Error:
+                pass
+            try:
+                self._dedicated_readers.remove(connection)
+            except ValueError:
+                pass  # already disposed with the store
+
+    def _open_reader(self) -> sqlite3.Connection:
+        reader = sqlite3.connect(
+            self._memory_uri, uri=True, check_same_thread=False
+        )
+        reader.execute("PRAGMA query_only=ON")
+        return reader
 
     @property
     def pool_size(self) -> int:
         """How many pooled read connections are currently open."""
         return len(self._read_pool)
 
+    def acquire_shared_scan(self, scan) -> None:
+        """Materialise ``scan`` (a :class:`~repro.sql.optimizer.SharedScan`)
+        for one run, ref-counted across concurrent runs.
+
+        Scans are content-addressed, so two in-flight runs of plans sharing
+        a subplan want the *same* table: the first holder creates it, the
+        last one drops it.  A scan created *before* an insert never serves
+        a run that starts *after* it — the acquirer waits for the stale
+        holders to drain and recreates the table (scans are a function of
+        the table contents, so reuse across a mutation would stitch
+        inconsistent results).  The DDL retries briefly on SQLITE_LOCKED:
+        shared-cache schema changes cannot proceed while a leased reader
+        has a statement in flight, and those statements are short-lived.
+        """
+        deadline = time.monotonic() + 10.0
+        while True:
+            with self._setup_lock:
+                entry = self._scan_refs.get(scan.name)
+                if entry is not None and entry[1] == self._data_version:
+                    entry[0] += 1
+                    return
+                if entry is None:
+                    # Fresh (or crashed-run leftover) — (re)materialise.
+                    self._retry_locked(
+                        lambda: (
+                            self.execute_cursor(scan.drop_sql),
+                            self.execute_cursor(scan.create_sql),
+                            self.connection().commit(),
+                        )
+                    )
+                    self._scan_refs[scan.name] = [1, self._data_version]
+                    return
+                # Live but stale (an insert landed while held): wait for
+                # the current holders to drain, then recreate.
+            if time.monotonic() > deadline:
+                raise BackendError(
+                    f"shared scan {scan.name} held stale for >10s"
+                )
+            time.sleep(0.002)
+
+    def release_shared_scan(self, scan) -> None:
+        """Drop one hold on ``scan``; the last release drops the table."""
+        with self._setup_lock:
+            entry = self._scan_refs.get(scan.name)
+            if entry is None:
+                return
+            entry[0] -= 1
+            if entry[0] > 0:
+                return
+            self._scan_refs.pop(scan.name, None)
+            try:
+                self._retry_locked(
+                    lambda: (
+                        self.execute_cursor(scan.drop_sql),
+                        self.connection().commit(),
+                    )
+                )
+            except (BackendError, sqlite3.OperationalError) as error:
+                cause = (
+                    error.__cause__
+                    if isinstance(error, BackendError)
+                    else error
+                )
+                if not _is_locked(cause):
+                    raise
+                # Persistently locked: leave the table behind — the next
+                # acquire at refcount 0 drops and recreates it anyway.
+
+    def _retry_locked(self, action, timeout: float = 2.0) -> None:
+        """Run ``action`` retrying on SQLITE_LOCKED (shared-cache schema
+        locks held by in-flight reader statements clear in milliseconds)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                action()
+                return
+            except (sqlite3.OperationalError, BackendError) as error:
+                cause = error.__cause__ if isinstance(error, BackendError) else error
+                if not _is_locked(cause) or time.monotonic() > deadline:
+                    raise
+            time.sleep(0.002)
+
     def _dispose_connection(self) -> None:
         for reader in self._read_pool:
             reader.close()
         self._read_pool.clear()
+        for reader in self._dedicated_readers:
+            reader.close()
+        self._dedicated_readers.clear()
+        self._scan_refs.clear()  # the store (and its scan tables) is gone
         if self._connection is not None:
             self._connection.close()
             self._connection = None
@@ -372,6 +550,12 @@ class Database:
 
 #: Process-unique suffixes for shared-cache memory database names.
 _MEMORY_NAMES = itertools.count()
+
+
+def _is_locked(error: object) -> bool:
+    """True for SQLITE_LOCKED/SQLITE_BUSY — shared-cache lock contention
+    (not retried by the busy timeout), as opposed to real failures."""
+    return isinstance(error, sqlite3.OperationalError) and "locked" in str(error)
 
 
 def _index_ddl(name: str, table: str, columns: Sequence[str]) -> str:

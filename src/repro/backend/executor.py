@@ -58,6 +58,7 @@ from repro.sql.codegen import CompiledSql
 
 __all__ = [
     "ExecutionStats",
+    "bind_params",
     "execute_compiled",
     "execute_package_batched",
     "ensure_compiled_indexes",
@@ -130,22 +131,50 @@ class ExecutionStats:
         return sum(self.per_query_millis)
 
 
+def bind_params(compiled: CompiledSql, params) -> dict[str, object]:
+    """The bind dict for one statement: exactly the host parameters its SQL
+    names (sqlite3 rejects superfluous named parameters), with missing
+    ones reported up front."""
+    if not compiled.params:
+        return {}
+    supplied = params or {}
+    missing = [name for name in compiled.params if name not in supplied]
+    if missing:
+        from repro.errors import BackendError
+
+        raise BackendError(
+            "unbound host parameter(s): "
+            + ", ".join(f":{name}" for name in missing)
+            + " — pass run(params={...})"
+        )
+    return {name: supplied[name] for name in compiled.params}
+
+
 def execute_compiled(
     db: Database,
     compiled: CompiledSql,
     stats: ExecutionStats | None = None,
     batch_size: int | None = None,
+    params=None,
+    connection=None,
 ) -> list[tuple[object, object]]:
     """Run one compiled shredded query and decode its ⟨index, value⟩ pairs.
 
     Rows stream from SQLite in ``batch_size`` chunks (default
     ``REPRO_FETCH_BATCH``, 1024) instead of one monolithic ``fetchall``,
-    bounding peak raw-row memory; decoding happens per chunk.
+    bounding peak raw-row memory; decoding happens per chunk.  ``params``
+    supplies host-parameter values (bound per statement); ``connection``
+    routes execution to a specific (pooled) connection.
     """
     batch = DEFAULT_FETCH_BATCH if batch_size is None else batch_size
     started = time.perf_counter()
     pairs: list[tuple[object, object]] = []
-    for chunk in db.execute_sql_chunks(compiled.sql, batch_size=batch):
+    for chunk in db.execute_sql_chunks(
+        compiled.sql,
+        params=bind_params(compiled, params),
+        batch_size=batch,
+        connection=connection,
+    ):
         pairs.extend(compiled.decode_rows(chunk))
     if stats is not None:
         stats.record(len(pairs), (time.perf_counter() - started) * 1000.0)
@@ -157,24 +186,23 @@ def shared_scan_tables(db: Database, shared_scans=()):
     """Materialise a package's shared scans for the duration of a run.
 
     Each scan is created on the *writer* connection and committed, so the
-    pooled readers of the parallel engine see it; every scan is dropped
-    again afterwards (the scan's rows are a function of the current table
-    contents, so caching across runs would go stale under inserts).
+    pooled readers of the parallel engine see it; the scans are dropped
+    when no in-flight run holds them any more (the scan's rows are a
+    function of the table contents, so caching across *disjoint* runs
+    would go stale under inserts).  Acquisition is ref-counted on the
+    :class:`Database` — concurrent service requests executing plans that
+    share a content-addressed scan reuse one materialisation instead of
+    dropping it under each other.
     """
-    created = []
+    acquired = []
     try:
         for scan in shared_scans:
-            db.execute_cursor(scan.drop_sql)  # a crashed run may have left one
-            db.execute_cursor(scan.create_sql)
-            created.append(scan)
-        if created:
-            db.connection().commit()
+            db.acquire_shared_scan(scan)
+            acquired.append(scan)
         yield
     finally:
-        for scan in created:
-            db.execute_cursor(scan.drop_sql)
-        if created:
-            db.connection().commit()
+        for scan in acquired:
+            db.release_shared_scan(scan)
 
 
 def _run_one_grouped(
@@ -182,6 +210,7 @@ def _run_one_grouped(
     compiled: CompiledSql,
     batch: int,
     connection=None,
+    params=None,
 ) -> tuple[dict, int, float]:
     """Execute one compiled query, pre-grouping by outer index.
 
@@ -193,7 +222,10 @@ def _run_one_grouped(
     grouped: dict = {}
     rows = 0
     for chunk in db.execute_sql_chunks(
-        compiled.sql, batch_size=batch, connection=connection
+        compiled.sql,
+        params=bind_params(compiled, params),
+        batch_size=batch,
+        connection=connection,
     ):
         rows += len(chunk)
         for raw in chunk:
@@ -215,6 +247,8 @@ def execute_package_batched(
     parallel: bool = False,
     max_workers: int | None = None,
     shared_scans=(),
+    params=None,
+    connection=None,
 ):
     """Run all shredded queries of a package in one pass.
 
@@ -238,6 +272,12 @@ def execute_package_batched(
     ``shared_scans`` carries the package's
     :class:`~repro.sql.optimizer.SharedScan` preludes (if the optimizer
     hoisted any); they are materialised for the duration of the run.
+
+    ``params`` supplies host-parameter values (each statement binds the
+    subset it names).  ``connection`` routes the *serial* batched path to a
+    specific pooled connection — the service layer leases one per request
+    so concurrent requests never contend on the writer connection; the
+    parallel path manages its own pool and ignores it.
     """
     from repro.shred.packages import annotations, pmap
 
@@ -260,9 +300,9 @@ def execute_package_batched(
 
             def run_member(task: tuple[int, CompiledSql]):
                 position, compiled = task
-                connection = connections[position % workers]
+                lane_connection = connections[position % workers]
                 return position, _run_one_grouped(
-                    db, compiled, batch, connection=connection
+                    db, compiled, batch, connection=lane_connection, params=params
                 )
 
             # One worker per pooled connection; members are striped over
@@ -292,7 +332,9 @@ def execute_package_batched(
         else:
             results = []
             for compiled in compiled_members:
-                grouped, rows, millis = _run_one_grouped(db, compiled, batch)
+                grouped, rows, millis = _run_one_grouped(
+                    db, compiled, batch, connection=connection, params=params
+                )
                 if stats is not None:
                     stats.record(rows, millis)
                 results.append(grouped)

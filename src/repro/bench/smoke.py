@@ -8,6 +8,12 @@ query — and reports per-system wall time.  Any pipeline exception fails
 the run (non-zero exit), so the perf machinery can't silently rot; a
 per-system time budget catches pathological slowdowns on what should be a
 sub-second instance.
+
+The sweep ends with the *service* rows: an in-process
+:class:`~repro.service.server.QueryServer` is started on the same tiny
+instance and one query is round-tripped over the wire per execution engine,
+value-checked against a direct ``Session.run`` — so the serving path (wire
+protocol, connection leases, thread offload) can't rot either.
 """
 
 from __future__ import annotations
@@ -17,7 +23,10 @@ import time
 from repro.bench.harness import SYSTEMS, run_system
 from repro.data.generator import scaled_database
 
-__all__ = ["SMOKE_SYSTEMS", "run_smoke", "format_smoke"]
+__all__ = ["SMOKE_SYSTEMS", "SERVICE_ENGINES", "run_smoke", "format_smoke"]
+
+#: Engines the service smoke round-trips one query through.
+SERVICE_ENGINES = ("per-path", "batched", "parallel")
 
 #: system → the query it smoke-tests on (flat pipelines can't run nested
 #: queries, the avalanche baseline is too slow for a big one).
@@ -54,7 +63,66 @@ def run_smoke(
         millis = (time.perf_counter() - started) * 1000.0
         note = "" if millis <= budget_ms else f"over budget ({budget_ms:.0f}ms)"
         results.append((system, query_name, millis, note))
+    results.extend(_service_smoke(db, budget_ms))
     return results
+
+
+def _service_smoke(
+    db, budget_ms: float, query_name: str = "Q4"
+) -> list[tuple[str, str, float | None, str]]:
+    """One wire round trip per engine against an in-process server."""
+    from repro.api import connect
+    from repro.data.queries import NESTED_QUERIES
+    from repro.service.client import ServiceClient
+    from repro.service.registry import QueryRegistry
+    from repro.service.server import serve_in_background
+    from repro.values import bag_equal
+
+    rows: list[tuple[str, str, float | None, str]] = []
+    session = connect(db)
+    expected = session.run(NESTED_QUERIES[query_name]).value
+    registry = QueryRegistry()
+    registry.register(query_name, NESTED_QUERIES[query_name])
+    try:
+        with serve_in_background(session, registry, pool_size=2) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                for engine in SERVICE_ENGINES:
+                    system = f"service[{engine}]"
+                    started = time.perf_counter()
+                    try:
+                        served = client.execute(query_name, engine=engine)
+                    except Exception as error:  # noqa: BLE001 — must surface
+                        rows.append(
+                            (
+                                system,
+                                query_name,
+                                None,
+                                f"{type(error).__name__}: {error}",
+                            )
+                        )
+                        continue
+                    millis = (time.perf_counter() - started) * 1000.0
+                    if not bag_equal(served, expected):
+                        rows.append(
+                            (system, query_name, None, "wire result mismatch")
+                        )
+                    else:
+                        note = (
+                            ""
+                            if millis <= budget_ms
+                            else f"over budget ({budget_ms:.0f}ms)"
+                        )
+                        rows.append((system, query_name, millis, note))
+    except Exception as error:  # noqa: BLE001 — server startup failure
+        rows.append(
+            (
+                "service",
+                query_name,
+                None,
+                f"{type(error).__name__}: {error}",
+            )
+        )
+    return rows
 
 
 def format_smoke(

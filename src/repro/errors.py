@@ -95,5 +95,19 @@ class BackendError(ReproError):
     """Failure in the database backend (schema mismatch, execution error)."""
 
 
+class ServiceError(ReproError):
+    """A query-service request failed (unknown query, malformed frame,
+    server-side execution error relayed over the wire).
+
+    Client-side instances carry the server's error classification in
+    ``kind`` (e.g. ``"ShreddingError"``) so callers can branch on it
+    without string-matching messages.
+    """
+
+    def __init__(self, message: str, kind: str = "ServiceError") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
 class IndexingError(ReproError):
     """An indexing scheme is invalid for the query (not injective/defined)."""

@@ -33,6 +33,7 @@ from repro.normalise.normal_form import (
     BaseExpr,
     Comprehension,
     ConstNF,
+    ParamNF,
     EmptyNF,
     NormQuery,
     PrimNF,
@@ -134,7 +135,7 @@ class _Rewriter:
             if position is None:
                 return expr
             return ZProj(position, expr.label)
-        if isinstance(expr, ConstNF):
+        if isinstance(expr, (ConstNF, ParamNF)):
             return expr
         if isinstance(expr, PrimNF):
             return PrimNF(expr.op, tuple(self.base(arg) for arg in expr.args))

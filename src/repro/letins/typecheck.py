@@ -23,6 +23,7 @@ from repro.letins.ast import (
 from repro.normalise.normal_form import (
     BaseExpr,
     ConstNF,
+    ParamNF,
     EmptyNF,
     PrimNF,
     VarField,
@@ -148,6 +149,10 @@ def _infer_base(
         if isinstance(expr.value, str):
             return STRING
         raise TypeCheckError(f"bad constant {expr.value!r}")
+    if isinstance(expr, ParamNF):
+        if not isinstance(expr.type, BaseType):
+            raise TypeCheckError(f"parameter :{expr.name} is not base-typed")
+        return expr.type
     if isinstance(expr, VarField):
         row = env.get(expr.var)
         if row is None:

@@ -21,6 +21,7 @@ from repro.normalise.normal_form import (
     Generator,
     NormQuery,
     NormTerm,
+    ParamNF,
     PrimNF,
     RecordNF,
     VarField,
@@ -46,6 +47,7 @@ __all__ = [
     "Generator",
     "NormQuery",
     "NormTerm",
+    "ParamNF",
     "PrimNF",
     "RecordNF",
     "VarField",

@@ -25,7 +25,7 @@ def hoist_ifs(term: ast.Term) -> ast.Term:
 
 
 def _nfh(term: ast.Term) -> ast.Term:
-    if isinstance(term, (ast.Var, ast.Const, ast.Table, ast.Empty)):
+    if isinstance(term, (ast.Var, ast.Const, ast.Table, ast.Empty, ast.Param)):
         return term
 
     if isinstance(term, ast.Prim):

@@ -32,6 +32,7 @@ from repro.normalise.normal_form import (
     Generator,
     NormQuery,
     NormTerm,
+    ParamNF,
     PrimNF,
     RecordNF,
     VarField,
@@ -193,7 +194,7 @@ class _Normaliser:
         if isinstance(term, ast.Project):
             return self._project(term, env)
 
-        if isinstance(term, (ast.Const, ast.Prim, ast.IsEmpty)):
+        if isinstance(term, (ast.Const, ast.Param, ast.Prim, ast.IsEmpty)):
             return self.base(term, env)
 
         if isinstance(
@@ -211,6 +212,9 @@ class _Normaliser:
         """⌊X⌋_O: normalise a base term."""
         if isinstance(term, ast.Const):
             return ConstNF(term.value)
+
+        if isinstance(term, ast.Param):
+            return ParamNF(term.name, term.type)
 
         if isinstance(term, ast.Project):
             result = self._project(term, env)

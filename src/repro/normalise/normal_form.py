@@ -32,6 +32,7 @@ __all__ = [
     "BaseExpr",
     "ConstNF",
     "VarField",
+    "ParamNF",
     "PrimNF",
     "EmptyNF",
     "RecordNF",
@@ -69,6 +70,23 @@ class VarField(BaseExpr):
 
     var: str
     label: str
+
+
+@dataclass(frozen=True)
+class ParamNF(BaseExpr):
+    """A typed host-parameter placeholder ``:name`` (a constant whose value
+    is bound at execution time; see :class:`repro.nrc.ast.Param`)."""
+
+    name: str
+    type: object  # a repro.nrc.types.BaseType
+
+    def eval_in_env(self, env: dict, tables) -> object:
+        from repro.errors import EvaluationError
+
+        raise EvaluationError(
+            f"host parameter :{self.name} has no value in the in-memory "
+            f"semantics; bind it through the SQL pipeline (run(params=...))"
+        )
 
 
 @dataclass(frozen=True)
@@ -167,6 +185,8 @@ def neg(expr: BaseExpr) -> BaseExpr:
 def base_to_term(expr: BaseExpr) -> ast.Term:
     if isinstance(expr, ConstNF):
         return ast.Const(expr.value)
+    if isinstance(expr, ParamNF):
+        return ast.Param(expr.name, expr.type)
     if isinstance(expr, VarField):
         return ast.Project(ast.Var(expr.var), expr.label)
     if isinstance(expr, PrimNF):

@@ -37,7 +37,7 @@ def symbolic_eval(term: ast.Term) -> ast.Term:
 
 
 def _nfc(term: ast.Term) -> ast.Term:
-    if isinstance(term, (ast.Var, ast.Const, ast.Table, ast.Empty)):
+    if isinstance(term, (ast.Var, ast.Const, ast.Table, ast.Empty, ast.Param)):
         return term
 
     if isinstance(term, ast.Prim):

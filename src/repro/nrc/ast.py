@@ -35,6 +35,7 @@ __all__ = [
     "For",
     "Table",
     "IsEmpty",
+    "Param",
     "free_vars",
     "substitute",
     "subterms",
@@ -209,11 +210,45 @@ class IsEmpty(Term):
     bag: Term
 
 
+@dataclass(frozen=True)
+class Param(Term):
+    """A typed host-parameter placeholder ``:name`` of base type.
+
+    A ``Param`` compiles like a constant whose *value* arrives at execution
+    time: the SQL code generator emits a named placeholder and the executor
+    binds the host value per run.  Two queries differing only in bound
+    parameter values are therefore *structurally identical* — the plan
+    cache serves both from one compiled plan (the prepared-statement
+    contract the service layer relies on).
+    """
+
+    name: str
+    type: Type
+
+    def __post_init__(self) -> None:
+        from repro.nrc.types import BaseType
+
+        if not (isinstance(self.name, str) and self.name.isidentifier()):
+            raise TypeCheckError(
+                f"parameter names must be identifiers, got {self.name!r}"
+            )
+        if not isinstance(self.type, BaseType) or self.type.name not in (
+            "Int",
+            "Bool",
+            "String",
+        ):
+            # Unit is a BaseType but has no host-value representation.
+            raise TypeCheckError(
+                f"parameters must have base type (Int/Bool/String), "
+                f"got {self.type}"
+            )
+
+
 def free_vars(term: Term) -> frozenset[str]:
     """The free variables of ``term``."""
     if isinstance(term, Var):
         return frozenset({term.name})
-    if isinstance(term, (Const, Table, Empty)):
+    if isinstance(term, (Const, Table, Empty, Param)):
         return frozenset()
     if isinstance(term, Prim):
         result: frozenset[str] = frozenset()
@@ -261,7 +296,7 @@ def substitute(term: Term, name: str, replacement: Term) -> Term:
     def go(t: Term, bound: frozenset[str]) -> Term:
         if isinstance(t, Var):
             return replacement if t.name == name else t
-        if isinstance(t, (Const, Table, Empty)):
+        if isinstance(t, (Const, Table, Empty, Param)):
             return t
         if isinstance(t, Prim):
             return Prim(t.op, tuple(go(arg, bound) for arg in t.args))
@@ -379,6 +414,11 @@ def term_fingerprint(term: Term) -> str:
         token = f"V:{term.name}"
     elif isinstance(term, Const):
         token = f"C:{type(term.value).__name__}:{term.value!r}"
+    elif isinstance(term, Param):
+        # Name and declared type only — never a value: calls that differ
+        # solely in bound host parameters share one fingerprint (and hence
+        # one cached plan).
+        token = f"H:{term.name}:{term.type}"
     elif isinstance(term, Table):
         token = f"T:{term.name}"
     elif isinstance(term, Empty):
@@ -451,7 +491,7 @@ SubtermMapper = Callable[[Term], Term]
 
 def map_subterms(term: Term, f: SubtermMapper) -> Term:
     """Rebuild ``term`` with ``f`` applied to each immediate subterm."""
-    if isinstance(term, (Var, Const, Table, Empty)):
+    if isinstance(term, (Var, Const, Table, Empty, Param)):
         return term
     if isinstance(term, Prim):
         return Prim(term.op, tuple(f(arg) for arg in term.args))

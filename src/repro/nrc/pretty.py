@@ -33,6 +33,9 @@ def _pp(term: ast.Term, prec: int) -> str:
             return f"“{term.value}”"
         return str(term.value)
 
+    if isinstance(term, ast.Param):
+        return f":{term.name}"
+
     if isinstance(term, ast.Prim):
         if term.op in _INFIX and len(term.args) == 2:
             op = {"and": "∧", "or": "∨"}.get(term.op, term.op)

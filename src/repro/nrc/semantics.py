@@ -46,6 +46,13 @@ def _eval(term: ast.Term, tables: TableProvider, env: dict) -> NestedValue:
     if isinstance(term, ast.Const):
         return term.value
 
+    if isinstance(term, ast.Param):
+        raise EvaluationError(
+            f"host parameter :{term.name} has no value in the in-memory "
+            f"semantics; bind it through the SQL pipeline "
+            f"(run(params={{...}}))"
+        )
+
     if isinstance(term, ast.Prim):
         args = [_eval(arg, tables, env) for arg in term.args]
         return apply_prim(term.op, args)

@@ -68,6 +68,9 @@ def _infer(term: ast.Term, schema: Schema, env: dict[str, Type]) -> Type:
     if isinstance(term, ast.Const):
         return _base_type_of_const(term.value)
 
+    if isinstance(term, ast.Param):
+        return term.type
+
     if isinstance(term, ast.Prim):
         arg_types = [_infer(arg, schema, env) for arg in term.args]
         return check_prim(term.op, arg_types)

@@ -23,6 +23,7 @@ with a bounded entry count; hit/miss counters feed
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
@@ -81,29 +82,35 @@ class PlanCache:
             raise ValueError("a plan cache needs at least one entry")
         self.max_entries = max_entries
         self._entries: OrderedDict[PlanKey, Any] = OrderedDict()
+        # Lookups/stores arrive from many service handler threads at once;
+        # the LRU reorder and the counters need a consistent view.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def lookup(self, key: PlanKey) -> Any | None:
         """The cached plan for ``key``, or None (counting hit/miss)."""
-        plan = self._entries.get(key)
-        if plan is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
 
     def store(self, key: PlanKey, plan: Any) -> None:
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

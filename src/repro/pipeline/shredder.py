@@ -78,6 +78,30 @@ __all__ = [
 #: ``"auto"`` resolves to one of these before reaching the pipeline).
 KNOWN_ENGINES = ("per-path", "batched", "parallel")
 
+#: Python value classes accepted per declared parameter base type (bool is
+#: excluded from Int — it is a subclass, but binding True to an Int
+#: parameter is almost always a typo).
+_PARAM_PYTHON_TYPES = {"Int": int, "Bool": bool, "String": str}
+
+
+def collect_param_specs(query: ast.Term) -> tuple:
+    """The sorted (name, type) host-parameter signature of a term.
+
+    One name must carry one type everywhere it appears — conflicting
+    declarations are an error, not a last-writer-wins merge.
+    """
+    specs: dict[str, object] = {}
+    for sub in ast.subterms(query):
+        if isinstance(sub, ast.Param):
+            declared = specs.get(sub.name)
+            if declared is not None and declared != sub.type:
+                raise ShreddingError(
+                    f"host parameter :{sub.name} declared with conflicting "
+                    f"types {declared} and {sub.type}"
+                )
+            specs[sub.name] = sub.type
+    return tuple(sorted(specs.items()))
+
 
 def validate_engine(engine: str, extra: tuple[str, ...] = ()) -> None:
     """Reject unknown engine names up front with the known-engine list.
@@ -113,6 +137,9 @@ class CompiledQuery:
     #: Materialise-once common subplans hoisted across the package's
     #: statements by the optimizer (empty unless ``options.optimize``).
     shared_scans: tuple = field(default=(), compare=False)
+    #: Host parameters of the query term, as sorted (name, BaseType) pairs:
+    #: the prepared-statement signature every ``run(params=…)`` must bind.
+    param_specs: tuple = field(default=())
 
     @property
     def query_paths(self) -> list[Path]:
@@ -130,6 +157,48 @@ class CompiledQuery:
     def query_count(self) -> int:
         """The number of flat queries = nesting degree of the result type."""
         return len(self.query_paths)
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        """The host-parameter names ``run(params=…)`` must bind."""
+        return tuple(name for name, _type in self.param_specs)
+
+    def check_params(self, params) -> dict[str, object]:
+        """Validate host-parameter bindings against the declared specs.
+
+        Every declared parameter must be bound with a value of its declared
+        base type; unknown names are rejected (they are typos, not noise).
+        Returns the validated bind dict.
+        """
+        supplied = dict(params or {})
+        missing = [name for name, _t in self.param_specs if name not in supplied]
+        if missing:
+            raise ShreddingError(
+                "missing host parameter(s): "
+                + ", ".join(f":{name}" for name in missing)
+            )
+        known = {name for name, _t in self.param_specs}
+        unknown = sorted(set(supplied) - known)
+        if unknown:
+            raise ShreddingError(
+                "unknown host parameter(s): "
+                + ", ".join(f":{name}" for name in unknown)
+                + (
+                    "; this query declares "
+                    + (", ".join(f":{n}" for n in sorted(known)) or "none")
+                )
+            )
+        for name, declared in self.param_specs:
+            value = supplied[name]
+            expected = _PARAM_PYTHON_TYPES.get(str(declared))
+            if expected is None or not isinstance(value, expected) or (
+                str(declared) != "Bool" and isinstance(value, bool)
+            ):
+                raise ShreddingError(
+                    f"host parameter :{name} expects {declared}, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+        return supplied
 
     def sql_at(self, path: Path) -> CompiledSql:
         return annotation_at(self.sql_package, path)
@@ -168,6 +237,8 @@ class CompiledQuery:
         engine: str = "per-path",
         batch_size: int | None = None,
         create_indexes: bool = True,
+        params=None,
+        connection=None,
     ) -> NestedValue:
         """Execute all shredded queries on SQLite and stitch (§5.2).
 
@@ -197,8 +268,14 @@ class CompiledQuery:
 
         ``batch_size`` bounds rows per ``fetchmany`` round trip (default
         ``REPRO_FETCH_BATCH``, 1024).
+
+        ``params`` binds the query's host parameters (validated against the
+        declared :attr:`param_specs` — the compile-once / re-bind-per-call
+        prepared-statement path).  ``connection`` routes the batched engine
+        onto a specific pooled read connection (service-layer leases).
         """
         validate_engine(engine)
+        bound = self.check_params(params)
         if collection not in ("bag", "set", "list"):
             raise ShreddingError(f"unknown collection semantics {collection!r}")
         if collection == "list" and not self.options.ordered:
@@ -220,6 +297,8 @@ class CompiledQuery:
                 batch_size=batch_size,
                 parallel=(engine == "parallel"),
                 shared_scans=self.shared_scans,
+                params=bound,
+                connection=connection,
             )
             value = stitch_grouped(results, self._top_key())
         elif engine == "per-path":
@@ -229,7 +308,12 @@ class CompiledQuery:
                 results = package_from(
                     self.result_type,
                     lambda path: execute_compiled(
-                        db, self.sql_at(path), stats, batch_size=batch_size
+                        db,
+                        self.sql_at(path),
+                        stats,
+                        batch_size=batch_size,
+                        params=bound,
+                        connection=connection,
                     ),
                 )
             value = stitch(
@@ -362,6 +446,7 @@ class ShreddingPipeline:
             options=self.options,
             cache_key=cache_key,
             shared_scans=shared_scans,
+            param_specs=collect_param_specs(query),
         )
 
     def run(self, query: ast.Term, db: Database, **kwargs) -> NestedValue:
@@ -413,6 +498,7 @@ def _hoist_shared_scans(sql_package: Package, options: SqlOptions):
     the removed CTEs.  Decode metadata is untouched — only CTEs move."""
     from dataclasses import replace
 
+    from repro.sql.ast import placeholder_names
     from repro.sql.optimizer import extract_shared_scans
     from repro.sql.render import render_statement
 
@@ -430,6 +516,7 @@ def _hoist_shared_scans(sql_package: Package, options: SqlOptions):
                 compiled,
                 statement=statement,
                 sql=render_statement(statement, options.pretty),
+                params=placeholder_names(statement),
                 index_hints=None,
             )
     from repro.shred.packages import pmap
@@ -456,6 +543,14 @@ def shred_run(
     same query/schema/options reuse the compiled plan.  The historical
     default engine (``"per-path"``) is preserved.
     """
+    import warnings
+
+    warnings.warn(
+        "shred_run() is deprecated; use "
+        "repro.api.connect(db).query(query).run(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.api import Session
 
     run_kwargs.setdefault("engine", "per-path")
@@ -479,6 +574,14 @@ def shred_sql(
         Thin shim over the façade — prefer
         ``repro.api.connect(schema=schema).sql(query)``.
     """
+    import warnings
+
+    warnings.warn(
+        "shred_sql() is deprecated; use "
+        "repro.api.connect(schema=schema).sql(query) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.api import Session
 
     return Session(schema=schema, options=options, cache=False).sql(query)

@@ -1,0 +1,49 @@
+"""``repro.service`` — the query service layer over the façade.
+
+Turns a :class:`~repro.api.session.Session` into a long-running concurrent
+query server::
+
+    from repro.api import connect
+    from repro.service import QueryRegistry, QueryServer, paper_registry
+
+    session = connect(db)
+    server = QueryServer(session, paper_registry(), pool_size=4)
+    # asyncio: await server.start(host, port); await server.serve_forever()
+
+    # or in-process (tests/benchmarks):
+    from repro.service import serve_in_background
+    with serve_in_background(session, paper_registry()) as handle:
+        with ServiceClient(handle.host, handle.port) as client:
+            client.execute("Q6")
+
+Four pieces:
+
+* :mod:`~repro.service.registry` — the prepared-query catalogue: named
+  shapes (fluent/captured/λNRC, with typed ``Param`` placeholders) that
+  compile once through the plan cache and re-bind host parameters per call;
+* :mod:`~repro.service.protocol` — length-prefixed JSON frames
+  (prepare/execute/explain/stats/close);
+* :mod:`~repro.service.server` — the asyncio server (``python -m repro
+  serve``), offloading execution onto leased read-only connections;
+* :mod:`~repro.service.client` — blocking and asyncio clients.
+"""
+
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.protocol import MAX_FRAME_BYTES, OPS, pack_frame, split_frame
+from repro.service.registry import QueryRegistry, RegisteredQuery, paper_registry
+from repro.service.server import QueryServer, ServerHandle, serve_in_background
+
+__all__ = [
+    "QueryRegistry",
+    "RegisteredQuery",
+    "paper_registry",
+    "QueryServer",
+    "ServerHandle",
+    "serve_in_background",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "pack_frame",
+    "split_frame",
+    "MAX_FRAME_BYTES",
+    "OPS",
+]

@@ -1,0 +1,185 @@
+"""Clients for the query service: blocking sockets and asyncio streams.
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient("127.0.0.1", 7411) as client:
+        client.prepare("staff_above")
+        rows = client.execute("staff_above", params={"min_salary": 900})
+
+Both flavours speak the same frames (:mod:`repro.service.protocol`) over a
+persistent connection and raise :class:`~repro.errors.ServiceError` (with
+the server's error classification in ``.kind``) on error responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    frame_length,
+    pack_frame,
+    raise_for_error,
+    split_frame,
+)
+
+__all__ = ["ServiceClient", "AsyncServiceClient"]
+
+
+class ServiceClient:
+    """A blocking client over one persistent socket (thread-confined:
+    share a connection per thread, not one across threads)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7411, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+
+    # -------------------------------------------------------------- plumbing
+
+    def _read_exactly(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = self._socket.recv(remaining)
+            if not chunk:
+                raise ServiceError("server closed the connection mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def request(self, payload: dict) -> dict:
+        """One request/response round trip (raises on error frames)."""
+        self._socket.sendall(pack_frame(payload))
+        body = self._read_exactly(frame_length(self._read_exactly(4)))
+        return raise_for_error(split_frame(body))
+
+    # ------------------------------------------------------------------- ops
+
+    def prepare(self, query: str) -> dict:
+        """Compile ``query`` server-side (plan-cache aware); returns its
+        statement count, host-parameter signature and resolved engine."""
+        return self.request({"op": "prepare", "query": query})
+
+    def execute(
+        self,
+        query: str,
+        params: dict | None = None,
+        engine: str | None = None,
+        collection: str | None = None,
+    ) -> list:
+        """Run ``query`` and return the nested rows (plain dicts/lists)."""
+        return self.execute_full(query, params, engine, collection)["rows"]
+
+    def execute_full(
+        self,
+        query: str,
+        params: dict | None = None,
+        engine: str | None = None,
+        collection: str | None = None,
+    ) -> dict:
+        """Like :meth:`execute`, but returns the whole response frame
+        (rows + engine + per-run stats)."""
+        payload: dict = {"op": "execute", "query": query}
+        if params:
+            payload["params"] = params
+        if engine:
+            payload["engine"] = engine
+        if collection:
+            payload["collection"] = collection
+        return self.request(payload)
+
+    def explain(self, query: str) -> str:
+        return self.request({"op": "explain", "query": query})["text"]
+
+    def stats(self) -> dict:
+        """Server, session and plan-cache counters."""
+        return self.request({"op": "stats"})
+
+    def close(self) -> None:
+        """Polite shutdown: send the close op, then drop the socket."""
+        try:
+            self.request({"op": "close"})
+        except (OSError, ServiceError):
+            pass  # the socket may already be gone; closing is best-effort
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AsyncServiceClient:
+    """The asyncio flavour: the same surface with awaitable ops."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7411) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "AsyncServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def request(self, payload: dict) -> dict:
+        if self._reader is None or self._writer is None:
+            raise ServiceError("not connected; await connect() first")
+        self._writer.write(pack_frame(payload))
+        await self._writer.drain()
+        prefix = await self._reader.readexactly(4)
+        body = await self._reader.readexactly(frame_length(prefix))
+        return raise_for_error(split_frame(body))
+
+    async def prepare(self, query: str) -> dict:
+        return await self.request({"op": "prepare", "query": query})
+
+    async def execute(
+        self,
+        query: str,
+        params: dict | None = None,
+        engine: str | None = None,
+        collection: str | None = None,
+    ) -> list:
+        payload: dict = {"op": "execute", "query": query}
+        if params:
+            payload["params"] = params
+        if engine:
+            payload["engine"] = engine
+        if collection:
+            payload["collection"] = collection
+        return (await self.request(payload))["rows"]
+
+    async def explain(self, query: str) -> str:
+        return (await self.request({"op": "explain", "query": query}))["text"]
+
+    async def stats(self) -> dict:
+        return await self.request({"op": "stats"})
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        try:
+            await self.request({"op": "close"})
+        except (OSError, ServiceError, asyncio.IncompleteReadError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

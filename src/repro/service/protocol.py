@@ -1,0 +1,113 @@
+"""The query-service wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Requests are objects with an ``op`` field::
+
+    {"op": "prepare", "query": "Q6"}
+    {"op": "execute", "query": "staff_above", "params": {"min_salary": 900}}
+    {"op": "explain", "query": "Q6"}
+    {"op": "stats"}
+    {"op": "close"}
+
+Responses carry ``ok``; successful ones add op-specific payload fields,
+failures an ``error`` object::
+
+    {"ok": true, "rows": [...], "engine": "batched", "stats": {...}}
+    {"ok": false, "error": {"type": "ShreddingError", "message": "..."}}
+
+Why JSON frames and not HTTP: the protocol is four verbs over a persistent
+connection; a length prefix keeps the reader trivial in both the asyncio
+server and the blocking client, and nested multiset results serialise
+directly (``Result.to_dicts()`` produces lists/dicts/base values only).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ReproError, ServiceError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "pack_frame",
+    "frame_length",
+    "split_frame",
+    "error_payload",
+    "raise_for_error",
+    "OPS",
+]
+
+#: Frames above this size are rejected instead of buffered — a corrupted
+#: length prefix must not look like a 4 GiB allocation request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: The operations the server dispatches (protocol reference, README).
+OPS = ("prepare", "execute", "explain", "stats", "close")
+
+
+def pack_frame(payload: dict) -> bytes:
+    """Serialise one message to its wire form (length prefix + JSON)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ServiceError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def frame_length(prefix: bytes) -> int:
+    """Decode (and bound-check) the 4-byte length prefix."""
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ServiceError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+def split_frame(body: bytes) -> dict:
+    """Decode a frame body into its message object."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(f"malformed frame: {error}") from error
+    if not isinstance(message, dict):
+        raise ServiceError(
+            f"frames must be JSON objects, got {type(message).__name__}"
+        )
+    return message
+
+
+def error_payload(error: BaseException) -> dict:
+    """The structured error frame for an exception.
+
+    Library errors (:class:`ReproError` subclasses — ``ShreddingError``,
+    ``CaptureError``, ``BackendError``, …) keep their class name so clients
+    can branch on the failure kind; anything else is reported as an
+    ``InternalError`` without leaking a traceback over the wire.
+    """
+    if isinstance(error, ReproError):
+        # A ServiceError may carry a finer classification than its class
+        # name (e.g. UnknownQueryError); relay it verbatim.
+        kind = getattr(error, "kind", None) or type(error).__name__
+        message = str(error)
+    else:
+        kind = "InternalError"
+        message = f"{type(error).__name__}: {error}"
+    return {"ok": False, "error": {"type": kind, "message": message}}
+
+
+def raise_for_error(response: dict) -> dict:
+    """Client side: turn an error response into a :class:`ServiceError`."""
+    if response.get("ok"):
+        return response
+    error = response.get("error") or {}
+    raise ServiceError(
+        error.get("message", "unspecified service error"),
+        kind=error.get("type", "ServiceError"),
+    )

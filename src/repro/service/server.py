@@ -1,0 +1,443 @@
+"""The asyncio query server: one shared Session, many concurrent clients.
+
+    python -m repro serve --port 7411 --pool 4
+
+Architecture (the concurrency story the paper's avalanche-free guarantee
+makes *predictable*: every request is a statically bounded number of flat
+SQL queries, so per-request cost cannot degenerate under load):
+
+* one :class:`~repro.api.session.Session` per database — plan cache, stats
+  and engine policy shared by every connection (both are lock-guarded);
+* one asyncio connection handler per client, reading length-prefixed JSON
+  frames (:mod:`repro.service.protocol`);
+* execution offloads to worker threads via :func:`asyncio.to_thread`, each
+  request holding a *leased* read-only connection from the database's pool
+  — sqlite3 releases the GIL inside its C-level steps, so one request's
+  SQLite evaluation overlaps another's Python-side decode;
+* graceful shutdown: the listener closes first, in-flight handlers drain.
+
+The event loop itself never touches SQLite: it parses frames, leases
+connections and serialises results, all bounded work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sqlite3
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    error_payload,
+    frame_length,
+    pack_frame,
+    split_frame,
+)
+from repro.service.registry import QueryRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
+
+__all__ = ["QueryServer", "ServerHandle", "serve_in_background"]
+
+#: Read-connection leases a server holds by default (concurrent requests
+#: beyond this queue on the lease, not on SQLite).
+DEFAULT_SERVICE_POOL = 4
+
+
+class QueryServer:
+    """A query service bound to one session and one query catalogue."""
+
+    def __init__(
+        self,
+        session: "Session",
+        registry: QueryRegistry,
+        pool_size: int = DEFAULT_SERVICE_POOL,
+    ) -> None:
+        if pool_size < 1:
+            raise ServiceError(f"pool size must be ≥1, got {pool_size}")
+        self.session = session
+        self.registry = registry
+        self.pool_size = pool_size
+        self._server: asyncio.AbstractServer | None = None
+        self._leases: asyncio.Queue | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._stopped = False
+        #: Request counters, mutated only on the event-loop thread.
+        self.request_counts: dict[str, int] = {}
+        self.error_count = 0
+        self.connections_served = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and listen; returns the actual (host, port) — port 0 picks
+        a free one (the test/bench path)."""
+        self._stopped = False  # a stopped server may be started again
+        # Dedicated reader connections (not the shared read pool, which
+        # the parallel engine stripes every run over): each request runs on
+        # a connection no other executor can touch, so concurrent SQLite
+        # steps never contend on one connection's serialisation mutex.
+        connections = self.session.db.dedicated_read_connections(self.pool_size)
+        self._leases = asyncio.Queue()
+        for connection in connections:
+            self._leases.put_nowait(connection)
+        try:
+            self._server = await asyncio.start_server(self._handle, host, port)
+        except BaseException:
+            # e.g. the port is taken: don't leak the readers just opened.
+            self._leases = None
+            for connection in connections:
+                self.session.db.release_dedicated_reader(connection)
+            raise
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ServiceError("server not started; call start() first")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight handlers, retire the leases."""
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._handlers.clear()
+        # Retire every lease.  Idle leases are parked already; leases held
+        # by in-flight thread work arrive when the worker finishes (its
+        # done callback sees _stopped and releases, so waiting here is
+        # bounded by the slowest running query, capped at 10s).
+        if self._leases is not None:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 10.0
+            retired = 0
+            while retired < self.pool_size:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    lease = await asyncio.wait_for(
+                        self._leases.get(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if lease is not None:  # None = retired by _park_lease
+                    self.session.db.release_dedicated_reader(lease)
+                retired += 1
+
+    # ------------------------------------------------------------ connection
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        self.connections_served += 1
+        try:
+            while True:
+                try:
+                    prefix = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break  # client hung up between requests
+                try:
+                    length = frame_length(prefix)
+                except ServiceError as error:
+                    # A rejected/corrupt length prefix desyncs the stream —
+                    # the body was never read, so the next read would parse
+                    # payload bytes as a length.  Answer and hang up.
+                    writer.write(pack_frame(error_payload(error)))
+                    self.error_count += 1
+                    try:
+                        await writer.drain()
+                    except ConnectionResetError:
+                        pass
+                    break
+                try:
+                    body = await reader.readexactly(length)
+                    request = split_frame(body)
+                    response, closing = await self._dispatch(request)
+                except asyncio.IncompleteReadError:
+                    break
+                except Exception as error:  # noqa: BLE001 — must answer in-frame
+                    response, closing = error_payload(error), False
+                    self.error_count += 1
+                try:
+                    # Serialising a big result set is real CPU time — keep
+                    # it off the loop so other connections stay served.
+                    if len(response.get("rows") or ()) > 256:
+                        frame = await asyncio.to_thread(pack_frame, response)
+                    else:
+                        frame = pack_frame(response)
+                except ServiceError as error:
+                    # e.g. a result set larger than the frame limit: the
+                    # client still deserves a structured answer.
+                    frame = pack_frame(error_payload(error))
+                    self.error_count += 1
+                writer.write(frame)
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+                if closing:
+                    break
+        except asyncio.CancelledError:
+            pass  # server shutdown: drop the connection quietly
+        finally:
+            writer.close()
+            try:
+                # A shutdown cancellation can re-raise here (first await
+                # after cancel); swallow it so the task ends cleanly and
+                # the streams machinery never logs a phantom exception.
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    # -------------------------------------------------------------- dispatch
+
+    async def _dispatch(self, request: dict) -> tuple[dict, bool]:
+        op = request.get("op")
+        started = time.perf_counter()
+        if op == "close":
+            self._count("close", started)
+            return {"ok": True, "closing": True}, True
+        if op == "prepare":
+            response = await self._prepare(request)
+        elif op == "execute":
+            response = await self._execute(request)
+        elif op == "explain":
+            response = await self._explain(request)
+        elif op == "stats":
+            response = self._stats()
+        else:
+            raise ServiceError(
+                f"unknown op {op!r}; one of: prepare, execute, explain, "
+                f"stats, close"
+            )
+        self._count(op, started)
+        return response, False
+
+    def _count(self, op: str, started: float) -> None:
+        self.request_counts[op] = self.request_counts.get(op, 0) + 1
+        millis = (time.perf_counter() - started) * 1000.0
+        key = f"{op}_millis"
+        self.request_counts[key] = round(
+            self.request_counts.get(key, 0.0) + millis, 3
+        )
+
+    def _entry(self, request: dict):
+        name = request.get("query")
+        if not isinstance(name, str):
+            raise ServiceError("requests need a 'query' field naming the query")
+        return self.registry.lookup(name)
+
+    async def _prepare(self, request: dict) -> dict:
+        entry = self._entry(request)
+        prepared = entry.prepared(self.session)
+        # Compilation can be slow the first time — keep it off the loop.
+        compiled = await asyncio.to_thread(lambda: prepared.compiled)
+        return {
+            "ok": True,
+            "query": entry.name,
+            "statements": compiled.query_count,
+            "params": {
+                name: str(declared) for name, declared in compiled.param_specs
+            },
+            "engine": self.session.resolve_engine(None, compiled),
+            "description": entry.description,
+        }
+
+    async def _execute(self, request: dict) -> dict:
+        entry = self._entry(request)
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            raise ServiceError("'params' must be an object of name → value")
+        # Default to the batched engine: each request then runs whole on its
+        # leased connection, and concurrency comes from overlapping
+        # *requests* rather than fanning one request across the pool.
+        engine = request.get("engine") or "batched"
+        collection = request.get("collection", "bag")
+        prepared = entry.prepared(self.session)
+        assert self._leases is not None, "server not started"
+        lease = await self._leases.get()
+        # The lease is parked by the *work task's* completion callback, not
+        # by this coroutine's finally: if the handler is cancelled
+        # mid-request the worker thread keeps running, and the connection
+        # must stay out of the queue (and unclosed) until it finishes.
+        work = asyncio.get_running_loop().create_task(
+            asyncio.to_thread(
+                prepared.run,
+                engine=engine,
+                collection=collection,
+                params=params,
+                connection=lease,
+            )
+        )
+        work.add_done_callback(lambda task: self._park_lease(lease, task))
+        result = await asyncio.shield(work)
+        stats = result.stats
+        return {
+            "ok": True,
+            "query": entry.name,
+            "rows": result.to_dicts(),
+            "engine": result.engine,
+            "stats": {
+                "queries": stats.queries,
+                "rows_fetched": stats.rows_fetched,
+                "millis": round(stats.total_millis, 3),
+            },
+        }
+
+    async def _explain(self, request: dict) -> dict:
+        entry = self._entry(request)
+        prepared = entry.prepared(self.session)
+        text = await asyncio.to_thread(prepared.explain)
+        return {"ok": True, "query": entry.name, "text": text}
+
+    def _park_lease(self, lease, task: "asyncio.Task") -> None:
+        """Return a lease to the queue once its worker actually finished.
+
+        Runs as the work task's done callback (on the event loop).  A
+        failed run may mean the lease itself died (e.g. the store was
+        disposed under us) — never park a dead connection; after stop(),
+        retire instead of parking.
+        """
+        failed = task.cancelled()
+        if not failed:
+            failed = task.exception() is not None  # also marks it retrieved
+        if self._stopped or self._leases is None:
+            self.session.db.release_dedicated_reader(lease)
+            if self._leases is not None:
+                # Tombstone so stop()'s drain still counts this lease.
+                self._leases.put_nowait(None)
+            return
+        if failed:
+            try:
+                lease.execute("SELECT 1").fetchone()
+            except sqlite3.Error:
+                self.session.db.release_dedicated_reader(lease)
+                try:
+                    lease = self.session.db.dedicated_read_connections(1)[0]
+                except Exception:  # noqa: BLE001 — store gone entirely
+                    return  # a later start() builds fresh leases
+        self._leases.put_nowait(lease)
+
+    def _stats(self) -> dict:
+        payload = {
+            "ok": True,
+            "queries": self.registry.names(),
+            "server": {
+                "pool_size": self.pool_size,
+                "connections_served": self.connections_served,
+                "errors": self.error_count,
+                "requests": dict(self.request_counts),
+            },
+            "session": self.session.stats_snapshot(),
+        }
+        cache = self.session.pipeline.cache
+        if cache is not None:
+            payload["plan_cache"] = cache.stats()
+        return payload
+
+
+# --------------------------------------------------------------------------
+# In-process background serving (tests, benchmarks, bench --smoke).
+
+
+class ServerHandle:
+    """A server running on a dedicated event-loop thread.
+
+    ``host``/``port`` are live once the constructor returns; ``stop()``
+    shuts the server down and joins the thread.  Context manager.
+    """
+
+    def __init__(self, server: QueryServer, host: str, port: int) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        try:
+            future.result(timeout=10)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+            self._loop = None
+            self._thread = None
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def serve_in_background(
+    session: "Session",
+    registry: QueryRegistry,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    pool_size: int = DEFAULT_SERVICE_POOL,
+) -> ServerHandle:
+    """Start a :class:`QueryServer` on its own thread; returns its handle.
+
+    The canonical in-process setup used by the tests, the throughput
+    benchmark and ``python -m repro bench --smoke``: server and clients in
+    one process, real sockets in between.
+    """
+    server = QueryServer(session, registry, pool_size=pool_size)
+    started: "threading.Event" = threading.Event()
+    box: dict = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        box["loop"] = loop
+        try:
+            box["address"] = loop.run_until_complete(server.start(host, port))
+        except Exception as error:  # noqa: BLE001 — surface via started event
+            box["error"] = error
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            # Drain pending callbacks/tasks so sockets close cleanly.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-query-server", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):
+        raise ServiceError("query server failed to start within 30s")
+    if "error" in box:
+        raise ServiceError(f"query server failed to start: {box['error']}")
+    bound_host, bound_port = box["address"]
+    handle = ServerHandle(server, bound_host, bound_port)
+    handle._loop = box["loop"]
+    handle._thread = thread
+    return handle

@@ -197,12 +197,15 @@ def _pretty_inner(term: "InnerTerm") -> str:
     from repro.normalise.normal_form import (
         ConstNF,
         EmptyNF,
+        ParamNF,
         PrimNF,
         VarField,
     )
 
     if isinstance(term, IndexRef):
         return str(term)
+    if isinstance(term, ParamNF):
+        return f":{term.name}"
     if isinstance(term, SRecord):
         inner = ", ".join(
             f"{label} = {_pretty_inner(value)}" for label, value in term.fields

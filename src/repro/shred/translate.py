@@ -20,6 +20,7 @@ from repro.normalise.normal_form import (
     BaseExpr,
     Comprehension,
     ConstNF,
+    ParamNF,
     EmptyNF,
     NormQuery,
     NormTerm,
@@ -127,7 +128,7 @@ def _shred_inner(term: NormTerm, tag: str) -> InnerTerm:
 def _shred_base(expr: BaseExpr, tag: str) -> BaseExpr:
     """⟨X⟩ₐ on base terms; emptiness tests shred their query at the top
     level only ("for emptiness tests we need only the top-level query")."""
-    if isinstance(expr, (VarField, ConstNF)):
+    if isinstance(expr, (VarField, ConstNF, ParamNF)):
         return expr
     if isinstance(expr, PrimNF):
         return PrimNF(expr.op, tuple(_shred_base(arg, tag) for arg in expr.args))

@@ -16,6 +16,7 @@ from repro.errors import TypeCheckError
 from repro.normalise.normal_form import (
     BaseExpr,
     ConstNF,
+    ParamNF,
     EmptyNF,
     NormQuery,
     PrimNF,
@@ -122,6 +123,10 @@ def infer_base_type(expr: BaseExpr, env: Env, schema: Schema) -> BaseType:
 
             return STRING
         raise TypeCheckError(f"bad constant {expr.value!r}")
+    if isinstance(expr, ParamNF):
+        if not isinstance(expr.type, BaseType):
+            raise TypeCheckError(f"parameter :{expr.name} is not base-typed")
+        return expr.type
     if isinstance(expr, VarField):
         row = env.get(expr.var)
         if row is None:

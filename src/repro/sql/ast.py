@@ -21,6 +21,7 @@ __all__ = [
     "SqlExpr",
     "Col",
     "Lit",
+    "Placeholder",
     "BinOp",
     "NotOp",
     "NotExists",
@@ -32,6 +33,7 @@ __all__ = [
     "SubqueryRef",
     "SelectCore",
     "Statement",
+    "placeholder_names",
 ]
 
 
@@ -52,6 +54,18 @@ class Lit(SqlExpr):
     """A literal: int, str, bool or None (NULL)."""
 
     value: object
+
+
+@dataclass(frozen=True)
+class Placeholder(SqlExpr):
+    """A named host-parameter placeholder, rendered as ``:name``.
+
+    The value is supplied at execution time (sqlite3 named-parameter
+    binding), so one rendered statement serves every parameter value —
+    the prepared-statement contract of the service layer.
+    """
+
+    name: str
 
 
 @dataclass(frozen=True)
@@ -131,3 +145,38 @@ class Statement:
     columns: tuple[str, ...] = field(default=())
     #: Output-column names ordering the whole compound (list semantics, §9).
     order_by: tuple[str, ...] = field(default=())
+
+
+def _expr_placeholders(expr: SqlExpr, found: set[str]) -> None:
+    if isinstance(expr, Placeholder):
+        found.add(expr.name)
+    elif isinstance(expr, BinOp):
+        _expr_placeholders(expr.left, found)
+        _expr_placeholders(expr.right, found)
+    elif isinstance(expr, NotOp):
+        _expr_placeholders(expr.operand, found)
+    elif isinstance(expr, NotExists):
+        _core_placeholders(expr.select, found)
+    elif isinstance(expr, RowNumber):
+        for col in expr.order_by:
+            _expr_placeholders(col, found)
+
+
+def _core_placeholders(core: "SelectCore", found: set[str]) -> None:
+    for item in core.items:
+        _expr_placeholders(item.expr, found)
+    for from_item in core.from_items:
+        if isinstance(from_item, SubqueryRef):
+            _core_placeholders(from_item.select, found)
+    if core.where is not None:
+        _expr_placeholders(core.where, found)
+
+
+def placeholder_names(statement: Statement) -> tuple[str, ...]:
+    """The sorted host-parameter names a statement binds at execution."""
+    found: set[str] = set()
+    for _name, core in statement.ctes:
+        _core_placeholders(core, found)
+    for core in statement.selects:
+        _core_placeholders(core, found)
+    return tuple(sorted(found))

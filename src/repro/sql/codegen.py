@@ -49,6 +49,7 @@ from repro.normalise.normal_form import (
     EmptyNF,
     Generator,
     NormQuery,
+    ParamNF,
     PrimNF,
     TRUE_NF,
     VarField,
@@ -70,6 +71,7 @@ from repro.sql.ast import (
     Lit,
     NotExists,
     NotOp,
+    Placeholder,
     RowNumber,
     SelectCore,
     SelectItem,
@@ -77,6 +79,7 @@ from repro.sql.ast import (
     Statement,
     SubqueryRef,
     TableRef,
+    placeholder_names,
 )
 from repro.sql.render import render_statement
 
@@ -134,6 +137,8 @@ class CompiledSql:
     width_fn: Callable[[tuple[str, ...]], int] | int
     natural: bool
     columns: tuple[str, ...] = field(default=())
+    #: Host-parameter names this statement binds at execution time (sorted).
+    params: tuple[str, ...] = field(default=())
     cache_key: object = field(default=None, compare=False)
     _decoders: tuple | None = field(
         default=None, repr=False, compare=False
@@ -319,6 +324,7 @@ def compile_shredded(
         if optimized != compiled.statement:
             compiled.statement = optimized
             compiled.sql = render_statement(optimized, options.pretty)
+    compiled.params = placeholder_names(compiled.statement)
     compiled.cache_key = cache_key
     return compiled
 
@@ -358,6 +364,8 @@ def _expr(e: BaseExpr, ctx: _ExprContext) -> SqlExpr:
         return Col(e.var, e.label)
     if isinstance(e, ConstNF):
         return Lit(e.value)
+    if isinstance(e, ParamNF):
+        return Placeholder(e.name)
     if isinstance(e, ZProj):
         if ctx.z_alias is None:
             raise SqlGenerationError("z-projection outside a let body")

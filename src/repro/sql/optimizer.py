@@ -642,6 +642,7 @@ def extract_shared_scans(
     the within-statement dedup rule + SQLite's own CTE materialisation.
     """
     from repro.backend.database import quote_identifier
+    from repro.sql.ast import placeholder_names
 
     body_statements: dict[str, set[int]] = {}
     body_core: dict[str, SelectCore] = {}
@@ -649,6 +650,11 @@ def extract_shared_scans(
     for position, statement in enumerate(statements):
         for _name, core in statement.ctes:
             body = render_select(core)
+            if placeholder_names(Statement((), (core,))):
+                # A host-parameter placeholder cannot be bound inside a
+                # materialise-once CREATE TABLE … AS prelude; leave the CTE
+                # in place (it binds per-statement like any other).
+                continue
             if body not in body_statements:
                 body_statements[body] = set()
                 body_core[body] = core

@@ -17,6 +17,7 @@ from repro.sql.ast import (
     Lit,
     NotExists,
     NotOp,
+    Placeholder,
     RowNumber,
     SelectCore,
     SqlExpr,
@@ -84,6 +85,8 @@ def render_expr(expr: SqlExpr) -> str:
         return f"{quote_identifier(expr.alias)}.{quote_identifier(expr.name)}"
     if isinstance(expr, Lit):
         return _render_literal(expr.value)
+    if isinstance(expr, Placeholder):
+        return f":{expr.name}"
     if isinstance(expr, BinOp):
         return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
     if isinstance(expr, NotOp):
