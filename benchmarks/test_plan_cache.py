@@ -17,11 +17,10 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-import time
 
 import pytest
 
-from repro.bench.harness import BenchConfig
+from repro.bench.harness import BenchConfig, median_millis
 from repro.data.generator import scaled_database
 from repro.data.queries import NESTED_QUERIES
 from repro.pipeline.plan_cache import PlanCache
@@ -33,16 +32,6 @@ REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
 SPEEDUP_FLOOR = 3.0
 
 _RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_plan_cache.json"
-
-
-def _median_millis(fn, repeats: int = REPEATS) -> float:
-    samples = []
-    for _ in range(max(3, repeats)):
-        started = time.perf_counter()
-        fn()
-        samples.append((time.perf_counter() - started) * 1000.0)
-    samples.sort()
-    return samples[len(samples) // 2]
 
 
 @pytest.fixture(scope="module")
@@ -58,7 +47,7 @@ def sweep_results():
     # Uncached baseline first: fresh compile every run, no advisory indexes
     # on the connection yet (the sweep runs systems in this order too).
     uncached = {
-        name: _median_millis(
+        name: median_millis(
             lambda q=NESTED_QUERIES[name]: ShreddingPipeline(db.schema).run(
                 q, db
             )
@@ -75,7 +64,7 @@ def sweep_results():
         # against the baseline engine while we're here.
         warm = pipeline.run(query, db, engine="batched")
         assert bag_equal(warm, ShreddingPipeline(db.schema).run(query, db))
-        cached[name] = _median_millis(
+        cached[name] = median_millis(
             lambda q=query: pipeline.run(q, db, engine="batched")
         )
 
@@ -89,13 +78,13 @@ def sweep_results():
             query = NESTED_QUERIES[name]
             uncached[name] = max(
                 uncached[name],
-                _median_millis(
+                median_millis(
                     lambda q=query: ShreddingPipeline(db.schema).run(q, db)
                 ),
             )
             cached[name] = min(
                 cached[name],
-                _median_millis(
+                median_millis(
                     lambda q=query: pipeline.run(q, db, engine="batched")
                 ),
             )

@@ -22,11 +22,10 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-import time
 
 import pytest
 
-from repro.bench.harness import BenchConfig
+from repro.bench.harness import BenchConfig, median_millis
 from repro.bench.reporting import write_bench_json
 from repro.data.generator import scaled_database
 from repro.data.queries import NESTED_QUERIES
@@ -44,16 +43,6 @@ _RESULT_PATH = (
 )
 
 
-def _median_millis(fn, repeats: int = REPEATS) -> float:
-    samples = []
-    for _ in range(max(3, repeats)):
-        started = time.perf_counter()
-        fn()
-        samples.append((time.perf_counter() - started) * 1000.0)
-    samples.sort()
-    return samples[len(samples) // 2]
-
-
 @pytest.fixture(scope="module")
 def sweep_results():
     """One sweep at the largest seed scale; results shared by the asserts."""
@@ -67,7 +56,7 @@ def sweep_results():
     # Uncached baseline first: fresh compile every run, no advisory indexes
     # on the connection yet (the harness sweep runs systems in this order).
     uncached = {
-        name: _median_millis(
+        name: median_millis(
             lambda q=NESTED_QUERIES[name]: ShreddingPipeline(db.schema).run(
                 q, db
             )
@@ -93,7 +82,7 @@ def sweep_results():
             for engine in ("per-path", "batched", "parallel")
         )
         assert identical[name], f"{name}: optimised values diverge"
-        optimized[name] = _median_millis(
+        optimized[name] = median_millis(
             lambda q=query: pipeline.run(q, db, engine="parallel")
         )
 
@@ -108,13 +97,13 @@ def sweep_results():
         opt_cached.run(query, db, engine="batched")
         ablation[name] = {
             "batched_ms": round(
-                _median_millis(
+                median_millis(
                     lambda q=query: plain_cached.run(q, db, engine="batched")
                 ),
                 3,
             ),
             "batched_opt_ms": round(
-                _median_millis(
+                median_millis(
                     lambda q=query: opt_cached.run(q, db, engine="batched")
                 ),
                 3,
@@ -129,10 +118,10 @@ def sweep_results():
             if uncached[name] / optimized[name] >= SPEEDUP_FLOOR * 1.5:
                 break
             query = NESTED_QUERIES[name]
-            uncached[name] = _median_millis(
+            uncached[name] = median_millis(
                 lambda q=query: ShreddingPipeline(db.schema).run(q, db)
             )
-            optimized[name] = _median_millis(
+            optimized[name] = median_millis(
                 lambda q=query: pipeline.run(q, db, engine="parallel")
             )
 

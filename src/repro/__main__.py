@@ -4,6 +4,7 @@
     python -m repro run Q6               # run it on the Fig. 3 instance
     python -m repro run Q6 --engine parallel --stats
     python -m repro serve --port 7411    # the asyncio query service
+    python -m repro serve --shard 0/4    # one slice of a sharded deployment
     python -m repro normal-form Q2       # show the normal form
     python -m repro figures --figure 11  # regenerate an evaluation figure
     python -m repro bench --smoke        # tiny per-system sweep, fail on error
@@ -137,6 +138,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shard(spec: str) -> tuple[str | int, int]:
+    """Parse ``--shard i/n`` (or ``full/n``) into (index | "full", count)."""
+    try:
+        index_text, count_text = spec.split("/", 1)
+        count = int(count_text)
+        index: str | int
+        if index_text == "full":
+            index = "full"
+        else:
+            index = int(index_text)
+            if not 0 <= index < count:
+                raise ValueError
+        if count < 1:
+            raise ValueError
+    except ValueError:
+        raise SystemExit(
+            f"--shard must look like i/n (0 ≤ i < n) or full/n, got {spec!r}"
+        ) from None
+    return index, count
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -145,17 +167,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.registry import paper_registry
     from repro.service.server import QueryServer
 
+    shard_label = None
+    index: "str | int | None" = None
+    count = 0
+    if args.shard:
+        index, count = _parse_shard(args.shard)
+        shard_label = f"{index}/{count}"
     if args.scale:
-        db = scaled_database(args.scale, seed=0, scale_rows=args.rows)
+        if index is not None and index != "full":
+            # Every server process regenerates the same seeded instance
+            # and keeps its slice — deterministic, no data shipping.
+            from repro.data.generator import scaled_shard
+
+            db = scaled_shard(
+                args.scale, index, count, seed=0, scale_rows=args.rows
+            )
+        else:
+            db = scaled_database(args.scale, seed=0, scale_rows=args.rows)
     else:
         db = figure3_database()
+        if index is not None and index != "full":
+            from repro.data.organisation import organisation_placement
+
+            placement = organisation_placement().validate(db.schema)
+            db = db.partitioned(placement.owner_fn(count), index)
     session = connect(db)
     registry = paper_registry()
-    server = QueryServer(session, registry, pool_size=args.pool)
+    server = QueryServer(
+        session, registry, pool_size=args.pool, shard_label=shard_label
+    )
 
     async def serve() -> None:
         host, port = await server.start(args.host, args.port)
         print(f"repro query service on {host}:{port}")
+        if shard_label:
+            print(f"  shard   : {shard_label} "
+                  f"({db.total_rows()} rows on this shard)")
         print(f"  queries : {', '.join(registry.names())}")
         print(f"  pool    : {args.pool} read connections")
         print("  protocol: length-prefixed JSON frames "
@@ -259,6 +306,15 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=20,
         help="employees per department for --scale instances",
+    )
+    serve.add_argument(
+        "--shard",
+        default="",
+        metavar="I/N",
+        help="serve one slice of a sharded deployment: i/n serves "
+        "partition i of n (departments hash-partitioned by name, other "
+        "tables replicated), full/n serves the designated full-copy "
+        "fallback shard",
     )
     serve.set_defaults(fn=_cmd_serve)
 

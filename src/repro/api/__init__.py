@@ -33,12 +33,18 @@ the old entry points remain as deprecated shims.
 from repro.api.capture import CapturedQuery, query
 from repro.api.fluent import Expr, Query, TermQuery, as_term, param
 from repro.api.results import Prepared, Result, Runnable
-from repro.api.session import PARALLEL_THRESHOLD, Session, connect
+from repro.api.session import (
+    PARALLEL_THRESHOLD,
+    Session,
+    connect,
+    connect_sharded,
+)
 from repro.nrc.ast import Param
 from repro.sql.codegen import SqlOptions
 
 __all__ = [
     "connect",
+    "connect_sharded",
     "Session",
     "query",
     "CapturedQuery",

@@ -39,7 +39,7 @@ from repro.pipeline.shredder import (
 )
 from repro.sql.codegen import SqlOptions
 
-__all__ = ["Session", "connect", "PARALLEL_THRESHOLD"]
+__all__ = ["Session", "connect", "connect_sharded", "PARALLEL_THRESHOLD"]
 
 #: Package size (number of flat statements) from which ``engine="auto"``
 #: prefers the parallel executor: below this, thread fan-out costs more
@@ -271,3 +271,16 @@ def connect(
         cache=cache,
         validate=validate,
     )
+
+
+def connect_sharded(database=None, **kwargs: Any):
+    """Open a :class:`~repro.shard.deployment.ShardedSession` — the sharded
+    front door (``placement=``/``shards=`` select the deployment; the
+    rest of the knobs match :func:`connect`).
+
+    Imported lazily so ``repro.api`` stays importable without loading the
+    sharding subsystem.
+    """
+    from repro.shard.deployment import connect_sharded as factory
+
+    return factory(database, **kwargs)

@@ -148,6 +148,53 @@ class Database:
                 # BackendError) exactly like a cold connection would.
                 self._dispose_connection()
 
+    def partitioned(self, owner, shard_index: int) -> "Database":
+        """Partitioned loading: a fresh :class:`Database` over the same
+        schema holding only the rows shard ``shard_index`` serves.
+
+        ``owner(table_name, row)`` returns the owning shard index for a
+        row of a *sharded* table, or ``None`` for tables replicated to
+        every shard (the :mod:`repro.shard` placement policy provides this
+        function).  Rows are copied, so the partition owns its data: a
+        later :meth:`insert` on either database never aliases the other's
+        shared-scan versioning or canonical-order caches.
+        """
+        tables: dict[str, list[dict]] = {}
+        for table_schema in self.schema.tables:
+            name = table_schema.name
+            kept: list[dict] = []
+            for row in self._rows[name]:
+                target = owner(name, row)
+                if target is None or target == shard_index:
+                    kept.append(row)  # Database.insert copies each row
+            tables[name] = kept
+        return Database(self.schema, tables)
+
+    def partition_all(self, owner, shard_count: int) -> "list[Database]":
+        """All ``shard_count`` partitions in **one** pass over the rows.
+
+        Equivalent to ``[self.partitioned(owner, i) for i in range(n)]``
+        but each sharded row is ownership-hashed exactly once —
+        :class:`repro.shard.deployment.ShardedDatabase` builds its whole
+        deployment this way; :meth:`partitioned` stays the single-slice
+        path (``serve --shard i/n`` wants one partition without paying
+        for the others).
+        """
+        buckets: list[dict[str, list[dict]]] = [
+            {table.name: [] for table in self.schema.tables}
+            for _ in range(shard_count)
+        ]
+        for table_schema in self.schema.tables:
+            name = table_schema.name
+            for row in self._rows[name]:
+                target = owner(name, row)
+                if target is None:
+                    for bucket in buckets:
+                        bucket[name].append(row)
+                else:
+                    buckets[target][name].append(row)
+        return [Database(self.schema, bucket) for bucket in buckets]
+
     def raw_rows(self, table: str) -> list[dict]:
         """Rows in insertion order (no canonicalisation).
 

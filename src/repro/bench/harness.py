@@ -32,11 +32,31 @@ __all__ = [
     "CellResult",
     "run_system",
     "time_run",
+    "median_millis",
     "sweep",
     "default_scales",
 ]
 
 Runner = Callable[[Term, Database], object]
+
+
+def median_millis(fn: Callable[[], object], repeats: int | None = None) -> float:
+    """Median wall time of ``fn()`` over ``max(3, repeats)`` runs, in ms.
+
+    The single-callable timing helper the bar benchmarks
+    (``benchmarks/test_plan_cache.py`` / ``test_sql_optimizer.py`` /
+    ``test_shard_scaling.py``) share — one place to change the timing
+    methodology.  ``repeats`` defaults to ``REPRO_BENCH_REPEATS`` (5).
+    """
+    if repeats is None:
+        repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
+    samples = []
+    for _ in range(max(3, repeats)):
+        started = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - started) * 1000.0)
+    samples.sort()
+    return samples[len(samples) // 2]
 
 
 def _run_shredding(query: Term, db: Database) -> object:

@@ -16,7 +16,12 @@ from repro.backend.database import Database
 from repro.nrc.schema import Schema, TableSchema
 from repro.nrc.types import BOOL, INT, STRING
 
-__all__ = ["ORGANISATION_SCHEMA", "figure3_database", "empty_database"]
+__all__ = [
+    "ORGANISATION_SCHEMA",
+    "organisation_placement",
+    "figure3_database",
+    "empty_database",
+]
 
 ORGANISATION_SCHEMA = Schema(
     (
@@ -104,3 +109,15 @@ def figure3_database() -> Database:
 def empty_database() -> Database:
     """An organisation database with no rows (edge-case testing)."""
     return Database(ORGANISATION_SCHEMA)
+
+
+def organisation_placement():
+    """The default sharding policy for the organisation schema:
+    ``departments`` partition by ``name`` (the routing seam the nested
+    queries and ``dept_staff(:dept)`` pivot on); everything else
+    replicates.  Under it Q1/Q2/Q4/Q6 distribute, ``dept_staff`` routes
+    to a single shard, and employee-rooted queries run replicated-only.
+    """
+    from repro.shard.placement import Placement, sharded
+
+    return Placement.of({"departments": sharded(key="name")})

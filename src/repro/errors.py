@@ -109,5 +109,10 @@ class ServiceError(ReproError):
         self.kind = kind
 
 
+class ShardingError(ReproError):
+    """A sharded deployment was misconfigured or misused (bad placement,
+    unresolvable routing key, shard-count mismatch)."""
+
+
 class IndexingError(ReproError):
     """An indexing scheme is invalid for the query (not injective/defined)."""

@@ -38,6 +38,7 @@ __all__ = [
     "Param",
     "free_vars",
     "substitute",
+    "substitute_params",
     "subterms",
     "term_size",
     "term_fingerprint",
@@ -338,6 +339,52 @@ def substitute(term: Term, name: str, replacement: Term) -> Term:
     if name not in free_vars(term):
         return term
     return go(term, frozenset())
+
+
+def substitute_params(term: Term, bindings: "dict[str, object]") -> Term:
+    """Replace host-parameter placeholders by literal constants.
+
+    ``Param(name, τ)`` becomes ``Const(bindings[name])`` for every bound
+    name; unbound parameters stay in place.  This is the semantic reading
+    of parameter binding — the in-memory evaluator (which cannot bind
+    placeholders) evaluates ``substitute_params(q, b)`` where the SQL
+    pipeline evaluates ``q`` with ``run(params=b)``; the two must agree.
+    """
+
+    def go(t: Term) -> Term:
+        if isinstance(t, Param):
+            if t.name in bindings:
+                return Const(bindings[t.name])
+            return t
+        if isinstance(t, (Var, Const, Table, Empty)):
+            return t
+        if isinstance(t, Prim):
+            return Prim(t.op, tuple(go(arg) for arg in t.args))
+        if isinstance(t, Lam):
+            return Lam(t.param, go(t.body), t.param_type)
+        if isinstance(t, App):
+            return App(go(t.fun), go(t.arg))
+        if isinstance(t, Record):
+            return Record(
+                tuple((label, go(value)) for label, value in t.fields)
+            )
+        if isinstance(t, Project):
+            return Project(go(t.record), t.label)
+        if isinstance(t, If):
+            return If(go(t.cond), go(t.then), go(t.orelse))
+        if isinstance(t, Return):
+            return Return(go(t.element))
+        if isinstance(t, Union):
+            return Union(go(t.left), go(t.right))
+        if isinstance(t, For):
+            return For(t.var, go(t.source), go(t.body))
+        if isinstance(t, IsEmpty):
+            return IsEmpty(go(t.bag))
+        raise TypeError(f"not a term: {t!r}")
+
+    if not bindings:
+        return term
+    return go(term)
 
 
 def subterms(term: Term) -> Iterator[Term]:

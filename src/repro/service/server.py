@@ -55,12 +55,17 @@ class QueryServer:
         session: "Session",
         registry: QueryRegistry,
         pool_size: int = DEFAULT_SERVICE_POOL,
+        shard_label: str | None = None,
     ) -> None:
         if pool_size < 1:
             raise ServiceError(f"pool size must be ≥1, got {pool_size}")
         self.session = session
         self.registry = registry
         self.pool_size = pool_size
+        #: Which slice of a sharded deployment this server holds (e.g.
+        #: ``"1/4"`` or ``"full/4"``); surfaced by the stats op so a
+        #: fan-out client can sanity-check its wiring.  None = unsharded.
+        self.shard_label = shard_label
         self._server: asyncio.AbstractServer | None = None
         self._leases: asyncio.Queue | None = None
         self._handlers: set[asyncio.Task] = set()
@@ -339,6 +344,7 @@ class QueryServer:
             "queries": self.registry.names(),
             "server": {
                 "pool_size": self.pool_size,
+                "shard": self.shard_label,
                 "connections_served": self.connections_served,
                 "errors": self.error_count,
                 "requests": dict(self.request_counts),
@@ -394,14 +400,19 @@ def serve_in_background(
     host: str = "127.0.0.1",
     port: int = 0,
     pool_size: int = DEFAULT_SERVICE_POOL,
+    shard_label: str | None = None,
 ) -> ServerHandle:
     """Start a :class:`QueryServer` on its own thread; returns its handle.
 
     The canonical in-process setup used by the tests, the throughput
     benchmark and ``python -m repro bench --smoke``: server and clients in
-    one process, real sockets in between.
+    one process, real sockets in between.  A sharded deployment starts
+    one of these per shard (plus one for the full-copy fallback) and puts
+    a :class:`~repro.shard.client.ShardedServiceClient` in front.
     """
-    server = QueryServer(session, registry, pool_size=pool_size)
+    server = QueryServer(
+        session, registry, pool_size=pool_size, shard_label=shard_label
+    )
     started: "threading.Event" = threading.Event()
     box: dict = {}
 

@@ -1,0 +1,69 @@
+"""``repro.shard`` — horizontally partitioned execution.
+
+The scale-out layer over the PR 3 façade and the PR 4 service: partition
+designated tables across ``n`` shards (hash of a routing column),
+replicate the rest, and evaluate nested queries by *distributing* them —
+correctness rests on the fact that a partitioned bag is the ⊎ of its
+partitions and every shardable comprehension is linear in its sharded
+generator, so per-shard answers bag-union back to the exact nested
+multiset the paper's semantics prescribe.
+
+Four pieces:
+
+* :mod:`~repro.shard.placement` — the per-table policy
+  (``sharded(key=…)`` vs ``replicated``) and the stable cross-process
+  routing hash;
+* :mod:`~repro.shard.analysis` — the shardability analysis over the
+  normalised term: fanout / routed / single / fallback;
+* :mod:`~repro.shard.deployment` — ``ShardedDatabase`` + ``ShardedSession``
+  (+ :func:`connect_sharded`), the in-process multi-session deployment;
+* :mod:`~repro.shard.client` — ``ShardedServiceClient``, the same
+  routing over the PR 4 wire protocol against ``python -m repro serve
+  --shard i/n`` servers.
+"""
+
+from repro.shard.analysis import (
+    RouteDecision,
+    ShardPlan,
+    analyse,
+    plan_route,
+    referenced_tables,
+    resolve_shard,
+)
+from repro.shard.client import ShardedServiceClient
+from repro.shard.placement import (
+    REPLICATED,
+    Placement,
+    Sharded,
+    replicated,
+    shard_for,
+    sharded,
+)
+from repro.shard.deployment import (
+    ShardedDatabase,
+    ShardedPrepared,
+    ShardedResult,
+    ShardedSession,
+    connect_sharded,
+)
+
+__all__ = [
+    "Placement",
+    "Sharded",
+    "REPLICATED",
+    "replicated",
+    "sharded",
+    "shard_for",
+    "ShardPlan",
+    "RouteDecision",
+    "analyse",
+    "plan_route",
+    "referenced_tables",
+    "resolve_shard",
+    "ShardedDatabase",
+    "ShardedSession",
+    "ShardedPrepared",
+    "ShardedResult",
+    "connect_sharded",
+    "ShardedServiceClient",
+]

@@ -1,0 +1,195 @@
+"""The fan-out client: one sharded deployment behind the PR 4 wire protocol.
+
+A :class:`ShardedServiceClient` holds one
+:class:`~repro.service.client.ServiceClient` per partition shard server
+(``python -m repro serve --shard i/n``) plus one for the full-copy
+fallback server (``--shard full/n``), and routes named registry queries
+exactly like the in-process :class:`~repro.shard.deployment.ShardedSession`:
+
+* the client carries the *same* placement and query catalogue the servers
+  were deployed with (the catalogue is the shared contract — terms are
+  what the shardability analysis reads; only names and parameter values
+  travel on the wire);
+* fan-out requests go to every shard concurrently (one worker thread per
+  shard — each shard connection is a dedicated socket, and the servers
+  genuinely overlap), and the row lists bag-union by concatenation in
+  shard order;
+* routed point lookups (``dept_staff(:dept)``) hit exactly one shard —
+  ``shard_requests`` counts per-shard executes so deployments can assert
+  that.
+
+Like :class:`~repro.service.client.ServiceClient`, an instance is
+thread-confined: give each application thread its own client.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ShardingError
+from repro.normalise import normalise
+from repro.nrc.schema import Schema
+from repro.service.client import ServiceClient
+from repro.service.registry import QueryRegistry
+from repro.shard.analysis import ShardPlan, analyse, plan_route
+from repro.shard.placement import Placement
+
+__all__ = ["ShardedServiceClient"]
+
+
+class ShardedServiceClient:
+    """Fan-out/routing client over ``n`` shard servers + a fallback server."""
+
+    def __init__(
+        self,
+        shard_addresses: Sequence[tuple[str, int]],
+        fallback_address: tuple[str, int],
+        *,
+        placement: Placement,
+        registry: QueryRegistry,
+        schema: Schema,
+        timeout: float = 30.0,
+    ) -> None:
+        if not shard_addresses:
+            raise ShardingError("need at least one shard address")
+        self.placement = placement.validate(schema)
+        self.registry = registry
+        self.schema = schema
+        self.shard_count = len(shard_addresses)
+        self._clients = [
+            ServiceClient(host, port, timeout=timeout)
+            for host, port in shard_addresses
+        ]
+        self._fallback = ServiceClient(*fallback_address, timeout=timeout)
+        self._plans: dict[str, ShardPlan] = {}
+        #: Per-shard / fallback *execute* counters (local bookkeeping; the
+        #: servers additionally count every request they serve).
+        self.shard_requests = [0] * self.shard_count
+        self.fallback_requests = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.shard_count,
+            thread_name_prefix="repro-shard-client",
+        )
+
+    # ------------------------------------------------------------- analysis
+
+    def plan_for(self, query: str) -> ShardPlan:
+        """The (cached) shardability verdict for a registry query."""
+        plan = self._plans.get(query)
+        if plan is None:
+            entry = self.registry.lookup(query)
+            plan = analyse(normalise(entry.term, self.schema), self.placement)
+            self._plans[query] = plan
+        return plan
+
+    # ------------------------------------------------------------------ ops
+
+    def prepare(self, query: str) -> dict:
+        """Compile ``query`` on every shard server (and the fallback), so
+        later executes hit warm plan caches everywhere."""
+        responses = list(
+            self._pool.map(
+                lambda client: client.prepare(query), self._clients
+            )
+        )
+        self._fallback.prepare(query)
+        response = dict(responses[0])
+        response["shards"] = self.shard_count
+        return response
+
+    def execute(
+        self,
+        query: str,
+        params: Optional[Mapping[str, object]] = None,
+        engine: Optional[str] = None,
+        collection: Optional[str] = None,
+    ) -> list:
+        """Run ``query`` across the deployment; returns the nested rows."""
+        return self.execute_full(query, params, engine, collection)["rows"]
+
+    def execute_full(
+        self,
+        query: str,
+        params: Optional[Mapping[str, object]] = None,
+        engine: Optional[str] = None,
+        collection: Optional[str] = None,
+    ) -> dict:
+        """Like :meth:`execute`, plus route, shards hit and merged stats."""
+        decision = plan_route(
+            self.plan_for(query),
+            self.shard_count,
+            params=dict(params) if params else None,
+            collection=collection,
+        )
+        bound = dict(params) if params else None
+        per_shard = decision.per_shard_collection
+
+        if decision.mode == "fanout":
+            responses = list(
+                self._pool.map(
+                    lambda index: self._clients[index].execute_full(
+                        query, bound, engine, per_shard
+                    ),
+                    decision.shards,
+                )
+            )
+            for index in decision.shards:
+                self.shard_requests[index] += 1
+            rows: list = []
+            stats = {"queries": 0, "rows_fetched": 0, "millis": 0.0}
+            for response in responses:
+                rows.extend(response["rows"])
+                for key in stats:
+                    stats[key] += response["stats"][key]
+            stats["millis"] = round(stats["millis"], 3)
+            resolved_engine = responses[0]["engine"]
+        else:
+            if decision.mode == "fallback":
+                client = self._fallback
+                self.fallback_requests += 1
+            else:  # routed / single: exactly one partition shard
+                client = self._clients[decision.shards[0]]
+                self.shard_requests[decision.shards[0]] += 1
+            response = client.execute_full(query, bound, engine, per_shard)
+            rows = response["rows"]
+            stats = dict(response["stats"])
+            resolved_engine = response["engine"]
+
+        if collection == "set":
+            from repro.values import dedup_nested
+
+            rows = dedup_nested(rows)
+        return {
+            "ok": True,
+            "query": query,
+            "rows": rows,
+            "engine": resolved_engine,
+            "route": decision.route,
+            "shards": list(decision.shards),
+            "stats": stats,
+        }
+
+    def stats(self) -> dict:
+        """Server-side counters from every shard plus the fallback, and
+        this client's local routing counters."""
+        return {
+            "shards": [client.stats() for client in self._clients],
+            "fallback": self._fallback.stats(),
+            "client": {
+                "shard_requests": list(self.shard_requests),
+                "fallback_requests": self.fallback_requests,
+            },
+        }
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        for client in self._clients:
+            client.close()
+        self._fallback.close()
+
+    def __enter__(self) -> "ShardedServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,518 @@
+"""Horizontally partitioned execution: ``ShardedDatabase`` + ``ShardedSession``.
+
+A :class:`ShardedDatabase` splits one :class:`~repro.backend.database.
+Database` into ``n`` partition shards (per the placement policy) while
+keeping the original store as the *designated full-copy shard* — the
+fallback target for queries the shardability analysis rejects.
+
+A :class:`ShardedSession` fronts one :class:`~repro.api.session.Session`
+per shard (plus one for the fallback store) behind the familiar façade
+surface::
+
+    from repro.shard import Placement, sharded, connect_sharded
+
+    placement = Placement.of({"departments": sharded(key="name")})
+    session = connect_sharded(db, placement=placement, shards=4)
+    result = session.run(Q4)          # fanout: ⊎ of per-shard answers
+    result.route                      # "fanout", shards (0, 1, 2, 3)
+    session.run(dept_staff, params={"dept": "Sales"}).route  # "routed:2"
+
+Execution modes come from :func:`~repro.shard.analysis.analyse`:
+
+* **fanout** — the same compiled plan (one compile, shared through the
+  plan cache: every shard has the same schema and options) runs on every
+  shard, on one worker thread each; the per-shard SQLite stores are
+  independent, so evaluation overlaps for real, beyond what one shared
+  store's read pool can give.  The stitched nested values bag-union by
+  concatenation *in shard order*, and per-shard
+  :class:`~repro.backend.executor.ExecutionStats` merge in shard order
+  after every worker joins — deterministic under any scheduling.
+* **routed / single** — one shard executes (the routing-key owner, or
+  shard 0 for replicated-only queries).
+* **fallback** — the full-copy shard executes; the run's stats carry an
+  explicit ``sharded_fallbacks`` marker so fallbacks are observable, not
+  silent.
+
+``collection="set"`` runs shards under bag semantics and deduplicates
+hereditarily once, after the union (set-union is global — per-shard dedup
+alone would under-collapse across shards).  ``collection="list"`` needs
+the full store's deterministic row order, so fanout/routed plans for it
+divert to the full-copy shard.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.api.results import Result
+from repro.api.session import Session
+from repro.backend.database import Database
+from repro.backend.executor import ExecutionStats
+from repro.errors import ShardingError
+from repro.nrc import ast
+from repro.nrc.schema import Schema
+from repro.shard.analysis import ShardPlan, analyse, plan_route
+from repro.shard.placement import Placement
+from repro.sql.codegen import SqlOptions
+
+#: Which :class:`ExecutionStats` field marks a run of each route mode.
+STATS_MARKERS = {
+    "fanout": "sharded_fanouts",
+    "routed": "sharded_routed",
+    "single": "sharded_singles",
+    "fallback": "sharded_fallbacks",
+}
+
+__all__ = [
+    "ShardedDatabase",
+    "ShardedSession",
+    "ShardedPrepared",
+    "ShardedResult",
+    "connect_sharded",
+]
+
+
+class ShardedDatabase:
+    """``n`` partition stores plus the designated full-copy shard.
+
+    The original ``database`` *is* the full-copy shard: partition shards
+    are loaded from it once (copy-on-partition), after which every
+    mutation goes through :meth:`insert`, which routes each row to its
+    owning shard — and to the full copy, which must stay a superset view
+    of the union of partitions.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        placement: Placement,
+        shard_count: int,
+    ) -> None:
+        if shard_count < 1:
+            raise ShardingError(
+                f"shard count must be ≥1, got {shard_count}"
+            )
+        placement.validate(database.schema)
+        self.schema: Schema = database.schema
+        self.placement = placement
+        self.shard_count = shard_count
+        self.full = database
+        self.shards: list[Database] = database.partition_all(
+            placement.owner_fn(shard_count), shard_count
+        )
+
+    def insert(
+        self, table: str, rows: Iterable[Mapping[str, object]]
+    ) -> None:
+        """Insert rows, routing each to its owning shard.
+
+        A sharded table's rows land on exactly the shards that own them —
+        a shard that receives no rows is **not** touched at all, so its
+        data version (and any live shared-scan materialisations) survive
+        an insert that only concerns other shards.  Replicated tables
+        insert everywhere.
+
+        The full-copy shard receives the rows *first*: its insert
+        validates the whole batch against the schema (and row grouping
+        validates the routing column before that), so a bad batch raises
+        before any partition shard is touched — a failed insert never
+        leaves a partition holding rows the full copy lacks.
+        """
+        materialised = [dict(row) for row in rows]
+        column = self.placement.routing_column(table)
+        groups: dict[int, list[dict]] = {}
+        if column is not None:
+            owner = self.placement.owner_fn(self.shard_count)
+            for row in materialised:
+                groups.setdefault(owner(table, row), []).append(row)
+        self.full.insert(table, materialised)
+        if column is None:
+            for shard in self.shards:
+                shard.insert(table, materialised)
+        else:
+            for index in sorted(groups):
+                self.shards[index].insert(table, groups[index])
+
+    def total_rows(self) -> int:
+        return self.full.total_rows()
+
+    def row_counts(self, table: str) -> list[int]:
+        """Per-shard row counts of ``table`` (diagnostics, balance checks)."""
+        return [shard.row_count(table) for shard in self.shards]
+
+    def dispose(self) -> None:
+        for shard in self.shards:
+            shard._dispose_connection()
+        self.full._dispose_connection()
+
+
+class ShardedResult(Result):
+    """A :class:`~repro.api.results.Result` plus the route that produced it.
+
+    ``route`` is ``"fanout"``, ``"routed:<shard>"``, ``"single:<shard>"``
+    or ``"fallback"``; ``shards`` lists the partition shards that executed
+    (empty for fallback — the full-copy shard is not a partition).
+    """
+
+    __slots__ = ("route", "shards", "reason")
+
+    def __init__(
+        self,
+        value: Any,
+        stats: ExecutionStats,
+        engine: str,
+        route: str,
+        shards: tuple[int, ...],
+        reason: str = "",
+    ) -> None:
+        super().__init__(value=value, stats=stats, engine=engine)
+        self.route = route
+        self.shards = shards
+        self.reason = reason
+
+
+class ShardedPrepared:
+    """A query bound to a sharded session: compiled once, analysed once,
+    runnable many times (re-routing per call when the pin is a host
+    parameter)."""
+
+    def __init__(self, session: "ShardedSession", term: ast.Term) -> None:
+        self._session = session
+        self._term = term
+        self._compiled = None
+        self._plan: Optional[ShardPlan] = None
+        #: Per-shard Prepared handles, created lazily under the lock: the
+        #: fan-out pool resolves slots from several threads at once.
+        self._prepared: list = [None] * session.shard_count
+        self._prepared_lock = threading.Lock()
+
+    def term(self) -> ast.Term:
+        return self._term
+
+    @property
+    def compiled(self):
+        if self._compiled is None:
+            self._compiled = self._session._compile(self._term)
+        return self._compiled
+
+    @property
+    def plan(self) -> ShardPlan:
+        """The shardability verdict (fanout/routed/single/fallback)."""
+        if self._plan is None:
+            self._plan = analyse(
+                self.compiled.normal_form, self._session.placement
+            )
+        return self._plan
+
+    @property
+    def query_count(self) -> int:
+        return self.compiled.query_count
+
+    @property
+    def sql_by_path(self) -> list[tuple[str, str]]:
+        return self.compiled.sql_by_path
+
+    def explain(self) -> str:
+        plan = self.plan
+        header = [
+            f"shards         : {self._session.shard_count} "
+            f"(+ full-copy fallback)",
+            f"shard plan     : {plan.mode} — {plan.reason}",
+        ]
+        return "\n".join(header) + "\n" + self._shard_prepared(0).explain()
+
+    def _shard_prepared(self, index: int):
+        prepared = self._prepared[index]
+        if prepared is None:
+            with self._prepared_lock:
+                prepared = self._prepared[index]
+                if prepared is None:
+                    prepared = self._session.sessions[index].prepare(
+                        self._term
+                    )
+                    self._prepared[index] = prepared
+        return prepared
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        engine: str | None = None,
+        collection: str = "bag",
+        params: Mapping[str, object] | None = None,
+        **kwargs: Any,
+    ) -> ShardedResult:
+        session = self._session
+        decision = plan_route(
+            self.plan,
+            session.shard_count,
+            params=dict(params) if params else None,
+            collection=collection,
+        )
+        per_shard = decision.per_shard_collection
+
+        if decision.mode == "fanout":
+            runner = lambda i: self._shard_prepared(i).run(  # noqa: E731
+                engine=engine, collection=per_shard, params=params, **kwargs
+            )
+            if session.shard_count == 1:
+                results = [runner(0)]
+            else:
+                results = list(session._pool.map(runner, decision.shards))
+            value: list = []
+            for result in results:
+                value.extend(result.value)
+            merged = ExecutionStats()
+            for result in results:
+                merged.merge(result.stats)
+            resolved_engine = results[0].engine
+        else:
+            if decision.mode == "fallback":
+                target = session._fallback_prepared(self._term)
+            else:  # routed / single: exactly one partition shard
+                target = self._shard_prepared(decision.shards[0])
+            result = target.run(
+                engine=engine, collection=per_shard, params=params, **kwargs
+            )
+            value = result.value
+            merged = ExecutionStats()
+            merged.merge(result.stats)
+            resolved_engine = result.engine
+        setattr(merged, STATS_MARKERS[decision.mode], 1)
+
+        if collection == "set":
+            from repro.values import dedup_nested
+
+            value = dedup_nested(value)
+        session._record_run(decision.shards, decision.mode, merged)
+        return ShardedResult(
+            value=value,
+            stats=merged,
+            engine=resolved_engine,
+            route=decision.route,
+            shards=decision.shards,
+            reason=decision.reason,
+        )
+
+
+class ShardedSession:
+    """The fan-out façade: one :class:`Session` per shard, one plan.
+
+    All shard sessions share one plan cache (``cache=True`` → the
+    process-wide cache): their schemas and options are identical, so a
+    query compiles once and every shard reuses the plan.  Stats:
+
+    * ``session.stats`` accumulates the *merged* stats of every sharded
+      run (deterministic shard order), plus compile-side cache counters;
+    * ``session.shard_runs`` / ``session.fallback_runs`` count executions
+      per partition shard and on the full-copy shard — the counters the
+      routing tests assert exactly.
+    """
+
+    def __init__(
+        self,
+        database: "ShardedDatabase | Database | None" = None,
+        *,
+        schema: Schema | None = None,
+        tables: Mapping[str, Iterable[Mapping[str, object]]] | None = None,
+        placement: Placement | None = None,
+        shards: int | None = None,
+        options: SqlOptions | None = None,
+        engine: str = "auto",
+        cache: object = True,
+        validate: bool = False,
+    ) -> None:
+        if isinstance(database, ShardedDatabase):
+            if placement is not None and placement != database.placement:
+                raise ShardingError(
+                    "pass the placement either to ShardedDatabase or to "
+                    "the session, not two different ones"
+                )
+            if shards is not None and shards != database.shard_count:
+                raise ShardingError(
+                    f"shards={shards} conflicts with the ShardedDatabase's "
+                    f"{database.shard_count} shards"
+                )
+            sharded_db = database
+            if tables:
+                for name, rows in tables.items():
+                    sharded_db.insert(name, rows)  # routed per placement
+        else:
+            if placement is None:
+                raise ShardingError(
+                    "a sharded session needs a placement "
+                    "(Placement.of({table: sharded(key=...)}))"
+                )
+            if database is None:
+                if schema is None:
+                    raise ShardingError(
+                        "connect_sharded() needs a Database, a "
+                        "ShardedDatabase or a Schema"
+                    )
+                database = Database(schema, tables)
+            elif tables:
+                for name, rows in tables.items():
+                    database.insert(name, rows)
+            sharded_db = ShardedDatabase(
+                database, placement, 2 if shards is None else shards
+            )
+        self.db = sharded_db
+        self.schema = sharded_db.schema
+        self.placement = sharded_db.placement
+        self.shard_count = sharded_db.shard_count
+        self.engine = engine
+        self.sessions = [
+            Session(
+                shard,
+                options=options,
+                engine=engine,
+                cache=cache,
+                validate=validate,
+            )
+            for shard in sharded_db.shards
+        ]
+        self.fallback_session = Session(
+            sharded_db.full,
+            options=options,
+            engine=engine,
+            cache=cache,
+            validate=validate,
+        )
+        self.stats = ExecutionStats()
+        self._stats_lock = threading.Lock()
+        self.shard_runs = [0] * self.shard_count
+        self.fallback_runs = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.shard_count,
+            thread_name_prefix="repro-shard",
+        )
+
+    # ------------------------------------------------------------- building
+
+    def prepare(self, source: object) -> ShardedPrepared:
+        from repro.api.fluent import to_term
+
+        if isinstance(source, ShardedPrepared):
+            if source._session is self:
+                return source
+            return ShardedPrepared(self, source.term())
+        return ShardedPrepared(self, to_term(source))
+
+    def query(self, source: object) -> ShardedPrepared:
+        return self.prepare(source)
+
+    def run(self, source: object, **kwargs: Any) -> ShardedResult:
+        return self.prepare(source).run(**kwargs)
+
+    def plan_for(self, source: object) -> ShardPlan:
+        """The shardability verdict for ``source`` under this placement."""
+        return self.prepare(source).plan
+
+    # ------------------------------------------------------------ internals
+
+    def _compile(self, term: ast.Term):
+        # Compile through shard 0's pipeline (all shards share the plan
+        # cache) and fold the cache counters into the sharded stats too.
+        local = ExecutionStats()
+        compiled = self.sessions[0].pipeline.compile(term, stats=local)
+        self.sessions[0]._merge_stats(local)
+        with self._stats_lock:
+            self.stats.merge(local)
+        return compiled
+
+    def _fallback_prepared(self, term: ast.Term):
+        return self.fallback_session.prepare(term)
+
+    def _record_run(
+        self, shard_indexes: tuple[int, ...], mode: str, merged: ExecutionStats
+    ) -> None:
+        with self._stats_lock:
+            self.stats.merge(merged)
+            for index in shard_indexes:
+                self.shard_runs[index] += 1
+            if mode == "fallback":
+                self.fallback_runs += 1
+
+    # -------------------------------------------------------------- surface
+
+    def run_counts(self) -> dict[str, object]:
+        """A consistent snapshot of the per-shard execution counters."""
+        with self._stats_lock:
+            return {
+                "per_shard": list(self.shard_runs),
+                "fallback": self.fallback_runs,
+            }
+
+    def stats_snapshot(self) -> dict[str, object]:
+        """Point-in-time counters (never torn mid-merge), including the
+        per-mode sharding markers."""
+        with self._stats_lock:
+            return {
+                "queries": self.stats.queries,
+                "rows_fetched": self.stats.rows_fetched,
+                "cache_hits": self.stats.cache_hits,
+                "cache_misses": self.stats.cache_misses,
+                "millis": round(self.stats.total_millis, 3),
+                "fanouts": self.stats.sharded_fanouts,
+                "routed": self.stats.sharded_routed,
+                "singles": self.stats.sharded_singles,
+                "fallbacks": self.stats.sharded_fallbacks,
+            }
+
+    def insert(
+        self, table: str, rows: Iterable[Mapping[str, object]]
+    ) -> None:
+        """Insert rows (routed per the placement; see
+        :meth:`ShardedDatabase.insert`)."""
+        self.db.insert(table, rows)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        for session in self.sessions:
+            session.close()
+        self.fallback_session.close()
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardedSession shards={self.shard_count} "
+            f"sharded_tables={self.placement.sharded_tables}>"
+        )
+
+
+def connect_sharded(
+    database: "ShardedDatabase | Database | None" = None,
+    *,
+    schema: Schema | None = None,
+    tables: Mapping[str, Iterable[Mapping[str, object]]] | None = None,
+    placement: Placement | None = None,
+    shards: int | None = None,
+    options: SqlOptions | None = None,
+    engine: str = "auto",
+    cache: object = True,
+    validate: bool = False,
+) -> ShardedSession:
+    """Open a :class:`ShardedSession` — the sharded front door.
+
+    >>> session = connect_sharded(db, placement=placement, shards=4)
+    >>> session.run(Q4).route
+    'fanout'
+    """
+    return ShardedSession(
+        database,
+        schema=schema,
+        tables=tables,
+        placement=placement,
+        shards=shards,
+        options=options,
+        engine=engine,
+        cache=cache,
+        validate=validate,
+    )

@@ -1,0 +1,169 @@
+"""Placement policy: which tables partition across shards, and how.
+
+A deployment of ``n`` shards assigns every base table one of two
+placements:
+
+* ``sharded(key="column")`` — the table is *horizontally partitioned*: a
+  row lives on exactly one shard, chosen by a stable hash of its routing
+  column.  The partitions are disjoint and their bag-union is the full
+  table — the algebraic fact the whole subsystem rests on (a bag is the
+  ⊎ of its partitions, and ⊎ is what the paper's multiset semantics make
+  precise).
+* ``replicated`` (the default) — every shard holds a full copy.
+
+The hash is deliberately *not* Python's built-in ``hash`` (randomised per
+process): shard membership must agree between a ``ShardedDatabase`` built
+in one process and ``python -m repro serve --shard i/n`` servers built in
+others, so :func:`shard_for` uses CRC-32 over a typed encoding.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from repro.errors import ShardingError
+from repro.nrc.schema import Schema
+
+__all__ = [
+    "Sharded",
+    "REPLICATED",
+    "sharded",
+    "replicated",
+    "Placement",
+    "shard_for",
+]
+
+
+@dataclass(frozen=True)
+class Sharded:
+    """Placement marker: partition the table by ``key`` (a column name)."""
+
+    key: str
+
+
+class _Replicated:
+    """Placement marker: full copy on every shard (the default)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "replicated"
+
+
+#: The replicated placement marker (singleton).
+REPLICATED = _Replicated()
+
+#: Alias so placement dicts read ``{"employees": replicated}``.
+replicated = REPLICATED
+
+
+def sharded(key: str) -> Sharded:
+    """The sharded placement marker: ``sharded(key="dept")``."""
+    return Sharded(key)
+
+
+def shard_for(value: object, shard_count: int) -> int:
+    """The shard owning a routing-key ``value`` (stable across processes).
+
+    Only base-typed values route (the routing column is a schema column).
+    Bool is checked before int — it is a subclass, and True must not
+    collide with 1's bucket by accident of encoding.
+    """
+    if shard_count < 1:
+        raise ShardingError(f"shard count must be ≥1, got {shard_count}")
+    if isinstance(value, bool):
+        payload = f"b:{int(value)}"
+    elif isinstance(value, int):
+        payload = f"i:{value}"
+    elif isinstance(value, str):
+        payload = f"s:{value}"
+    else:
+        raise ShardingError(
+            f"routing keys must be int/bool/str values, got "
+            f"{type(value).__name__} ({value!r})"
+        )
+    return zlib.crc32(payload.encode("utf-8")) % shard_count
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A per-table placement policy (tables not named are replicated).
+
+    Build one with :meth:`of`::
+
+        placement = Placement.of({
+            "departments": sharded(key="name"),
+            "employees": replicated,          # explicit, same as omitting
+        })
+    """
+
+    #: Only the sharded entries, sorted by table name (hashable).
+    tables: tuple[tuple[str, Sharded], ...] = ()
+
+    @classmethod
+    def of(
+        cls, mapping: Mapping[str, "Sharded | _Replicated"]
+    ) -> "Placement":
+        entries = []
+        for table, marker in mapping.items():
+            if marker is REPLICATED:
+                continue
+            if not isinstance(marker, Sharded):
+                raise ShardingError(
+                    f"placement for table {table!r} must be sharded(key=...) "
+                    f"or replicated, got {marker!r}"
+                )
+            entries.append((table, marker))
+        return cls(tuple(sorted(entries)))
+
+    @property
+    def sharded_tables(self) -> tuple[str, ...]:
+        return tuple(name for name, _marker in self.tables)
+
+    def is_sharded(self, table: str) -> bool:
+        return any(name == table for name, _marker in self.tables)
+
+    def routing_column(self, table: str) -> Optional[str]:
+        """The routing column of ``table``, or None when replicated."""
+        for name, marker in self.tables:
+            if name == table:
+                return marker.key
+        return None
+
+    def validate(self, schema: Schema) -> "Placement":
+        """Check every sharded table and routing column against ``schema``."""
+        for name, marker in self.tables:
+            if name not in schema:
+                raise ShardingError(
+                    f"placement shards unknown table {name!r}"
+                )
+            table_schema = schema.table(name)
+            if marker.key not in table_schema.column_names:
+                raise ShardingError(
+                    f"table {name!r} has no routing column {marker.key!r}; "
+                    f"columns: {', '.join(table_schema.column_names)}"
+                )
+        return self
+
+    def owner_fn(
+        self, shard_count: int
+    ) -> Callable[[str, Mapping[str, object]], Optional[int]]:
+        """The row-ownership function :meth:`Database.partitioned` takes:
+        ``(table, row) → shard index`` for sharded tables, None for
+        replicated ones."""
+        columns = dict(self.tables)
+
+        def owner(table: str, row: Mapping[str, object]) -> Optional[int]:
+            marker = columns.get(table)
+            if marker is None:
+                return None
+            try:
+                value = row[marker.key]
+            except KeyError:
+                raise ShardingError(
+                    f"row for sharded table {table!r} is missing its "
+                    f"routing column {marker.key!r}"
+                ) from None
+            return shard_for(value, shard_count)
+
+        return owner

@@ -63,6 +63,51 @@ def bag_equal(left: NestedValue, right: NestedValue) -> bool:
     return canonical(left) == canonical(right)
 
 
+def assert_bag_equal(
+    actual: NestedValue, expected: NestedValue, context: str = ""
+) -> None:
+    """Assert multiset equality with a readable element-level diff.
+
+    The canonical replacement for the ``sorted(...) == sorted(...)`` /
+    ``sorted(map(repr, ...))`` comparisons tests used to hand-roll: bags
+    compare order-insensitively *at every nesting level*, and on mismatch
+    the error lists which elements are missing and which are unexpected
+    (with multiplicities), rather than two unreadable sorted dumps.
+    """
+    if canonical(actual) == canonical(expected):
+        return
+    prefix = f"{context}: " if context else ""
+    if not isinstance(actual, (list, tuple)) or not isinstance(
+        expected, (list, tuple)
+    ):
+        raise AssertionError(
+            f"{prefix}values differ as multisets:\n"
+            f"  actual  : {render(actual)}\n"
+            f"  expected: {render(expected)}"
+        )
+    counts: dict[tuple, list] = {}
+    for element in expected:
+        counts.setdefault(canonical(element), [0, element])[0] += 1
+    extra: list = []
+    for element in actual:
+        entry = counts.get(canonical(element))
+        if entry is None or entry[0] == 0:
+            extra.append(element)
+        else:
+            entry[0] -= 1
+    missing = [element for count, element in counts.values() for _ in range(count)]
+    lines = [
+        f"{prefix}bags differ as multisets "
+        f"({len(actual)} actual vs {len(expected)} expected elements):"
+    ]
+    for title, elements in (("missing", missing), ("unexpected", extra)):
+        for element in elements[:5]:
+            lines.append(f"  {title}: {render(element)}")
+        if len(elements) > 5:
+            lines.append(f"  ... and {len(elements) - 5} more {title}")
+    raise AssertionError("\n".join(lines))
+
+
 def sort_bag(bag: list) -> list:
     """Return ``bag`` sorted by canonical form (a deterministic order)."""
     return sorted(bag, key=canonical)

@@ -1,8 +1,32 @@
-"""Shared fixtures: the Fig. 3 database and schema, plus generated instances."""
+"""Shared fixtures: the Fig. 3 database and schema, plus generated instances.
+
+Also registers the ``repro-ci`` hypothesis profile: the tier-1 CI matrix
+runs the property suites (including the sharding differential headline
+property) under ``HYPOTHESIS_PROFILE=repro-ci``, which prints the
+``@reproduce_failure`` blob on any failing example so a CI failure
+replays locally exactly.  (``derandomize`` was measured >20× slower on
+these recursive query strategies, so reproducibility comes from the blob
+rather than from derandomised generation.)
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro-ci",
+    print_blob=True,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+    ],
+)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 from repro.backend.database import Database
 from repro.data.organisation import (

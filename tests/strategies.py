@@ -5,11 +5,16 @@ then draw a query producing exactly that plan, so unions always join
 branches of identical type.  Generated queries exercise:
 
 * multi-generator comprehensions over the organisation tables,
-* unions (including empty branches), where-conditions with ∧/∨/¬,
+* unions (including empty branches and 3-way top-level unions),
+  where-conditions with ∧/∨/¬,
 * correlated ``empty`` probes (anti-joins),
 * nested bags up to depth 3,
 * gratuitous β-redexes and bag-typed conditionals, so normalisation always
-  has real work to do.
+  has real work to do,
+* optionally (``with_params=True`` / :func:`queries_with_bindings`) typed
+  host-parameter placeholders, with bindings generated for exactly the
+  parameters the drawn term uses — the PR 4 prepared-statement path under
+  randomisation.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from hypothesis import strategies as st
 
 from repro.data.organisation import ORGANISATION_SCHEMA
 from repro.nrc import builders as b
-from repro.nrc.ast import App, Empty, If, Lam, Term, Var
+from repro.nrc.ast import App, Empty, If, Lam, Param, Term, Var
 from repro.nrc.types import BOOL, INT, STRING, BaseType
 
 _TABLES = {
@@ -29,6 +34,22 @@ _TABLES = {
 }
 
 _LABELS = ["f1", "f2", "f3"]
+
+#: Host-parameter pool: one fixed name per base type, so every occurrence
+#: of a name carries one type (the signature rule `collect_param_specs`
+#: enforces) while a term may still use several parameters.
+_PARAM_POOL = {
+    INT: ("p_int", "p_lo"),
+    STRING: ("p_str",),
+    BOOL: ("p_flag",),
+}
+
+#: Values drawn for generated bindings, per base type.
+_PARAM_VALUES = {
+    INT: st.integers(-3, 3),
+    STRING: st.sampled_from(["Sales", "Product", "Cora", "build", "zzz"]),
+    BOOL: st.booleans(),
+}
 
 
 class _Plan:
@@ -81,7 +102,13 @@ Env = list[tuple[str, str]]  # (variable, table name)
 
 
 @st.composite
-def _base_term(draw, env: Env, want: BaseType, allow_empty: bool = True) -> Term:
+def _base_term(
+    draw,
+    env: Env,
+    want: BaseType,
+    allow_empty: bool = True,
+    params: bool = False,
+) -> Term:
     """A base-typed term over the generator environment."""
     candidates = [
         (var, column, ctype)
@@ -92,6 +119,8 @@ def _base_term(draw, env: Env, want: BaseType, allow_empty: bool = True) -> Term
     choices = ["const"]
     if candidates:
         choices += ["field", "field", "field"]
+    if params and want in _PARAM_POOL:
+        choices.append("param")
     if want == BOOL:
         choices += ["cmp", "logic"]
         if allow_empty and env:
@@ -101,22 +130,24 @@ def _base_term(draw, env: Env, want: BaseType, allow_empty: bool = True) -> Term
     if picked == "field":
         var, column, _ = draw(st.sampled_from(candidates))
         return Var(var)[column]
+    if picked == "param":
+        return Param(draw(st.sampled_from(_PARAM_POOL[want])), want)
     if picked == "cmp":
         operand = draw(st.sampled_from([INT, STRING]))
-        left = draw(_base_term(env, operand, allow_empty=False))
-        right = draw(_base_term(env, operand, allow_empty=False))
+        left = draw(_base_term(env, operand, allow_empty=False, params=params))
+        right = draw(_base_term(env, operand, allow_empty=False, params=params))
         op = draw(st.sampled_from([b.eq, b.ne, b.lt, b.le, b.gt, b.ge]))
         return op(left, right)
     if picked == "logic":
         op = draw(st.sampled_from(["and", "or", "not"]))
-        left = draw(_base_term(env, BOOL, allow_empty=False))
+        left = draw(_base_term(env, BOOL, allow_empty=False, params=params))
         if op == "not":
             return b.not_(left)
-        right = draw(_base_term(env, BOOL, allow_empty=False))
+        right = draw(_base_term(env, BOOL, allow_empty=False, params=params))
         return b.and_(left, right) if op == "and" else b.or_(left, right)
     if picked == "empty":
         # A correlated anti-join probe.
-        probe = draw(_comprehension(env, _BasePlan(INT), depth=0))
+        probe = draw(_comprehension(env, _BasePlan(INT), depth=0, params=params))
         return b.is_empty(probe)
     # Constants.
     if want == INT:
@@ -137,35 +168,39 @@ def _fresh_var() -> str:
 
 
 @st.composite
-def _term_for(draw, plan: _Plan, env: Env, depth: int) -> Term:
+def _term_for(draw, plan: _Plan, env: Env, depth: int, params: bool = False) -> Term:
     if isinstance(plan, _BasePlan):
-        return draw(_base_term(env, plan.base))
+        return draw(_base_term(env, plan.base, params=params))
     if isinstance(plan, _RecordPlan):
         from repro.nrc.ast import Record
 
         return Record(
             tuple(
-                (label, draw(_term_for(sub, env, depth)))
+                (label, draw(_term_for(sub, env, depth, params=params)))
                 for label, sub in plan.fields
             )
         )
     assert isinstance(plan, _BagPlan)
-    n_branches = draw(st.integers(1, 2))
+    # Mostly 1–2 branches, occasionally a 3-way union.
+    n_branches = draw(st.sampled_from([1, 1, 2, 2, 2, 3]))
     branches = [
-        draw(_comprehension(env, plan.element, depth)) for _ in range(n_branches)
+        draw(_comprehension(env, plan.element, depth, params=params))
+        for _ in range(n_branches)
     ]
     if draw(st.integers(0, 9)) == 0:
         branches.append(Empty())
     query = b.union(*branches)
     if draw(st.integers(0, 4)) == 0 and env:
         # A bag-typed conditional: normalisation hoists it to a where.
-        condition = draw(_base_term(env, BOOL, allow_empty=False))
+        condition = draw(_base_term(env, BOOL, allow_empty=False, params=params))
         query = If(condition, query, Empty())
     return query
 
 
 @st.composite
-def _comprehension(draw, env: Env, element_plan: _Plan, depth: int) -> Term:
+def _comprehension(
+    draw, env: Env, element_plan: _Plan, depth: int, params: bool = False
+) -> Term:
     n_generators = draw(st.integers(1, 2))
     inner_env = list(env)
     new_vars = []
@@ -174,8 +209,8 @@ def _comprehension(draw, env: Env, element_plan: _Plan, depth: int) -> Term:
         var = _fresh_var()
         inner_env.append((var, table))
         new_vars.append((var, table))
-    condition = draw(_base_term(inner_env, BOOL))
-    body = draw(_term_for(element_plan, inner_env, depth - 1))
+    condition = draw(_base_term(inner_env, BOOL, params=params))
+    body = draw(_term_for(element_plan, inner_env, depth - 1, params=params))
     result: Term = b.where(condition, b.ret(body))
     if draw(st.integers(0, 4)) == 0:
         # A β-redex for the normaliser: (λx. where … return x-body) ⟨⟩.
@@ -187,7 +222,24 @@ def _comprehension(draw, env: Env, element_plan: _Plan, depth: int) -> Term:
 
 
 @st.composite
-def queries_with_nesting(draw, max_depth: int = 2) -> Term:
+def queries_with_nesting(
+    draw, max_depth: int = 2, with_params: bool = False
+) -> Term:
     """A random closed, well-typed, flat–nested λNRC query."""
     plan = draw(type_plans(max_depth))
-    return draw(_term_for(plan, [], max_depth))
+    return draw(_term_for(plan, [], max_depth, params=with_params))
+
+
+@st.composite
+def queries_with_bindings(draw, max_depth: int = 2) -> tuple[Term, dict]:
+    """A random query that may use host parameters, plus bindings for
+    exactly the parameters it uses (``run(params=bindings)`` is valid —
+    no missing names, no unknown names)."""
+    from repro.pipeline.shredder import collect_param_specs
+
+    query = draw(queries_with_nesting(max_depth, with_params=True))
+    bindings = {
+        name: draw(_PARAM_VALUES[declared])
+        for name, declared in collect_param_specs(query)
+    }
+    return query, bindings

@@ -14,6 +14,7 @@ from repro.shred.paths import paths
 from repro.shred.semantics import run_shredded_annotated
 from repro.shred.stitch import stitch
 from repro.shred.translate import shred_query
+from repro.values import assert_bag_equal
 from repro.shred.value_shred import (
     annotated_eval,
     erase_annotated,
@@ -57,9 +58,7 @@ class TestTheorem20:
                 shred_query(nf, path), db, canonical_index_fn
             )
             via_values = shred_value(annotated, path, canonical_index_fn)
-            assert sorted(map(repr, via_queries)) == sorted(
-                map(repr, via_values)
-            ), f"{name} @ {path}"
+            assert_bag_equal(via_queries, via_values, f"{name} @ {path}")
 
     @pytest.mark.parametrize("name", ["Q4"])
     def test_single_branch_lists_identical(self, name, schema, db):

@@ -16,7 +16,7 @@ from repro.data.queries import NESTED_QUERIES, QF4, QF5, Q1
 from repro.errors import ShreddingError, UnknownTableError
 from repro.nrc import builders as b
 from repro.nrc.semantics import evaluate
-from repro.values import bag_equal
+from repro.values import assert_bag_equal, bag_equal
 
 from .strategies import queries_with_nesting
 
@@ -194,13 +194,11 @@ class TestFluentBuilder:
             )
         )
         rows = peers.run().to_dicts()
-        by_name = {row["name"]: sorted(row["peers"]) for row in rows}
+        by_name = {row["name"]: row["peers"] for row in rows}
         dept_of = {r["name"]: r["dept"] for r in db.rows("employees")}
         for name, dept in dept_of.items():
-            expected = sorted(
-                n for n, d in dept_of.items() if d == dept
-            )
-            assert by_name[name] == expected
+            expected = [n for n, d in dept_of.items() if d == dept]
+            assert_bag_equal(by_name[name], expected, name)
 
     def test_alias_colliding_with_derived_name_stays_fresh(self, session, db):
         """A user alias that equals a derived fresh name (d → d_2) must not

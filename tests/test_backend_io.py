@@ -12,6 +12,7 @@ from repro.backend.io import (
 )
 from repro.data.organisation import ORGANISATION_SCHEMA, figure3_database
 from repro.errors import BackendError
+from repro.values import assert_bag_equal
 
 
 class TestCsvRoundTrip:
@@ -70,8 +71,8 @@ class TestSqliteFileRoundTrip:
         to_sqlite_file(db, path)
         loaded = from_sqlite_file(ORGANISATION_SCHEMA, path)
         for table in ORGANISATION_SCHEMA.table_names:
-            assert sorted(map(repr, loaded.raw_rows(table))) == sorted(
-                map(repr, db.raw_rows(table))
+            assert_bag_equal(
+                loaded.raw_rows(table), db.raw_rows(table), table
             )
 
     def test_queries_work_on_loaded_db(self, tmp_path, db):

@@ -19,7 +19,7 @@ from repro.nrc.semantics import evaluate
 from repro.nrc.typecheck import infer
 from repro.values import bag_equal
 
-from .strategies import queries_with_nesting
+from .strategies import queries_with_bindings, queries_with_nesting
 
 SCHEMA = ORGANISATION_SCHEMA
 DB = figure3_database()
@@ -75,6 +75,24 @@ def test_sql_pipeline_matches_semantics(query):
     expected = evaluate(query, DB)
     for options in (SqlOptions(), SqlOptions(scheme="natural")):
         out = ShreddingPipeline(SCHEMA, options).run(query, DB)
+        assert bag_equal(out, expected), options.scheme
+
+
+@given(queries_with_bindings())
+@_settings
+def test_sql_pipeline_binds_host_params(query_and_bindings):
+    """The PR 4 prepared-statement path under randomisation: running a
+    parameterised query with ``params=bindings`` must equal evaluating the
+    term with the placeholders substituted by literal constants."""
+    from repro.nrc.ast import substitute_params
+    from repro.pipeline.shredder import ShreddingPipeline
+    from repro.sql.codegen import SqlOptions
+
+    query, bindings = query_and_bindings
+    expected = evaluate(substitute_params(query, bindings), DB)
+    for options in (SqlOptions(), SqlOptions(scheme="natural")):
+        compiled = ShreddingPipeline(SCHEMA, options).compile(query)
+        out = compiled.run(DB, params=bindings)
         assert bag_equal(out, expected), options.scheme
 
 

@@ -1,0 +1,513 @@
+"""Unit tests for the sharding subsystem: placement policy, shardability
+analysis, partitioned databases (incl. the owning-shard-only insert
+regression) and the ShardedSession surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import connect, connect_sharded
+from repro.data.organisation import (
+    ORGANISATION_SCHEMA,
+    figure3_database,
+    organisation_placement,
+)
+from repro.data.queries import NESTED_QUERIES
+from repro.errors import ShardingError
+from repro.normalise import normalise
+from repro.nrc import ast
+from repro.nrc import builders as b
+from repro.nrc.types import INT, STRING
+from repro.shard import (
+    Placement,
+    ShardedDatabase,
+    analyse,
+    referenced_tables,
+    replicated,
+    resolve_shard,
+    shard_for,
+    sharded,
+)
+from repro.values import assert_bag_equal
+
+PLACEMENT = organisation_placement()
+
+
+def _dept_names_by_shard(shards: int) -> dict[int, list[str]]:
+    owners: dict[int, list[str]] = {i: [] for i in range(shards)}
+    for row in figure3_database().rows("departments"):
+        owners[shard_for(row["name"], shards)].append(row["name"])
+    return owners
+
+
+# --------------------------------------------------------------------------
+# Placement + routing hash.
+
+
+class TestPlacement:
+    def test_shard_for_is_deterministic_and_total(self):
+        for value in (0, 1, -7, True, False, "Sales", ""):
+            assert shard_for(value, 4) == shard_for(value, 4)
+            assert 0 <= shard_for(value, 4) < 4
+        # bool is not int for routing purposes.
+        assert shard_for(True, 64) != shard_for(1, 64) or True  # may collide
+        with pytest.raises(ShardingError):
+            shard_for(3.14, 4)
+        with pytest.raises(ShardingError):
+            shard_for("x", 0)
+
+    def test_of_filters_replicated_markers(self):
+        placement = Placement.of(
+            {"departments": sharded(key="name"), "employees": replicated}
+        )
+        assert placement.sharded_tables == ("departments",)
+        assert placement.routing_column("departments") == "name"
+        assert placement.routing_column("employees") is None
+        assert not placement.is_sharded("employees")
+
+    def test_of_rejects_bad_markers(self):
+        with pytest.raises(ShardingError):
+            Placement.of({"departments": "name"})
+
+    def test_validate_against_schema(self):
+        Placement.of({"departments": sharded(key="name")}).validate(
+            ORGANISATION_SCHEMA
+        )
+        with pytest.raises(ShardingError):
+            Placement.of({"nope": sharded(key="x")}).validate(
+                ORGANISATION_SCHEMA
+            )
+        with pytest.raises(ShardingError):
+            Placement.of({"departments": sharded(key="salary")}).validate(
+                ORGANISATION_SCHEMA
+            )
+
+    def test_owner_fn_routes_and_reports_missing_key(self):
+        placement = Placement.of({"departments": sharded(key="name")})
+        owner = placement.owner_fn(3)
+        assert owner("employees", {"anything": 1}) is None
+        assert owner("departments", {"name": "Sales"}) == shard_for("Sales", 3)
+        with pytest.raises(ShardingError):
+            owner("departments", {"id": 1})
+
+
+# --------------------------------------------------------------------------
+# Shardability analysis.
+
+
+def _nf(term):
+    return normalise(term, ORGANISATION_SCHEMA)
+
+
+class TestAnalysis:
+    def test_referenced_tables_sees_probes_and_bodies(self):
+        tables = referenced_tables(_nf(NESTED_QUERIES["Q2"]))
+        assert {"departments", "employees", "tasks"} <= tables
+
+    def test_replicated_only_is_single(self):
+        plan = analyse(_nf(NESTED_QUERIES["Q3"]), PLACEMENT)
+        assert plan.mode == "single"
+
+    def test_distributive_fanout(self):
+        for name in ("Q1", "Q2", "Q4", "Q6"):
+            plan = analyse(_nf(NESTED_QUERIES[name]), PLACEMENT)
+            assert plan.mode == "fanout", (name, plan)
+            assert plan.table == "departments"
+
+    def test_nested_reference_falls_back(self):
+        # Q5 lists departments inside the body of a tasks comprehension.
+        plan = analyse(_nf(NESTED_QUERIES["Q5"]), PLACEMENT)
+        assert plan.mode == "fallback"
+        assert "departments" in plan.reason
+
+    def test_self_join_falls_back(self):
+        query = b.for_(
+            "d1",
+            b.table("departments"),
+            lambda d1: b.for_(
+                "d2",
+                b.table("departments"),
+                lambda d2: b.where(
+                    b.ne(d1["name"], d2["name"]),
+                    b.ret(b.record(a=d1["name"], z=d2["name"])),
+                ),
+            ),
+        )
+        assert analyse(_nf(query), PLACEMENT).mode == "fallback"
+
+    def test_routed_on_constant_pin(self):
+        query = b.for_(
+            "d",
+            b.table("departments"),
+            lambda d: b.where(
+                b.eq(d["name"], b.const("Sales")),
+                b.ret(b.record(n=d["name"])),
+            ),
+        )
+        plan = analyse(_nf(query), PLACEMENT)
+        assert plan.mode == "routed"
+        assert plan.pin == ("const", "Sales")
+        assert resolve_shard(plan, None, 4) == shard_for("Sales", 4)
+
+    def test_routed_on_parameter_pin(self):
+        dept = ast.Param("dept", STRING)
+        query = b.for_(
+            "d",
+            b.table("departments"),
+            lambda d: b.where(
+                b.eq(dept, d["name"]), b.ret(b.record(n=d["name"]))
+            ),
+        )
+        plan = analyse(_nf(query), PLACEMENT)
+        assert plan.mode == "routed"
+        assert plan.pin == ("param", "dept")
+        assert resolve_shard(plan, {"dept": "Sales"}, 4) == shard_for(
+            "Sales", 4
+        )
+        with pytest.raises(ShardingError):
+            resolve_shard(plan, None, 4)
+
+    def test_routed_through_transitive_equality(self):
+        # employees sharded by dept; the inner generator is pinned only
+        # through the chain e.dept = d.name ∧ d.name = :dept.
+        placement = Placement.of({"employees": sharded(key="dept")})
+        dept = ast.Param("dept", STRING)
+        query = b.for_(
+            "d",
+            b.table("departments"),
+            lambda d: b.where(
+                b.eq(d["name"], dept),
+                b.ret(
+                    b.record(
+                        department=d["name"],
+                        staff=b.for_(
+                            "e",
+                            b.table("employees"),
+                            lambda e: b.where(
+                                b.eq(e["dept"], d["name"]),
+                                b.ret(b.record(name=e["name"])),
+                            ),
+                        ),
+                    )
+                ),
+            ),
+        )
+        plan = analyse(_nf(query), placement)
+        assert plan.mode == "routed"
+        assert plan.pin == ("param", "dept")
+
+    def test_unpinned_disjunction_is_not_routed(self):
+        # name = :dept ∨ ... does not pin the generator.
+        dept = ast.Param("dept", STRING)
+        query = b.for_(
+            "d",
+            b.table("departments"),
+            lambda d: b.where(
+                b.or_(b.eq(d["name"], dept), b.gt(d["id"], b.const(2))),
+                b.ret(b.record(n=d["name"])),
+            ),
+        )
+        plan = analyse(_nf(query), PLACEMENT)
+        assert plan.mode == "fanout"  # still distributive, never routed
+
+    def test_conflicting_pins_do_not_route(self):
+        query = b.union(
+            b.for_(
+                "d",
+                b.table("departments"),
+                lambda d: b.where(
+                    b.eq(d["name"], b.const("Sales")),
+                    b.ret(b.record(n=d["name"])),
+                ),
+            ),
+            b.for_(
+                "d",
+                b.table("departments"),
+                lambda d: b.where(
+                    b.eq(d["name"], b.const("Product")),
+                    b.ret(b.record(n=d["name"])),
+                ),
+            ),
+        )
+        plan = analyse(_nf(query), PLACEMENT)
+        assert plan.mode == "fanout"
+
+    def test_two_sharded_tables_fall_back(self):
+        placement = Placement.of(
+            {
+                "departments": sharded(key="name"),
+                "employees": sharded(key="dept"),
+            }
+        )
+        plan = analyse(_nf(NESTED_QUERIES["Q4"]), placement)
+        assert plan.mode == "fallback"
+        assert "multiple sharded tables" in plan.reason
+
+
+# --------------------------------------------------------------------------
+# ShardedDatabase: partitioning and insert routing.
+
+
+class TestShardedDatabase:
+    def test_partitions_cover_and_are_disjoint(self):
+        sdb = ShardedDatabase(figure3_database(), PLACEMENT, 3)
+        names = [
+            {row["name"] for row in shard.rows("departments")}
+            for shard in sdb.shards
+        ]
+        union = set().union(*names)
+        assert union == {
+            row["name"] for row in sdb.full.rows("departments")
+        }
+        total = sum(len(part) for part in names)
+        assert total == len(union)  # disjoint
+        # Replicated tables are full copies everywhere.
+        for shard in sdb.shards:
+            assert shard.row_count("employees") == sdb.full.row_count(
+                "employees"
+            )
+
+    def test_insert_routes_sharded_rows(self):
+        sdb = ShardedDatabase(figure3_database(), PLACEMENT, 2)
+        owner = shard_for("Zeta", 2)
+        sdb.insert("departments", [{"id": 99, "name": "Zeta"}])
+        assert any(
+            row["name"] == "Zeta" for row in sdb.shards[owner].rows("departments")
+        )
+        assert not any(
+            row["name"] == "Zeta"
+            for row in sdb.shards[1 - owner].rows("departments")
+        )
+        assert any(
+            row["name"] == "Zeta" for row in sdb.full.rows("departments")
+        )
+
+    def test_insert_replicated_rows_everywhere(self):
+        sdb = ShardedDatabase(figure3_database(), PLACEMENT, 2)
+        new_row = {"id": 99, "dept": "Sales", "name": "Zoe", "salary": 1}
+        sdb.insert("employees", [new_row])
+        for store in [*sdb.shards, sdb.full]:
+            assert any(r["name"] == "Zoe" for r in store.rows("employees"))
+
+    def test_insert_bumps_owning_shard_version_only(self):
+        """Regression: an insert routed to shard 0 must not invalidate
+        shard 1's shared-scan version or its live materialisations."""
+        sdb = ShardedDatabase(figure3_database(), PLACEMENT, 2)
+        names = _dept_names_by_shard(2)
+        assert names[0] and names[1], "fig. 3 depts should span both shards"
+        new_name = next(
+            f"Zz{i}" for i in range(1000) if shard_for(f"Zz{i}", 2) == 0
+        )
+
+        # A live shared-scan materialisation on shard 1.
+        from repro.sql.ast import Col, SelectCore, SelectItem, TableRef
+        from repro.sql.optimizer import SharedScan
+
+        scan = SharedScan(
+            name="qss_shard1_probe",
+            select=SelectCore(
+                (SelectItem(Col("d", "name"), "name"),),
+                (TableRef("departments", "d"),),
+            ),
+            create_sql='CREATE TABLE "qss_shard1_probe" AS '
+            'SELECT "d"."name" AS "name" FROM "departments" AS "d"',
+            drop_sql='DROP TABLE IF EXISTS "qss_shard1_probe"',
+        )
+        shard1 = sdb.shards[1]
+        shard1.acquire_shared_scan(scan)
+        version_before = shard1._data_version
+
+        sdb.insert("departments", [{"id": 99, "name": new_name}])
+
+        assert sdb.shards[0]._data_version > 0
+        assert shard1._data_version == version_before
+        # The scan is still fresh: re-acquiring must not wait or recreate.
+        shard1.acquire_shared_scan(scan)
+        assert shard1._scan_refs[scan.name][0] == 2
+        shard1.release_shared_scan(scan)
+        shard1.release_shared_scan(scan)
+        assert shard1._scan_refs == {}
+
+    def test_failed_insert_touches_no_store(self):
+        """A batch that fails validation must leave every store unchanged:
+        the full-copy shard validates first, so partitions never hold rows
+        the full copy lacks."""
+        from repro.errors import BackendError
+
+        sdb = ShardedDatabase(figure3_database(), PLACEMENT, 2)
+        bad_batch = [
+            {"id": 900, "name": "Zok"},
+            {"id": 901, "name": "Zal", "extra": 1},  # bad column set
+        ]
+        with pytest.raises(BackendError):
+            sdb.insert("departments", bad_batch)
+        for store in [*sdb.shards, sdb.full]:
+            names = {row["name"] for row in store.rows("departments")}
+            assert not names & {"Zok", "Zal"}
+
+    def test_insert_missing_routing_column_is_rejected(self):
+        sdb = ShardedDatabase(figure3_database(), PLACEMENT, 2)
+        with pytest.raises(ShardingError):
+            sdb.insert("departments", [{"id": 99}])
+
+    def test_shard_count_validation(self):
+        with pytest.raises(ShardingError):
+            ShardedDatabase(figure3_database(), PLACEMENT, 0)
+
+
+# --------------------------------------------------------------------------
+# ShardedSession surface.
+
+
+class TestShardedSession:
+    def test_needs_a_placement(self):
+        with pytest.raises(ShardingError):
+            connect_sharded(figure3_database())
+        with pytest.raises(ShardingError):
+            connect_sharded(placement=PLACEMENT)
+
+    def test_placement_conflict_is_rejected(self):
+        sdb = ShardedDatabase(figure3_database(), PLACEMENT, 2)
+        other = Placement.of({"employees": sharded(key="dept")})
+        with pytest.raises(ShardingError):
+            connect_sharded(sdb, placement=other)
+
+    def test_routes_and_markers(self):
+        with connect_sharded(
+            figure3_database(), placement=PLACEMENT, shards=2
+        ) as session:
+            assert session.run(NESTED_QUERIES["Q4"]).route == "fanout"
+            assert session.run(NESTED_QUERIES["Q3"]).route == "single:0"
+            assert session.run(NESTED_QUERIES["Q5"]).route == "fallback"
+            snapshot = session.stats_snapshot()
+            assert snapshot["fanouts"] == 1
+            assert snapshot["singles"] == 1
+            assert snapshot["fallbacks"] == 1
+            assert snapshot["routed"] == 0
+            counts = session.run_counts()
+            assert counts["fallback"] == 1
+            assert counts["per_shard"][0] == 2  # fanout + single
+            assert counts["per_shard"][1] == 1  # fanout only
+
+    def test_routed_point_lookup_hits_exactly_one_shard(self):
+        from repro.service.registry import paper_registry
+
+        term = paper_registry().lookup("dept_staff").term
+        with connect_sharded(
+            figure3_database(), placement=PLACEMENT, shards=4
+        ) as session:
+            single = connect(figure3_database())
+            for dept in ("Sales", "Product", "Research", "Quality"):
+                before = session.run_counts()["per_shard"]
+                result = session.run(term, params={"dept": dept})
+                after = session.run_counts()["per_shard"]
+                owner = shard_for(dept, 4)
+                assert result.route == f"routed:{owner}"
+                assert result.shards == (owner,)
+                deltas = [b - a for a, b in zip(before, after)]
+                assert sum(deltas) == 1 and deltas[owner] == 1
+                assert_bag_equal(
+                    result.value,
+                    single.run(term, params={"dept": dept}).value,
+                    dept,
+                )
+            assert session.stats_snapshot()["routed"] == 4
+
+    def test_set_semantics_dedup_across_shards(self):
+        query = b.for_(
+            "d", b.table("departments"), lambda d: b.ret(b.record(k=b.const(1)))
+        )
+        with connect_sharded(
+            figure3_database(), placement=PLACEMENT, shards=2
+        ) as session:
+            bag = session.run(query)
+            assert bag.route == "fanout"
+            assert len(bag.value) == 4  # one per department, across shards
+            as_set = session.run(query, collection="set")
+            assert as_set.value == [{"k": 1}]
+
+    def test_list_semantics_divert_to_fallback(self):
+        from repro.api import SqlOptions
+
+        with connect_sharded(
+            figure3_database(),
+            placement=PLACEMENT,
+            shards=2,
+            options=SqlOptions(ordered=True),
+        ) as session:
+            result = session.run(NESTED_QUERIES["Q4"], collection="list")
+            assert result.route == "fallback"
+            assert "row order" in result.reason
+            expected = connect(
+                figure3_database(), options=SqlOptions(ordered=True)
+            ).run(NESTED_QUERIES["Q4"], collection="list")
+            assert result.value == expected.value
+
+    def test_insert_through_session_is_visible(self):
+        with connect_sharded(
+            figure3_database(), placement=PLACEMENT, shards=2
+        ) as session:
+            session.insert("departments", [{"id": 99, "name": "Zeta"}])
+            session.insert(
+                "employees",
+                [{"id": 99, "dept": "Zeta", "name": "Zoe", "salary": 5}],
+            )
+            result = session.run(NESTED_QUERIES["Q4"])
+            zeta = [row for row in result.value if row["dept"] == "Zeta"]
+            assert len(zeta) == 1
+            assert zeta[0]["employees"] == ["Zoe"]
+
+    def test_plan_cache_shared_across_shards(self):
+        from repro.pipeline.plan_cache import PlanCache
+
+        cache = PlanCache()
+        with connect_sharded(
+            figure3_database(), placement=PLACEMENT, shards=3, cache=cache
+        ) as session:
+            session.run(NESTED_QUERIES["Q4"])
+            stats = cache.stats()
+            # One cold compile; every shard session reuses the plan.
+            assert stats["entries"] == 1
+            assert stats["misses"] == 1
+
+    def test_explain_names_the_plan(self):
+        with connect_sharded(
+            figure3_database(), placement=PLACEMENT, shards=2
+        ) as session:
+            text = session.prepare(NESTED_QUERIES["Q4"]).explain()
+            assert "shard plan" in text
+            assert "fanout" in text
+
+
+# --------------------------------------------------------------------------
+# CLI --shard parsing.
+
+
+class TestCliShardSpec:
+    def test_parse(self):
+        from repro.__main__ import _parse_shard
+
+        assert _parse_shard("0/2") == (0, 2)
+        assert _parse_shard("3/4") == (3, 4)
+        assert _parse_shard("full/4") == ("full", 4)
+        for bad in ("", "2", "4/4", "-1/4", "a/b", "full/0"):
+            with pytest.raises(SystemExit):
+                _parse_shard(bad)
+
+    def test_scaled_shard_slices_are_a_partition(self):
+        from repro.data.generator import scaled_database, scaled_shard
+
+        full = scaled_database(4, seed=0, scale_rows=3)
+        slices = [scaled_shard(4, i, 2, seed=0, scale_rows=3) for i in range(2)]
+        dept_names = [
+            {row["name"] for row in part.rows("departments")}
+            for part in slices
+        ]
+        assert dept_names[0] | dept_names[1] == {
+            row["name"] for row in full.rows("departments")
+        }
+        assert not (dept_names[0] & dept_names[1])
+        for part in slices:
+            assert part.row_count("employees") == full.row_count("employees")
+        with pytest.raises(ShardingError):
+            scaled_shard(4, 2, 2)
