@@ -31,7 +31,7 @@ import time
 import pytest
 
 from repro.api import connect
-from repro.bench.reporting import write_bench_json
+from repro.bench.reporting import merge_bench_json
 from repro.data.queries import NESTED_QUERIES
 from repro.pipeline.plan_cache import PlanCache
 from repro.service import ServiceClient, paper_registry, serve_in_background
@@ -160,7 +160,9 @@ def sweep_results(bench_db):
             ),
             "bar": SPEEDUP_FLOOR,
         }
-        write_bench_json(_RESULT_PATH, results)
+        # Merge rather than write: BENCH_service.json also carries the
+        # degraded failover scenario (benchmarks/test_service_degraded.py).
+        merge_bench_json(_RESULT_PATH, results)
         return results
 
 

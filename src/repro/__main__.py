@@ -194,7 +194,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     session = connect(db)
     registry = paper_registry()
     server = QueryServer(
-        session, registry, pool_size=args.pool, shard_label=shard_label
+        session,
+        registry,
+        pool_size=args.pool,
+        shard_label=shard_label,
+        max_pending=args.max_pending,
+        default_deadline_ms=args.deadline_ms,
     )
 
     async def serve() -> None:
@@ -204,10 +209,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"  shard   : {shard_label} "
                   f"({db.total_rows()} rows on this shard)")
         print(f"  queries : {', '.join(registry.names())}")
-        print(f"  pool    : {args.pool} read connections")
+        print(f"  pool    : {args.pool} read connections, "
+              f"admission limit {server.max_pending}")
         print("  protocol: length-prefixed JSON frames "
-              "(prepare/execute/explain/stats/close) — see README")
-        await server.serve_forever()
+              "(prepare/execute/explain/stats/ping/close) — see README")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            # Ctrl-C cancels this task inside asyncio.run — drain while
+            # the loop is still alive: in-flight requests finish (up to
+            # --drain-grace seconds), new connects are refused.
+            await server.stop(drain_grace=args.drain_grace)
 
     try:
         asyncio.run(serve())
@@ -315,6 +327,30 @@ def main(argv: list[str] | None = None) -> int:
         "partition i of n (departments hash-partitioned by name, other "
         "tables replicated), full/n serves the designated full-copy "
         "fallback shard",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission limit: executes in flight beyond N are shed with "
+        "an OVERLOADED error frame (default: pool × 8)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="server-side deadline for executes that name none "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on shutdown, how long in-flight requests get to finish "
+        "before their connections are cancelled",
     )
     serve.set_defaults(fn=_cmd_serve)
 

@@ -104,6 +104,12 @@ class ExecutionStats:
     sharded_routed: int = 0
     sharded_singles: int = 0
     sharded_fallbacks: int = 0
+    #: Fault-tolerance markers: runs *planned* around a known-down shard
+    #: (the router diverted to the full-copy fallback before touching the
+    #: dead endpoint) vs. runs *retried* on the fallback after a shard
+    #: failed mid-execution.
+    failover_reroutes: int = 0
+    failover_retries: int = 0
 
     def record(self, rows: int, millis: float = 0.0) -> None:
         self.queries += 1
@@ -137,6 +143,8 @@ class ExecutionStats:
         self.sharded_routed += other.sharded_routed
         self.sharded_singles += other.sharded_singles
         self.sharded_fallbacks += other.sharded_fallbacks
+        self.failover_reroutes += other.failover_reroutes
+        self.failover_retries += other.failover_retries
 
     @property
     def total_millis(self) -> float:

@@ -18,6 +18,7 @@ __all__ = [
     "series",
     "bench_json",
     "write_bench_json",
+    "merge_bench_json",
 ]
 
 
@@ -46,6 +47,28 @@ def write_bench_json(
 ) -> None:
     """Write a ``BENCH_*.json`` document (sorted keys, fixed precision)."""
     pathlib.Path(path).write_text(bench_json(payload, float_digits))
+
+
+def merge_bench_json(
+    path: "pathlib.Path | str", updates: dict, float_digits: int = 3
+) -> dict:
+    """Update top-level keys of a ``BENCH_*.json`` document in place.
+
+    Several benchmark modules can contribute scenarios to one result file
+    (``BENCH_service.json`` holds both the healthy concurrency sweep and
+    the degraded failover scenario) without clobbering each other — each
+    replaces only the keys it owns.  Returns the merged document.
+    """
+    target = pathlib.Path(path)
+    document: dict = {}
+    if target.exists():
+        try:
+            document = json.loads(target.read_text())
+        except (OSError, json.JSONDecodeError):
+            document = {}  # a corrupt result file is rebuilt, not fatal
+    document.update(updates)
+    write_bench_json(target, document, float_digits)
+    return document
 
 
 def series(

@@ -109,9 +109,69 @@ class ServiceError(ReproError):
         self.kind = kind
 
 
+class ServiceConnectionError(ServiceError):
+    """Transport-level failure talking to a query server: connect refused,
+    connection reset, read timeout, or the stream closed mid-frame.
+
+    Distinct from a structured error *frame* (which means the server
+    processed the request and answered): a transport failure means the
+    request may never have reached the server at all, so the client closes
+    the (possibly desynced) connection and — every protocol op being
+    read-only — may transparently retry it on a fresh one.
+    """
+
+    def __init__(self, message: str, kind: str = "ConnectionError") -> None:
+        super().__init__(message, kind=kind)
+
+
+class OverloadedError(ServiceError):
+    """The server shed this request at admission: its bounded in-flight
+    queue is saturated (the wire's ``OVERLOADED`` error frame).
+
+    Deliberate load-shedding, not a failure of the request itself — the
+    query was never compiled or executed.  Back off and retry, or divert
+    to another replica/shard.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, kind="Overloaded")
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's wall-clock budget ran out before a complete answer.
+
+    Raised client-side when the per-request deadline expires mid-wait
+    (the connection is closed, since a late response would desync it) and
+    relayed server-side as a structured frame when the server's own
+    deadline for the request fires first.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, kind="DeadlineExceeded")
+
+
 class ShardingError(ReproError):
     """A sharded deployment was misconfigured or misused (bad placement,
     unresolvable routing key, shard-count mismatch)."""
+
+
+class ShardUnavailableError(ShardingError):
+    """A shard could not answer and no full-copy fallback could stand in.
+
+    Carries the failing ``shard`` label (``"2/4"``, ``"full/4"``) and the
+    ``op`` that failed, so a fan-out failure names its culprit instead of
+    surfacing as a bare ``OSError`` from one of many sockets.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: "str | None" = None,
+        op: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.op = op
 
 
 class IndexingError(ReproError):

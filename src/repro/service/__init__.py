@@ -22,15 +22,28 @@ Four pieces:
   shapes (fluent/captured/λNRC, with typed ``Param`` placeholders) that
   compile once through the plan cache and re-bind host parameters per call;
 * :mod:`~repro.service.protocol` — length-prefixed JSON frames
-  (prepare/execute/explain/stats/close);
+  (prepare/execute/explain/stats/ping/close);
+* :mod:`~repro.service.resilience` — deadlines, retry policies and
+  circuit breakers shared by the clients and the sharded fan-out;
 * :mod:`~repro.service.server` — the asyncio server (``python -m repro
   serve``), offloading execution onto leased read-only connections;
 * :mod:`~repro.service.client` — blocking and asyncio clients.
 """
 
-from repro.service.client import AsyncServiceClient, ServiceClient
-from repro.service.protocol import MAX_FRAME_BYTES, OPS, pack_frame, split_frame
+from repro.service.client import (
+    DEFAULT_TIMEOUT,
+    AsyncServiceClient,
+    ServiceClient,
+)
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    pack_frame,
+    split_frame,
+)
 from repro.service.registry import QueryRegistry, RegisteredQuery, paper_registry
+from repro.service.resilience import CircuitBreaker, Deadline, RetryPolicy
 from repro.service.server import QueryServer, ServerHandle, serve_in_background
 
 __all__ = [
@@ -42,8 +55,13 @@ __all__ = [
     "serve_in_background",
     "ServiceClient",
     "AsyncServiceClient",
+    "DEFAULT_TIMEOUT",
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreaker",
     "pack_frame",
     "split_frame",
     "MAX_FRAME_BYTES",
     "OPS",
+    "PROTOCOL_VERSION",
 ]

@@ -9,22 +9,66 @@
 Both flavours speak the same frames (:mod:`repro.service.protocol`) over a
 persistent connection and raise :class:`~repro.errors.ServiceError` (with
 the server's error classification in ``.kind``) on error responses.
+
+Fault tolerance (the v1.1 contract both clients implement):
+
+* **one uniform timeout** — ``timeout=`` bounds the TCP connect *and*
+  every subsequent read/write (default ``DEFAULT_TIMEOUT`` = 30s; the
+  pre-1.1 blocking client only applied it at connect, and the async
+  client had no connect timeout at all);
+* **per-request deadlines** — ``deadline_ms`` (per call or as the
+  client-wide default) is a wall-clock budget threaded into every socket
+  wait and forwarded to the server, which enforces it independently; on
+  expiry the client raises :class:`~repro.errors.DeadlineExceededError`
+  and drops the connection (a late response would desync it);
+* **reconnect on any read error** — a timeout or partial read mid-frame
+  leaves unread bytes on the wire, so the *next* request would read a
+  stale response; the client therefore closes the socket on every
+  transport error and reconnects lazily.  Request ids (echoed by the
+  server) are verified on every response as a second line of defence:
+  a response carrying the wrong id is discarded *with* the connection;
+* **bounded retries** — every protocol op is read-only, so transport
+  failures (not structured error frames) are retried per
+  :class:`~repro.service.resilience.RetryPolicy` — exponential backoff
+  with jitter, never beyond the request deadline;
+* **circuit breaker** — an optional per-endpoint
+  :class:`~repro.service.resilience.CircuitBreaker`: consecutive
+  transport failures trip it, tripped requests fail fast with
+  :class:`~repro.errors.ServiceConnectionError` (kind ``CircuitOpen``)
+  instead of re-paying connect timeouts, and a half-open probe heals it.
+
+The blocking client is thread-confined: share a connection per thread,
+not one across threads.
 """
 
 from __future__ import annotations
 
 import asyncio
 import socket
+import time
+from typing import Optional
 
-from repro.errors import ServiceError
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceConnectionError,
+    ServiceError,
+)
 from repro.service.protocol import (
     frame_length,
     pack_frame,
     raise_for_error,
     split_frame,
 )
+from repro.service.resilience import CircuitBreaker, Deadline, RetryPolicy
 
-__all__ = ["ServiceClient", "AsyncServiceClient"]
+__all__ = ["ServiceClient", "AsyncServiceClient", "DEFAULT_TIMEOUT"]
+
+#: The connect/read/write timeout both clients apply when none is given.
+DEFAULT_TIMEOUT = 30.0
+
+#: Sentinel distinguishing "use the client default" from an explicit None
+#: (= no deadline) in per-request ``deadline_ms`` arguments.
+_USE_DEFAULT = object()
 
 
 class ServiceClient:
@@ -32,30 +76,168 @@ class ServiceClient:
     share a connection per thread, not one across threads)."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 7411, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7411,
+        timeout: float = DEFAULT_TIMEOUT,
+        *,
+        deadline_ms: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        connect_now: bool = True,
     ) -> None:
         self.host = host
         self.port = port
-        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self.timeout = timeout
+        self.deadline_ms = deadline_ms
+        self.retry = RetryPolicy() if retry is None else retry
+        self.breaker = breaker
+        #: Observability counters: transparent retries and reconnects this
+        #: client performed (the fault-injection suite asserts these).
+        self.retries = 0
+        self.reconnects = 0
+        self._socket: Optional[socket.socket] = None
+        self._connected_once = False
+        self._closed = False
+        self._request_seq = 0
+        if connect_now:
+            self._connect(Deadline(None))
 
     # -------------------------------------------------------------- plumbing
 
-    def _read_exactly(self, count: int) -> bytes:
+    def _connect(self, deadline: Deadline) -> None:
+        deadline.check("connecting")
+        self._socket = socket.create_connection(
+            (self.host, self.port),
+            timeout=deadline.remaining(cap=self.timeout),
+        )
+        self._socket.settimeout(self.timeout)
+        if self._connected_once:
+            self.reconnects += 1
+        self._connected_once = True
+
+    def _drop_connection(self) -> None:
+        """Close the socket unconditionally — after any transport error or
+        deadline expiry mid-request the stream position is unknowable, and
+        reading on would hand the *next* request a stale response."""
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._socket = None
+
+    def _read_exactly(self, count: int, deadline: Deadline) -> bytes:
+        assert self._socket is not None
         chunks = []
         remaining = count
         while remaining:
+            deadline.check("awaiting the response")
+            self._socket.settimeout(deadline.remaining(cap=self.timeout))
             chunk = self._socket.recv(remaining)
             if not chunk:
-                raise ServiceError("server closed the connection mid-frame")
+                raise ServiceConnectionError(
+                    "server closed the connection mid-frame"
+                )
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    def request(self, payload: dict) -> dict:
-        """One request/response round trip (raises on error frames)."""
-        self._socket.sendall(pack_frame(payload))
-        body = self._read_exactly(frame_length(self._read_exactly(4)))
-        return raise_for_error(split_frame(body))
+    def _round_trip(self, wire: dict, deadline: Deadline) -> dict:
+        if self._socket is None:
+            self._connect(deadline)
+        assert self._socket is not None
+        deadline.check("sending the request")
+        self._socket.settimeout(deadline.remaining(cap=self.timeout))
+        self._socket.sendall(pack_frame(wire))
+        # frame_length/split_frame raise ServiceError on a corrupt length
+        # prefix or body — the caller treats that as a transport failure
+        # (the stream is desynced) and drops the connection.
+        body = self._read_exactly(
+            frame_length(self._read_exactly(4, deadline)), deadline
+        )
+        return split_frame(body)
+
+    def request(
+        self,
+        payload: dict,
+        *,
+        deadline_ms: object = _USE_DEFAULT,
+        retry: bool = True,
+    ) -> dict:
+        """One request/response round trip (raises on error frames).
+
+        Transport failures close the connection and are retried (op
+        payloads are read-only) within the request's deadline; structured
+        error frames are answers and raise without retrying.
+        """
+        if self._closed:
+            raise ServiceError("client is closed")
+        budget = self.deadline_ms if deadline_ms is _USE_DEFAULT else deadline_ms
+        deadline = Deadline.after_millis(budget)
+        self._request_seq += 1
+        wire = dict(payload)
+        wire.setdefault("id", self._request_seq)
+        if budget is not None:
+            wire.setdefault("deadline_ms", budget)
+        attempt = 0
+        while True:
+            if self.breaker is not None and not self.breaker.allow():
+                raise ServiceConnectionError(
+                    f"circuit open for {self.host}:{self.port} "
+                    f"({self.breaker.snapshot()['consecutive_failures']} "
+                    f"consecutive failures)",
+                    kind="CircuitOpen",
+                )
+            try:
+                response = self._round_trip(wire, deadline)
+                echoed = response.get("id")
+                if echoed is not None and echoed != wire["id"]:
+                    # A stale frame from an earlier abandoned request: the
+                    # stream is desynced — discard it with the connection.
+                    raise ServiceConnectionError(
+                        f"desynced connection: response id {echoed!r} does "
+                        f"not match request id {wire['id']!r}"
+                    )
+            except DeadlineExceededError:
+                # Budget spent mid-request: the response (if it ever
+                # comes) would desync the stream.
+                self._drop_connection()
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            except (OSError, ServiceError) as error:
+                # ServiceError here can only come from the transport layer
+                # (mid-frame close, corrupt length prefix, malformed frame
+                # bytes): raise_for_error runs *after* this try block, so
+                # structured error frames never take this path.
+                self._drop_connection()
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if deadline.expired:
+                    raise DeadlineExceededError(
+                        f"deadline of {deadline.millis:.0f}ms exceeded "
+                        f"after transport error: {error}"
+                    ) from error
+                if not retry or attempt >= self.retry.attempts - 1:
+                    if isinstance(error, ServiceConnectionError):
+                        raise
+                    raise ServiceConnectionError(
+                        f"request to {self.host}:{self.port} failed after "
+                        f"{attempt + 1} attempt(s): {error}"
+                    ) from error
+                delay = self.retry.backoff(attempt)
+                remaining = deadline.remaining()
+                if remaining is not None:
+                    delay = min(delay, remaining)
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+                self.retries += 1
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return raise_for_error(response)
 
     # ------------------------------------------------------------------- ops
 
@@ -70,9 +252,12 @@ class ServiceClient:
         params: dict | None = None,
         engine: str | None = None,
         collection: str | None = None,
+        deadline_ms: object = _USE_DEFAULT,
     ) -> list:
         """Run ``query`` and return the nested rows (plain dicts/lists)."""
-        return self.execute_full(query, params, engine, collection)["rows"]
+        return self.execute_full(
+            query, params, engine, collection, deadline_ms=deadline_ms
+        )["rows"]
 
     def execute_full(
         self,
@@ -80,6 +265,7 @@ class ServiceClient:
         params: dict | None = None,
         engine: str | None = None,
         collection: str | None = None,
+        deadline_ms: object = _USE_DEFAULT,
     ) -> dict:
         """Like :meth:`execute`, but returns the whole response frame
         (rows + engine + per-run stats)."""
@@ -90,7 +276,7 @@ class ServiceClient:
             payload["engine"] = engine
         if collection:
             payload["collection"] = collection
-        return self.request(payload)
+        return self.request(payload, deadline_ms=deadline_ms)
 
     def explain(self, query: str) -> str:
         return self.request({"op": "explain", "query": query})["text"]
@@ -99,14 +285,25 @@ class ServiceClient:
         """Server, session and plan-cache counters."""
         return self.request({"op": "stats"})
 
+    def ping(self, deadline_ms: object = _USE_DEFAULT) -> dict:
+        """Liveness probe: answered inline by the server (no lease, no
+        compile), so it measures the serving path itself."""
+        return self.request(
+            {"op": "ping"}, deadline_ms=deadline_ms, retry=False
+        )
+
     def close(self) -> None:
-        """Polite shutdown: send the close op, then drop the socket."""
-        try:
-            self.request({"op": "close"})
-        except (OSError, ServiceError):
-            pass  # the socket may already be gone; closing is best-effort
-        finally:
-            self._socket.close()
+        """Polite shutdown: send the close op, then drop the socket.
+
+        A closed client stays closed — later requests raise instead of
+        silently reconnecting."""
+        if self._socket is not None and not self._closed:
+            try:
+                self.request({"op": "close"}, retry=False)
+            except (OSError, ServiceError):
+                pass  # the socket may already be gone; closing is best-effort
+        self._closed = True
+        self._drop_connection()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -116,28 +313,103 @@ class ServiceClient:
 
 
 class AsyncServiceClient:
-    """The asyncio flavour: the same surface with awaitable ops."""
+    """The asyncio flavour: the same surface with awaitable ops.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 7411) -> None:
+    Applies the same uniform ``timeout`` to connect and every stream read,
+    and the same deadline/reconnect rules; retries and breakers stay with
+    the blocking client (an asyncio caller composes its own backoff).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7411,
+        timeout: float = DEFAULT_TIMEOUT,
+        *,
+        deadline_ms: Optional[float] = None,
+    ) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.deadline_ms = deadline_ms
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        self._request_seq = 0
 
     async def connect(self) -> "AsyncServiceClient":
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.timeout,
+            )
+        except asyncio.TimeoutError as error:
+            raise ServiceConnectionError(
+                f"connect to {self.host}:{self.port} timed out "
+                f"after {self.timeout}s"
+            ) from error
         return self
 
-    async def request(self, payload: dict) -> dict:
+    def _drop_connection(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+        self._reader = self._writer = None
+
+    async def request(
+        self, payload: dict, *, deadline_ms: object = _USE_DEFAULT
+    ) -> dict:
         if self._reader is None or self._writer is None:
-            raise ServiceError("not connected; await connect() first")
-        self._writer.write(pack_frame(payload))
-        await self._writer.drain()
-        prefix = await self._reader.readexactly(4)
-        body = await self._reader.readexactly(frame_length(prefix))
-        return raise_for_error(split_frame(body))
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        budget = self.deadline_ms if deadline_ms is _USE_DEFAULT else deadline_ms
+        deadline = Deadline.after_millis(budget)
+        self._request_seq += 1
+        wire = dict(payload)
+        wire.setdefault("id", self._request_seq)
+        if budget is not None:
+            wire.setdefault("deadline_ms", budget)
+        try:
+            self._writer.write(pack_frame(wire))
+            await self._writer.drain()
+            prefix = await asyncio.wait_for(
+                self._reader.readexactly(4),
+                timeout=deadline.remaining(cap=self.timeout),
+            )
+            body = await asyncio.wait_for(
+                self._reader.readexactly(frame_length(prefix)),
+                timeout=deadline.remaining(cap=self.timeout),
+            )
+        except asyncio.TimeoutError as error:
+            self._drop_connection()
+            if deadline.millis is not None:
+                raise DeadlineExceededError(
+                    f"deadline of {deadline.millis:.0f}ms exceeded awaiting "
+                    f"the response"
+                ) from error
+            raise ServiceConnectionError(
+                f"read from {self.host}:{self.port} timed out "
+                f"after {self.timeout}s"
+            ) from error
+        except (OSError, asyncio.IncompleteReadError) as error:
+            self._drop_connection()
+            raise ServiceConnectionError(
+                f"transport error talking to {self.host}:{self.port}: {error}"
+            ) from error
+        except ServiceError:
+            self._drop_connection()  # corrupt length prefix: stream desynced
+            raise
+        try:
+            response = split_frame(body)
+        except ServiceError:
+            self._drop_connection()  # corrupt frame body: stream desynced
+            raise
+        echoed = response.get("id")
+        if echoed is not None and echoed != wire["id"]:
+            self._drop_connection()
+            raise ServiceConnectionError(
+                f"desynced connection: response id {echoed!r} does not "
+                f"match request id {wire['id']!r}"
+            )
+        return raise_for_error(response)
 
     async def prepare(self, query: str) -> dict:
         return await self.request({"op": "prepare", "query": query})
@@ -148,6 +420,7 @@ class AsyncServiceClient:
         params: dict | None = None,
         engine: str | None = None,
         collection: str | None = None,
+        deadline_ms: object = _USE_DEFAULT,
     ) -> list:
         payload: dict = {"op": "execute", "query": query}
         if params:
@@ -156,13 +429,16 @@ class AsyncServiceClient:
             payload["engine"] = engine
         if collection:
             payload["collection"] = collection
-        return (await self.request(payload))["rows"]
+        return (await self.request(payload, deadline_ms=deadline_ms))["rows"]
 
     async def explain(self, query: str) -> str:
         return (await self.request({"op": "explain", "query": query}))["text"]
 
     async def stats(self) -> dict:
         return await self.request({"op": "stats"})
+
+    async def ping(self, deadline_ms: object = _USE_DEFAULT) -> dict:
+        return await self.request({"op": "ping"}, deadline_ms=deadline_ms)
 
     async def close(self) -> None:
         if self._writer is None:
@@ -171,12 +447,14 @@ class AsyncServiceClient:
             await self.request({"op": "close"})
         except (OSError, ServiceError, asyncio.IncompleteReadError):
             pass
-        self._writer.close()
-        try:
-            await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        writer = self._writer
         self._reader = self._writer = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
 
     async def __aenter__(self) -> "AsyncServiceClient":
         return await self.connect()

@@ -7,6 +7,7 @@ bytes of UTF-8 JSON.  Requests are objects with an ``op`` field::
     {"op": "execute", "query": "staff_above", "params": {"min_salary": 900}}
     {"op": "explain", "query": "Q6"}
     {"op": "stats"}
+    {"op": "ping"}
     {"op": "close"}
 
 Responses carry ``ok``; successful ones add op-specific payload fields,
@@ -15,10 +16,32 @@ failures an ``error`` object::
     {"ok": true, "rows": [...], "engine": "batched", "stats": {...}}
     {"ok": false, "error": {"type": "ShreddingError", "message": "..."}}
 
-Why JSON frames and not HTTP: the protocol is four verbs over a persistent
-connection; a length prefix keeps the reader trivial in both the asyncio
-server and the blocking client, and nested multiset results serialise
-directly (``Result.to_dicts()`` produces lists/dicts/base values only).
+Why JSON frames and not HTTP: the protocol is a handful of verbs over a
+persistent connection; a length prefix keeps the reader trivial in both the
+asyncio server and the blocking client, and nested multiset results
+serialise directly (``Result.to_dicts()`` produces lists/dicts/base values
+only).
+
+Protocol **v1.1** (fault-tolerant serving) additions, all backwards
+compatible — a v1.0 client never sends the new fields, a v1.0 server
+ignores them:
+
+* ``ping`` — a liveness probe answered inline on the event loop (no
+  compile, no lease): ``{"ok": true, "pong": true, "shard": …,
+  "protocol": "1.1"}``.  Health checks and circuit-breaker half-open
+  probes ride on it.
+* request ids — any request may carry an ``id``; the response (success
+  *or* error frame) echoes it verbatim.  Clients use the echo to detect a
+  desynced connection: a stale response buffered by an earlier timed-out
+  request answers with the *wrong* id and is discarded with the
+  connection instead of being mis-delivered.
+* ``deadline_ms`` — a per-request wall-clock budget.  The server stops
+  waiting (not the worker thread: SQLite steps are not interruptible,
+  but the lease-parking machinery reclaims the connection when the
+  straggler finishes) and answers a ``DeadlineExceeded`` error frame.
+* ``OVERLOADED`` load shedding — once the server's bounded admission
+  queue is full, new executes are refused *immediately* with an
+  ``Overloaded`` error frame; queued work is unaffected.
 """
 
 from __future__ import annotations
@@ -26,10 +49,16 @@ from __future__ import annotations
 import json
 import struct
 
-from repro.errors import ReproError, ServiceError
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+    ServiceError,
+)
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
     "pack_frame",
     "frame_length",
     "split_frame",
@@ -42,10 +71,22 @@ __all__ = [
 #: length prefix must not look like a 4 GiB allocation request.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
+#: v1.1: ping + request-id echo + per-request deadlines + load shedding.
+PROTOCOL_VERSION = "1.1"
+
 _LENGTH = struct.Struct(">I")
 
 #: The operations the server dispatches (protocol reference, README).
-OPS = ("prepare", "execute", "explain", "stats", "close")
+OPS = ("prepare", "execute", "explain", "stats", "ping", "close")
+
+#: Error-frame types that deserialise to dedicated exception classes, so
+#: callers branch on ``except OverloadedError`` instead of string-matching
+#: ``.kind``.  Everything else becomes a plain :class:`ServiceError`
+#: carrying the server's classification in ``kind``.
+_ERROR_KINDS = {
+    "Overloaded": OverloadedError,
+    "DeadlineExceeded": DeadlineExceededError,
+}
 
 
 def pack_frame(payload: dict) -> bytes:
@@ -83,13 +124,14 @@ def split_frame(body: bytes) -> dict:
     return message
 
 
-def error_payload(error: BaseException) -> dict:
+def error_payload(error: BaseException, request_id: object = None) -> dict:
     """The structured error frame for an exception.
 
     Library errors (:class:`ReproError` subclasses — ``ShreddingError``,
     ``CaptureError``, ``BackendError``, …) keep their class name so clients
     can branch on the failure kind; anything else is reported as an
-    ``InternalError`` without leaking a traceback over the wire.
+    ``InternalError`` without leaking a traceback over the wire.  When the
+    failing request carried an ``id``, the error frame echoes it.
     """
     if isinstance(error, ReproError):
         # A ServiceError may carry a finer classification than its class
@@ -99,15 +141,23 @@ def error_payload(error: BaseException) -> dict:
     else:
         kind = "InternalError"
         message = f"{type(error).__name__}: {error}"
-    return {"ok": False, "error": {"type": kind, "message": message}}
+    payload = {"ok": False, "error": {"type": kind, "message": message}}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
 
 
 def raise_for_error(response: dict) -> dict:
-    """Client side: turn an error response into a :class:`ServiceError`."""
+    """Client side: turn an error response into a :class:`ServiceError`
+    (or the dedicated subclass its type maps to — ``Overloaded`` frames
+    raise :class:`~repro.errors.OverloadedError`, ``DeadlineExceeded``
+    frames :class:`~repro.errors.DeadlineExceededError`)."""
     if response.get("ok"):
         return response
     error = response.get("error") or {}
-    raise ServiceError(
-        error.get("message", "unspecified service error"),
-        kind=error.get("type", "ServiceError"),
-    )
+    kind = error.get("type", "ServiceError")
+    message = error.get("message", "unspecified service error")
+    dedicated = _ERROR_KINDS.get(kind)
+    if dedicated is not None:
+        raise dedicated(message)
+    raise ServiceError(message, kind=kind)

@@ -1,0 +1,205 @@
+"""Client-side fault-tolerance primitives: deadlines, retries, breakers.
+
+Three small, composable pieces shared by the service clients and the
+sharded fan-out client:
+
+* :class:`Deadline` — a wall-clock budget for one request, threaded into
+  every socket/stream wait so a request can *never* outlive its budget;
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  jitter, for transport failures of idempotent ops (every protocol op is
+  read-only, so a request that may or may not have reached the server is
+  safe to send again);
+* :class:`CircuitBreaker` — a per-endpoint trip switch: after N
+  consecutive failures it *opens* (requests fail fast without touching
+  the socket), after a cooldown it *half-opens* (one probe through), and
+  a success closes it again.
+
+Everything takes an injectable clock (``time.monotonic``) and RNG so the
+fault-injection suite can drive state machines deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import DeadlineExceededError
+
+__all__ = ["Deadline", "RetryPolicy", "CircuitBreaker"]
+
+
+class Deadline:
+    """A wall-clock budget: created once per request, consulted per wait.
+
+    ``None`` budgets are represented by :meth:`unbounded` — ``remaining``
+    then never shrinks below the supplied cap, so call sites need no
+    branching.
+    """
+
+    __slots__ = ("_expires_at", "_clock", "millis")
+
+    def __init__(
+        self,
+        seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self.millis = None if seconds is None else seconds * 1000.0
+        self._expires_at = None if seconds is None else clock() + seconds
+
+    @classmethod
+    def after_millis(
+        cls, millis: Optional[float], clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        return cls(None if millis is None else millis / 1000.0, clock)
+
+    @property
+    def expired(self) -> bool:
+        return self._expires_at is not None and self._clock() >= self._expires_at
+
+    def remaining(self, cap: Optional[float] = None) -> Optional[float]:
+        """Seconds left (never negative), capped at ``cap`` when given.
+
+        Unbounded deadlines return ``cap`` itself (possibly ``None``), so
+        ``socket.settimeout(deadline.remaining(cap=io_timeout))`` does the
+        right thing for both bounded and unbounded requests.
+        """
+        if self._expires_at is None:
+            return cap
+        left = max(0.0, self._expires_at - self._clock())
+        return left if cap is None else min(left, cap)
+
+    def check(self, doing: str) -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"deadline of {self.millis:.0f}ms exceeded while {doing}"
+            )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff + full jitter.
+
+    ``attempts`` counts *total* tries (1 = no retry).  The delay before
+    retry ``k`` (0-based) is ``base_delay * multiplier**k`` capped at
+    ``max_delay``, scaled by a uniform jitter in ``[1 - jitter, 1]`` —
+    full jitter keeps synchronised clients from retrying in lockstep.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def backoff(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """The sleep (seconds) before retry number ``attempt`` (0-based)."""
+        delay = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        scale = 1.0 if not self.jitter else 1.0 - (rng or random).random() * self.jitter
+        return delay * scale
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """No retries: one attempt, fail on the first transport error."""
+        return cls(attempts=1)
+
+
+class CircuitBreaker:
+    """A three-state trip switch guarding one endpoint.
+
+    *closed* — requests flow; consecutive failures are counted.
+    *open* — ``failure_threshold`` consecutive failures trip the breaker:
+    :meth:`allow` answers False (callers fail fast / divert) until
+    ``reset_timeout`` seconds pass.
+    *half-open* — after the cooldown, exactly one probe request is let
+    through; its success closes the breaker, its failure re-opens it (and
+    restarts the cooldown).
+
+    Thread-safe: the sharded client's fan-out pool consults breakers from
+    several worker threads.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure threshold must be ≥1, got {failure_threshold}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        #: Cumulative counters (observability; never reset).
+        self.trips = 0
+        self.fast_failures = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.reset_timeout:
+            return "half-open"
+        return "open"
+
+    @property
+    def is_open(self) -> bool:
+        """True while the breaker refuses requests (open, cooldown not yet
+        elapsed).  Non-mutating — safe for routing decisions that must not
+        consume the half-open probe slot."""
+        return self.state == "open"
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        Consumes the half-open probe slot: once one caller gets True in
+        the half-open state, concurrent callers get False until the probe
+        reports back via :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half-open" and not self._probing:
+                self._probing = True
+                return True
+            self.fast_failures += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probing = False
+            tripped = self._opened_at is not None  # a failed half-open probe
+            if tripped or self._consecutive_failures >= self.failure_threshold:
+                if self._opened_at is None:
+                    self.trips += 1
+                self._opened_at = self._clock()
+
+    def snapshot(self) -> dict:
+        """Point-in-time state for stats surfaces."""
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self.trips,
+                "fast_failures": self.fast_failures,
+            }

@@ -18,6 +18,29 @@ SQL queries, so per-request cost cannot degenerate under load):
 
 The event loop itself never touches SQLite: it parses frames, leases
 connections and serialises results, all bounded work.
+
+Fault-tolerant serving (protocol v1.1):
+
+* **admission control** — at most ``max_pending`` execute requests may be
+  in flight (running on a lease or queued for one); the next one is shed
+  *immediately* with an ``Overloaded`` error frame instead of growing an
+  unbounded queue.  Prepares/explains/stats/pings are not shed: they are
+  cheap, and health checks must keep answering exactly when the server is
+  saturated.
+* **per-request deadlines** — an execute carrying ``deadline_ms`` waits at
+  most that long for its result; past it, the server answers a
+  ``DeadlineExceeded`` error frame.  The worker thread cannot be
+  interrupted mid-SQLite-step, but its lease is reclaimed by the parking
+  callback when it finishes, so a straggler costs one pool slot, not a
+  wedged server.  ``default_deadline_ms`` applies when the request names
+  none.
+* **graceful drain** — :meth:`QueryServer.stop` first closes the listener
+  (new connects are refused by the OS), then waits up to ``drain_grace``
+  seconds for requests already *read off a socket* to answer, and only
+  then cancels the (now idle) connection handlers.
+* **ping + request ids** — ``{"op": "ping"}`` answers inline on the event
+  loop; any request's ``id`` is echoed in its response (success or error),
+  which clients use to detect desynced connections.
 """
 
 from __future__ import annotations
@@ -28,8 +51,13 @@ import threading
 import time
 from typing import TYPE_CHECKING
 
-from repro.errors import ServiceError
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServiceError,
+)
 from repro.service.protocol import (
+    PROTOCOL_VERSION,
     error_payload,
     frame_length,
     pack_frame,
@@ -46,6 +74,15 @@ __all__ = ["QueryServer", "ServerHandle", "serve_in_background"]
 #: beyond this queue on the lease, not on SQLite).
 DEFAULT_SERVICE_POOL = 4
 
+#: Default admission bound: in-flight executes beyond ``pool × this`` are
+#: shed with an ``Overloaded`` frame (queueing a little absorbs bursts;
+#: queueing a lot just converts overload into timeouts).
+PENDING_PER_LEASE = 8
+
+#: How long :meth:`QueryServer.stop` waits for in-flight requests to
+#: answer before cancelling their connection handlers.
+DEFAULT_DRAIN_GRACE = 10.0
+
 
 class QueryServer:
     """A query service bound to one session and one query catalogue."""
@@ -56,6 +93,8 @@ class QueryServer:
         registry: QueryRegistry,
         pool_size: int = DEFAULT_SERVICE_POOL,
         shard_label: str | None = None,
+        max_pending: int | None = None,
+        default_deadline_ms: float | None = None,
     ) -> None:
         if pool_size < 1:
             raise ServiceError(f"pool size must be ≥1, got {pool_size}")
@@ -66,14 +105,33 @@ class QueryServer:
         #: ``"1/4"`` or ``"full/4"``); surfaced by the stats op so a
         #: fan-out client can sanity-check its wiring.  None = unsharded.
         self.shard_label = shard_label
+        #: Admission bound: executes in flight beyond this are shed with
+        #: an ``Overloaded`` error frame.
+        self.max_pending = (
+            pool_size * PENDING_PER_LEASE if max_pending is None else max_pending
+        )
+        if self.max_pending < 1:
+            raise ServiceError(
+                f"max_pending must be ≥1, got {self.max_pending}"
+            )
+        #: Server-side deadline applied to executes that name none.
+        self.default_deadline_ms = default_deadline_ms
         self._server: asyncio.AbstractServer | None = None
         self._leases: asyncio.Queue | None = None
         self._handlers: set[asyncio.Task] = set()
         self._stopped = False
+        self._draining = False
+        #: Execute requests admitted but not yet answered (event-loop
+        #: thread only), and the gauge/flag pair the drain logic waits on.
+        self._pending = 0
+        self._dispatching = 0
+        self._drained: asyncio.Event | None = None
         #: Request counters, mutated only on the event-loop thread.
         self.request_counts: dict[str, int] = {}
         self.error_count = 0
         self.connections_served = 0
+        self.shed_count = 0
+        self.deadline_count = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -81,6 +139,11 @@ class QueryServer:
         """Bind and listen; returns the actual (host, port) — port 0 picks
         a free one (the test/bench path)."""
         self._stopped = False  # a stopped server may be started again
+        self._draining = False
+        self._pending = 0
+        self._dispatching = 0
+        self._drained = asyncio.Event()
+        self._drained.set()
         # Dedicated reader connections (not the shared read pool, which
         # the parallel engine stripes every run over): each request runs on
         # a connection no other executor can touch, so concurrent SQLite
@@ -106,13 +169,27 @@ class QueryServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
-        """Stop accepting, drain in-flight handlers, retire the leases."""
+    async def stop(self, drain_grace: float = DEFAULT_DRAIN_GRACE) -> None:
+        """Graceful shutdown: refuse new work, drain in-flight, retire.
+
+        Ordering: (1) close the listener so new connects are refused at
+        the OS level; (2) wait up to ``drain_grace`` seconds for requests
+        already read off a socket to finish and *answer* — an in-flight
+        query completes normally; (3) cancel the remaining handlers, all
+        of which are now idle between requests (or stragglers past the
+        grace); (4) retire the connection leases.
+        """
         self._stopped = True
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._dispatching > 0 and self._drained is not None:
+            try:
+                await asyncio.wait_for(self._drained.wait(), drain_grace)
+            except asyncio.TimeoutError:
+                pass  # stragglers get cancelled below
         for task in list(self._handlers):
             task.cancel()
         if self._handlers:
@@ -152,6 +229,8 @@ class QueryServer:
         self.connections_served += 1
         try:
             while True:
+                if self._draining:
+                    break  # shutting down: no further requests on this link
                 try:
                     prefix = await reader.readexactly(4)
                 except (asyncio.IncompleteReadError, ConnectionResetError):
@@ -171,30 +250,50 @@ class QueryServer:
                     break
                 try:
                     body = await reader.readexactly(length)
-                    request = split_frame(body)
-                    response, closing = await self._dispatch(request)
                 except asyncio.IncompleteReadError:
                     break
-                except Exception as error:  # noqa: BLE001 — must answer in-frame
-                    response, closing = error_payload(error), False
-                    self.error_count += 1
+                # From the moment a full request is off the wire until its
+                # response is flushed, this connection counts as
+                # *dispatching* — graceful drain waits for exactly this.
+                self._dispatching += 1
+                if self._drained is not None:
+                    self._drained.clear()
                 try:
-                    # Serialising a big result set is real CPU time — keep
-                    # it off the loop so other connections stay served.
-                    if len(response.get("rows") or ()) > 256:
-                        frame = await asyncio.to_thread(pack_frame, response)
-                    else:
-                        frame = pack_frame(response)
-                except ServiceError as error:
-                    # e.g. a result set larger than the frame limit: the
-                    # client still deserves a structured answer.
-                    frame = pack_frame(error_payload(error))
-                    self.error_count += 1
-                writer.write(frame)
-                try:
-                    await writer.drain()
-                except ConnectionResetError:
-                    break
+                    request_id: object = None
+                    try:
+                        request = split_frame(body)
+                        request_id = request.get("id")
+                        response, closing = await self._dispatch(request)
+                    except Exception as error:  # noqa: BLE001 — answer in-frame
+                        response, closing = (
+                            error_payload(error, request_id),
+                            False,
+                        )
+                        self.error_count += 1
+                    if request_id is not None:
+                        response.setdefault("id", request_id)
+                    try:
+                        # Serialising a big result set is real CPU time —
+                        # keep it off the loop so other connections stay
+                        # served.
+                        if len(response.get("rows") or ()) > 256:
+                            frame = await asyncio.to_thread(pack_frame, response)
+                        else:
+                            frame = pack_frame(response)
+                    except ServiceError as error:
+                        # e.g. a result set larger than the frame limit: the
+                        # client still deserves a structured answer.
+                        frame = pack_frame(error_payload(error, request_id))
+                        self.error_count += 1
+                    writer.write(frame)
+                    try:
+                        await writer.drain()
+                    except ConnectionResetError:
+                        break
+                finally:
+                    self._dispatching -= 1
+                    if self._dispatching == 0 and self._drained is not None:
+                        self._drained.set()
                 if closing:
                     break
         except asyncio.CancelledError:
@@ -217,7 +316,17 @@ class QueryServer:
         if op == "close":
             self._count("close", started)
             return {"ok": True, "closing": True}, True
-        if op == "prepare":
+        if op == "ping":
+            # Answered inline on the event loop — no lease, no compile —
+            # so liveness probes keep working while every lease is busy.
+            response = {
+                "ok": True,
+                "pong": True,
+                "shard": self.shard_label,
+                "protocol": PROTOCOL_VERSION,
+                "draining": self._draining,
+            }
+        elif op == "prepare":
             response = await self._prepare(request)
         elif op == "execute":
             response = await self._execute(request)
@@ -228,7 +337,7 @@ class QueryServer:
         else:
             raise ServiceError(
                 f"unknown op {op!r}; one of: prepare, execute, explain, "
-                f"stats, close"
+                f"stats, ping, close"
             )
         self._count(op, started)
         return response, False
@@ -264,6 +373,21 @@ class QueryServer:
         }
 
     async def _execute(self, request: dict) -> dict:
+        # Admission control *before* any work: past the bound, shed
+        # immediately — an error frame now beats a timeout later.
+        if self._pending >= self.max_pending:
+            self.shed_count += 1
+            raise OverloadedError(
+                f"server at admission limit ({self.max_pending} requests "
+                f"in flight); retry with backoff or divert"
+            )
+        self._pending += 1
+        try:
+            return await self._execute_admitted(request)
+        finally:
+            self._pending -= 1
+
+    async def _execute_admitted(self, request: dict) -> dict:
         entry = self._entry(request)
         params = request.get("params") or {}
         if not isinstance(params, dict):
@@ -273,6 +397,13 @@ class QueryServer:
         # *requests* rather than fanning one request across the pool.
         engine = request.get("engine") or "batched"
         collection = request.get("collection", "bag")
+        deadline_ms = request.get("deadline_ms", self.default_deadline_ms)
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+        ):
+            raise ServiceError(
+                f"'deadline_ms' must be a positive number, got {deadline_ms!r}"
+            )
         prepared = entry.prepared(self.session)
         assert self._leases is not None, "server not started"
         lease = await self._leases.get()
@@ -290,7 +421,20 @@ class QueryServer:
             )
         )
         work.add_done_callback(lambda task: self._park_lease(lease, task))
-        result = await asyncio.shield(work)
+        shielded = asyncio.shield(work)
+        if deadline_ms is None:
+            result = await shielded
+        else:
+            try:
+                result = await asyncio.wait_for(shielded, deadline_ms / 1000.0)
+            except asyncio.TimeoutError:
+                # The worker thread runs on (SQLite steps are not
+                # interruptible); its done callback reclaims the lease.
+                self.deadline_count += 1
+                raise DeadlineExceededError(
+                    f"server-side deadline of {deadline_ms:.0f}ms exceeded "
+                    f"executing {entry.name!r}"
+                ) from None
         stats = result.stats
         return {
             "ok": True,
@@ -343,11 +487,17 @@ class QueryServer:
             "ok": True,
             "queries": self.registry.names(),
             "server": {
+                "protocol": PROTOCOL_VERSION,
                 "pool_size": self.pool_size,
                 "shard": self.shard_label,
                 "connections_served": self.connections_served,
                 "errors": self.error_count,
                 "requests": dict(self.request_counts),
+                "max_pending": self.max_pending,
+                "pending": self._pending,
+                "shed": self.shed_count,
+                "deadline_exceeded": self.deadline_count,
+                "draining": self._draining,
             },
             "session": self.session.stats_snapshot(),
         }
@@ -401,6 +551,8 @@ def serve_in_background(
     port: int = 0,
     pool_size: int = DEFAULT_SERVICE_POOL,
     shard_label: str | None = None,
+    max_pending: int | None = None,
+    default_deadline_ms: float | None = None,
 ) -> ServerHandle:
     """Start a :class:`QueryServer` on its own thread; returns its handle.
 
@@ -411,7 +563,12 @@ def serve_in_background(
     a :class:`~repro.shard.client.ShardedServiceClient` in front.
     """
     server = QueryServer(
-        session, registry, pool_size=pool_size, shard_label=shard_label
+        session,
+        registry,
+        pool_size=pool_size,
+        shard_label=shard_label,
+        max_pending=max_pending,
+        default_deadline_ms=default_deadline_ms,
     )
     started: "threading.Event" = threading.Event()
     box: dict = {}

@@ -78,7 +78,9 @@ __all__ = [
 ]
 
 #: Plan modes, in decreasing order of how much of the deployment they use.
-MODES = ("fanout", "routed", "single", "fallback")
+#: ``failover`` is not an analysis verdict but a *route* mode: a plan whose
+#: shards are known-down gets diverted whole to the full-copy fallback.
+MODES = ("fanout", "routed", "single", "fallback", "failover")
 
 
 @dataclass(frozen=True)
@@ -385,12 +387,24 @@ def plan_route(
     shard_count: int,
     params: Optional[dict] = None,
     collection: Optional[str] = None,
+    down_shards: "Iterable[int]" = (),
 ) -> RouteDecision:
     """Resolve ``plan`` into this call's route — the one policy both the
     in-process :class:`~repro.shard.deployment.ShardedSession` and the
     wire :class:`~repro.shard.client.ShardedServiceClient` follow, so the
-    two transports cannot drift apart."""
+    two transports cannot drift apart.
+
+    ``down_shards`` names partition shards currently presumed dead (open
+    circuit breakers, failed health checks).  A route that would touch one
+    is adjusted *before* any request is sent: a ``single`` route (any
+    shard can answer — replicated tables only) moves to the lowest live
+    shard; anything else diverts whole to the full-copy fallback as mode
+    ``failover`` (partition results cannot be patched piecemeal, and the
+    fallback holds everything).  Callers count these diversions as
+    ``failover_reroutes``.
+    """
     collection = collection or "bag"
+    down = {s for s in down_shards if 0 <= s < shard_count}
     mode = plan.mode
     reason = plan.reason
     if collection == "list" and mode in ("fanout", "routed"):
@@ -399,15 +413,34 @@ def plan_route(
         mode = "fallback"
         reason = "list semantics need the full-copy shard's row order"
     per_shard = "bag" if collection == "set" else collection
-    if mode == "fanout":
+
+    def failover(shards: tuple[int, ...], base_route: str) -> RouteDecision:
+        dead = sorted(down.intersection(shards))
         return RouteDecision(
-            mode, "fanout", tuple(range(shard_count)), per_shard, reason
+            "failover",
+            f"failover:{base_route}",
+            (),
+            per_shard,
+            f"shard(s) {', '.join(map(str, dead))} down; "
+            f"diverted {base_route} to the full-copy fallback",
         )
+
+    if mode == "fanout":
+        shards = tuple(range(shard_count))
+        if down:
+            return failover(shards, "fanout")
+        return RouteDecision(mode, "fanout", shards, per_shard, reason)
     if mode == "routed":
         shard = resolve_shard(plan, params, shard_count)
+        if shard in down:
+            return failover((shard,), f"routed:{shard}")
         return RouteDecision(
             mode, f"routed:{shard}", (shard,), per_shard, reason
         )
     if mode == "single":
-        return RouteDecision(mode, "single:0", (0,), per_shard, reason)
+        live = [s for s in range(shard_count) if s not in down]
+        if not live:
+            return failover((0,), "single:0")
+        shard = live[0]
+        return RouteDecision(mode, f"single:{shard}", (shard,), per_shard, reason)
     return RouteDecision(mode, "fallback", (), per_shard, reason)

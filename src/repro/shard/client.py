@@ -18,6 +18,26 @@ exactly like the in-process :class:`~repro.shard.deployment.ShardedSession`:
   ``shard_requests`` counts per-shard executes so deployments can assert
   that.
 
+Fault tolerance (PR 6): every endpoint gets its own
+:class:`~repro.service.resilience.CircuitBreaker` and the per-op
+deadline/retry machinery of :class:`~repro.service.client.ServiceClient`.
+On top of that the *sharded* client adds failover:
+
+* **proactively** — a shard whose breaker is open (or that a
+  :meth:`check_health` ping just failed) is routed around before any
+  request is sent: the whole query runs on the full-copy fallback and the
+  response carries ``route="failover:…"`` plus a ``failover_reroutes``
+  stats marker;
+* **reactively** — a shard that dies *mid-run* (transport failure,
+  deadline, shed with ``OVERLOADED``) makes the client discard any
+  partial fan-out responses and re-run the whole query on the fallback
+  (``failover_retries``).  Partial results cannot be patched — the dead
+  shard's slice is simply missing — and the fallback holds a full copy.
+
+When the fallback itself cannot answer, the client raises
+:class:`~repro.errors.ShardUnavailableError` naming the failing shard
+label and op — never a bare ``OSError`` out of one of many sockets.
+
 Like :class:`~repro.service.client.ServiceClient`, an instance is
 thread-confined: give each application thread its own client.
 """
@@ -27,15 +47,32 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Mapping, Optional, Sequence
 
-from repro.errors import ShardingError
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServiceConnectionError,
+    ShardUnavailableError,
+    ShardingError,
+)
 from repro.normalise import normalise
 from repro.nrc.schema import Schema
-from repro.service.client import ServiceClient
+from repro.service.client import DEFAULT_TIMEOUT, ServiceClient
 from repro.service.registry import QueryRegistry
-from repro.shard.analysis import ShardPlan, analyse, plan_route
+from repro.service.resilience import CircuitBreaker, RetryPolicy
+from repro.shard.analysis import RouteDecision, ShardPlan, analyse, plan_route
 from repro.shard.placement import Placement
 
-__all__ = ["ShardedServiceClient"]
+__all__ = ["ShardedServiceClient", "SHARD_UNAVAILABLE"]
+
+#: The failures that mean "this shard cannot answer right now" — transport
+#: breakage, a spent deadline, or deliberate load-shedding.  A structured
+#: query error (unknown query, type error, …) is *deterministic*: it would
+#: fail identically on the fallback, so it propagates instead.
+SHARD_UNAVAILABLE = (
+    ServiceConnectionError,
+    DeadlineExceededError,
+    OverloadedError,
+)
 
 
 class ShardedServiceClient:
@@ -49,7 +86,11 @@ class ShardedServiceClient:
         placement: Placement,
         registry: QueryRegistry,
         schema: Schema,
-        timeout: float = 30.0,
+        timeout: float = DEFAULT_TIMEOUT,
+        deadline_ms: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 2.0,
     ) -> None:
         if not shard_addresses:
             raise ShardingError("need at least one shard address")
@@ -57,16 +98,44 @@ class ShardedServiceClient:
         self.registry = registry
         self.schema = schema
         self.shard_count = len(shard_addresses)
-        self._clients = [
-            ServiceClient(host, port, timeout=timeout)
-            for host, port in shard_addresses
+        self.deadline_ms = deadline_ms
+        #: Per-endpoint breakers (shards, then the fallback) — shared with
+        #: the underlying clients, consulted (non-mutatingly) for routing.
+        self.breakers = [
+            CircuitBreaker(breaker_threshold, breaker_reset)
+            for _ in range(self.shard_count + 1)
         ]
-        self._fallback = ServiceClient(*fallback_address, timeout=timeout)
+        # connect_now=False: a dead shard at construction time must not
+        # make the *client* unusable — its breaker trips on first use and
+        # routes divert to the fallback.
+        self._clients = [
+            ServiceClient(
+                host,
+                port,
+                timeout=timeout,
+                deadline_ms=deadline_ms,
+                retry=retry,
+                breaker=self.breakers[index],
+                connect_now=False,
+            )
+            for index, (host, port) in enumerate(shard_addresses)
+        ]
+        self._fallback = ServiceClient(
+            *fallback_address,
+            timeout=timeout,
+            deadline_ms=deadline_ms,
+            retry=retry,
+            breaker=self.breakers[-1],
+            connect_now=False,
+        )
         self._plans: dict[str, ShardPlan] = {}
         #: Per-shard / fallback *execute* counters (local bookkeeping; the
-        #: servers additionally count every request they serve).
+        #: servers additionally count every request they serve), plus the
+        #: failover counters the fault-injection suite asserts exactly.
         self.shard_requests = [0] * self.shard_count
         self.fallback_requests = 0
+        self.failover_reroutes = 0
+        self.failover_retries = 0
         self._pool = ThreadPoolExecutor(
             max_workers=self.shard_count,
             thread_name_prefix="repro-shard-client",
@@ -83,18 +152,79 @@ class ShardedServiceClient:
             self._plans[query] = plan
         return plan
 
+    # ------------------------------------------------------------- liveness
+
+    def shard_label(self, index: Optional[int]) -> str:
+        """The deployment label of a partition shard (or the fallback)."""
+        if index is None:
+            return f"full/{self.shard_count}"
+        return f"{index}/{self.shard_count}"
+
+    def down_shards(self) -> frozenset:
+        """Partition shards currently presumed dead: open breakers.
+
+        Non-mutating (``is_open`` never consumes a half-open probe slot),
+        so calling this for routing decisions cannot starve recovery."""
+        return frozenset(
+            index
+            for index in range(self.shard_count)
+            if self.breakers[index].is_open
+        )
+
+    def check_health(self, deadline_ms: Optional[float] = 1000.0) -> dict:
+        """Ping every endpoint; returns label → liveness verdict.
+
+        A successful ping feeds the endpoint's breaker via the shared
+        :class:`~repro.service.client.ServiceClient`, so health checks
+        both *observe* and *heal* liveness state (a half-open breaker's
+        probe slot rides on the ping).
+        """
+        verdicts: dict[str, bool] = {}
+
+        def probe(pair: "tuple[str, ServiceClient]") -> tuple[str, bool]:
+            label, client = pair
+            try:
+                client.ping(deadline_ms=deadline_ms)
+            except SHARD_UNAVAILABLE:
+                return label, False
+            return label, True
+
+        pairs = [
+            (self.shard_label(index), client)
+            for index, client in enumerate(self._clients)
+        ] + [(self.shard_label(None), self._fallback)]
+        for label, alive in self._pool.map(probe, pairs):
+            verdicts[label] = alive
+        return verdicts
+
     # ------------------------------------------------------------------ ops
 
     def prepare(self, query: str) -> dict:
-        """Compile ``query`` on every shard server (and the fallback), so
-        later executes hit warm plan caches everywhere."""
-        responses = list(
-            self._pool.map(
-                lambda client: client.prepare(query), self._clients
-            )
-        )
-        self._fallback.prepare(query)
-        response = dict(responses[0])
+        """Compile ``query`` on every *live* shard server (and the
+        fallback), so later executes hit warm plan caches everywhere."""
+        down = self.down_shards()
+
+        def prep(index: int) -> Optional[dict]:
+            if index in down:
+                return None
+            try:
+                return self._clients[index].prepare(query)
+            except SHARD_UNAVAILABLE:
+                return None  # breaker has recorded it; executes divert
+
+        responses = [r for r in self._pool.map(prep, range(self.shard_count))]
+        template = next((r for r in responses if r is not None), None)
+        try:
+            fallback_response = self._fallback.prepare(query)
+        except SHARD_UNAVAILABLE as error:
+            if template is None:
+                raise ShardUnavailableError(
+                    f"no shard could prepare {query!r}: {error}",
+                    shard=self.shard_label(None),
+                    op="prepare",
+                ) from error
+            fallback_response = None
+        response = dict(template if template is not None else fallback_response)
         response["shards"] = self.shard_count
         return response
 
@@ -104,9 +234,12 @@ class ShardedServiceClient:
         params: Optional[Mapping[str, object]] = None,
         engine: Optional[str] = None,
         collection: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> list:
         """Run ``query`` across the deployment; returns the nested rows."""
-        return self.execute_full(query, params, engine, collection)["rows"]
+        return self.execute_full(
+            query, params, engine, collection, deadline_ms=deadline_ms
+        )["rows"]
 
     def execute_full(
         self,
@@ -114,47 +247,69 @@ class ShardedServiceClient:
         params: Optional[Mapping[str, object]] = None,
         engine: Optional[str] = None,
         collection: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> dict:
-        """Like :meth:`execute`, plus route, shards hit and merged stats."""
+        """Like :meth:`execute`, plus route, shards hit and merged stats.
+
+        ``deadline_ms`` bounds each *attempt*; a run that fails over pays
+        at most two attempts (primary + fallback), so the caller waits at
+        most twice the deadline in the worst case.
+        """
+        if deadline_ms is None:
+            deadline_ms = self.deadline_ms
         decision = plan_route(
             self.plan_for(query),
             self.shard_count,
             params=dict(params) if params else None,
             collection=collection,
+            down_shards=self.down_shards(),
         )
         bound = dict(params) if params else None
         per_shard = decision.per_shard_collection
-
-        if decision.mode == "fanout":
-            responses = list(
-                self._pool.map(
-                    lambda index: self._clients[index].execute_full(
-                        query, bound, engine, per_shard
-                    ),
-                    decision.shards,
-                )
+        retried = False
+        try:
+            rows, stats, resolved_engine = self._run_decision(
+                decision, query, bound, engine, per_shard, deadline_ms
             )
-            for index in decision.shards:
-                self.shard_requests[index] += 1
-            rows: list = []
-            stats = {"queries": 0, "rows_fetched": 0, "millis": 0.0}
-            for response in responses:
-                rows.extend(response["rows"])
-                for key in stats:
-                    stats[key] += response["stats"][key]
-            stats["millis"] = round(stats["millis"], 3)
-            resolved_engine = responses[0]["engine"]
-        else:
-            if decision.mode == "fallback":
-                client = self._fallback
-                self.fallback_requests += 1
-            else:  # routed / single: exactly one partition shard
-                client = self._clients[decision.shards[0]]
-                self.shard_requests[decision.shards[0]] += 1
-            response = client.execute_full(query, bound, engine, per_shard)
-            rows = response["rows"]
-            stats = dict(response["stats"])
-            resolved_engine = response["engine"]
+        except SHARD_UNAVAILABLE as error:
+            if not decision.shards:
+                # The full-copy fallback itself failed: nothing stands in.
+                raise ShardUnavailableError(
+                    f"fallback shard cannot answer {query!r}: {error}",
+                    shard=self.shard_label(None),
+                    op="execute",
+                ) from error
+            failed = getattr(error, "_repro_shard", None)
+            retried = True
+            decision = RouteDecision(
+                "failover",
+                f"failover:{decision.route}",
+                (),
+                per_shard,
+                f"shard {self.shard_label(failed)} failed mid-run "
+                f"({type(error).__name__}); retried on the full-copy "
+                f"fallback",
+            )
+            try:
+                rows, stats, resolved_engine = self._run_decision(
+                    decision, query, bound, engine, per_shard, deadline_ms
+                )
+            except SHARD_UNAVAILABLE as fallback_error:
+                raise ShardUnavailableError(
+                    f"shard {self.shard_label(failed)} failed executing "
+                    f"{query!r} ({error}) and the fallback could not stand "
+                    f"in ({fallback_error})",
+                    shard=self.shard_label(failed),
+                    op="execute",
+                ) from fallback_error
+        if retried:
+            self.failover_retries += 1
+            stats = dict(stats)
+            stats["failover_retries"] = 1
+        elif decision.mode == "failover":
+            self.failover_reroutes += 1
+            stats = dict(stats)
+            stats["failover_reroutes"] = 1
 
         if collection == "set":
             from repro.values import dedup_nested
@@ -170,15 +325,85 @@ class ShardedServiceClient:
             "stats": stats,
         }
 
+    def _run_decision(
+        self,
+        decision: RouteDecision,
+        query: str,
+        bound: Optional[dict],
+        engine: Optional[str],
+        per_shard: str,
+        deadline_ms: Optional[float],
+    ) -> tuple[list, dict, str]:
+        """Execute one resolved route; shard failures carry the culprit's
+        index as ``error._repro_shard`` for failover attribution."""
+
+        def shard_execute(index: int) -> dict:
+            try:
+                return self._clients[index].execute_full(
+                    query, bound, engine, per_shard, deadline_ms=deadline_ms
+                )
+            except SHARD_UNAVAILABLE as error:
+                error._repro_shard = index
+                raise
+
+        if decision.mode == "fanout":
+            # Submit + drain *every* future before raising: per-endpoint
+            # clients are thread-confined, so a failed fan-out must not
+            # leave abandoned sub-requests racing the next op (the
+            # failover retry, or a later routed call) for the same socket.
+            futures = [
+                self._pool.submit(shard_execute, index)
+                for index in decision.shards
+            ]
+            responses, first_error = [], None
+            for future in futures:
+                try:
+                    responses.append(future.result())
+                except Exception as error:  # noqa: BLE001 — re-raised below
+                    if first_error is None:
+                        first_error = error  # first in shard order wins
+            if first_error is not None:
+                raise first_error
+            for index in decision.shards:
+                self.shard_requests[index] += 1
+            rows: list = []
+            stats = {"queries": 0, "rows_fetched": 0, "millis": 0.0}
+            for response in responses:
+                rows.extend(response["rows"])
+                for key in stats:
+                    stats[key] += response["stats"][key]
+            stats["millis"] = round(stats["millis"], 3)
+            return rows, stats, responses[0]["engine"]
+        if decision.mode in ("fallback", "failover"):
+            response = self._fallback.execute_full(
+                query, bound, engine, per_shard, deadline_ms=deadline_ms
+            )
+            self.fallback_requests += 1
+        else:  # routed / single: exactly one partition shard
+            response = shard_execute(decision.shards[0])
+            self.shard_requests[decision.shards[0]] += 1
+        return response["rows"], dict(response["stats"]), response["engine"]
+
     def stats(self) -> dict:
-        """Server-side counters from every shard plus the fallback, and
-        this client's local routing counters."""
+        """Server-side counters from every live shard plus the fallback,
+        and this client's local routing/failover counters."""
+
+        def server_stats(client: ServiceClient) -> Optional[dict]:
+            try:
+                return client.stats()
+            except SHARD_UNAVAILABLE:
+                return None  # a dead shard must not sink the whole report
+
         return {
-            "shards": [client.stats() for client in self._clients],
-            "fallback": self._fallback.stats(),
+            "shards": [server_stats(client) for client in self._clients],
+            "fallback": server_stats(self._fallback),
             "client": {
                 "shard_requests": list(self.shard_requests),
                 "fallback_requests": self.fallback_requests,
+                "failover_reroutes": self.failover_reroutes,
+                "failover_retries": self.failover_retries,
+                "down_shards": sorted(self.down_shards()),
+                "breakers": [b.snapshot() for b in self.breakers],
             },
         }
 

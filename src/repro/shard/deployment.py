@@ -42,6 +42,7 @@ divert to the full-copy shard.
 
 from __future__ import annotations
 
+import sqlite3
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Iterable, Mapping, Optional
@@ -50,20 +51,35 @@ from repro.api.results import Result
 from repro.api.session import Session
 from repro.backend.database import Database
 from repro.backend.executor import ExecutionStats
-from repro.errors import ShardingError
+from repro.errors import BackendError, ShardingError
 from repro.nrc import ast
 from repro.nrc.schema import Schema
-from repro.shard.analysis import ShardPlan, analyse, plan_route
+from repro.shard.analysis import (
+    RouteDecision,
+    ShardPlan,
+    analyse,
+    plan_route,
+)
 from repro.shard.placement import Placement
 from repro.sql.codegen import SqlOptions
 
 #: Which :class:`ExecutionStats` field marks a run of each route mode.
+#: ``failover`` (a route diverted around a known-down shard) marks
+#: ``failover_reroutes``; a *reactive* retry after a mid-run shard failure
+#: marks ``failover_retries`` instead (set explicitly in ``run``).
 STATS_MARKERS = {
     "fanout": "sharded_fanouts",
     "routed": "sharded_routed",
     "single": "sharded_singles",
     "fallback": "sharded_fallbacks",
+    "failover": "failover_reroutes",
 }
+
+#: What a dying in-process shard store raises mid-run: the sqlite layer
+#: (connection closed/corrupt), the backend wrapper, or the OS (store file
+#: ripped out from under the mmap).  Anything else — a genuine query error
+#: — would fail identically on the fallback, so it propagates.
+SHARD_FAILURES = (sqlite3.Error, BackendError, OSError)
 
 __all__ = [
     "ShardedDatabase",
@@ -151,9 +167,11 @@ class ShardedDatabase:
 class ShardedResult(Result):
     """A :class:`~repro.api.results.Result` plus the route that produced it.
 
-    ``route`` is ``"fanout"``, ``"routed:<shard>"``, ``"single:<shard>"``
-    or ``"fallback"``; ``shards`` lists the partition shards that executed
-    (empty for fallback — the full-copy shard is not a partition).
+    ``route`` is ``"fanout"``, ``"routed:<shard>"``, ``"single:<shard>"``,
+    ``"fallback"`` or ``"failover:<original route>"`` (a fault diverted the
+    run to the full-copy shard); ``shards`` lists the partition shards
+    that executed (empty for fallback/failover — the full-copy shard is
+    not a partition).
     """
 
     __slots__ = ("route", "shards", "reason")
@@ -250,37 +268,42 @@ class ShardedPrepared:
             session.shard_count,
             params=dict(params) if params else None,
             collection=collection,
+            down_shards=session.down_shards(),
         )
         per_shard = decision.per_shard_collection
-
-        if decision.mode == "fanout":
-            runner = lambda i: self._shard_prepared(i).run(  # noqa: E731
-                engine=engine, collection=per_shard, params=params, **kwargs
+        retried = False
+        try:
+            value, merged, resolved_engine = self._run_decision(
+                decision, engine, per_shard, params, kwargs
             )
-            if session.shard_count == 1:
-                results = [runner(0)]
-            else:
-                results = list(session._pool.map(runner, decision.shards))
-            value: list = []
-            for result in results:
-                value.extend(result.value)
-            merged = ExecutionStats()
-            for result in results:
-                merged.merge(result.stats)
-            resolved_engine = results[0].engine
+        except SHARD_FAILURES as error:
+            if not decision.shards:
+                raise  # the full-copy shard itself failed: nothing stands in
+            # Reactive failover: a partition died mid-run.  Partial fan-out
+            # results cannot be patched (the dead shard's slice is simply
+            # missing), so discard everything and re-run the *whole* query
+            # on the full-copy fallback, which holds a superset of every
+            # partition.  The culprit is marked down so subsequent runs
+            # divert proactively (``failover_reroutes``).
+            failed = getattr(error, "_repro_shard", None)
+            if failed is not None:
+                session.mark_shard_down(failed)
+            retried = True
+            decision = RouteDecision(
+                "failover",
+                f"failover:{decision.route}",
+                (),
+                per_shard,
+                f"shard {'?' if failed is None else failed} failed mid-run "
+                f"({type(error).__name__}); retried on the full-copy fallback",
+            )
+            value, merged, resolved_engine = self._run_decision(
+                decision, engine, per_shard, params, kwargs
+            )
+        if retried:
+            merged.failover_retries = 1
         else:
-            if decision.mode == "fallback":
-                target = session._fallback_prepared(self._term)
-            else:  # routed / single: exactly one partition shard
-                target = self._shard_prepared(decision.shards[0])
-            result = target.run(
-                engine=engine, collection=per_shard, params=params, **kwargs
-            )
-            value = result.value
-            merged = ExecutionStats()
-            merged.merge(result.stats)
-            resolved_engine = result.engine
-        setattr(merged, STATS_MARKERS[decision.mode], 1)
+            setattr(merged, STATS_MARKERS[decision.mode], 1)
 
         if collection == "set":
             from repro.values import dedup_nested
@@ -295,6 +318,52 @@ class ShardedPrepared:
             shards=decision.shards,
             reason=decision.reason,
         )
+
+    def _run_decision(
+        self,
+        decision: RouteDecision,
+        engine: str | None,
+        per_shard: str,
+        params: Mapping[str, object] | None,
+        kwargs: dict,
+    ) -> tuple[list, ExecutionStats, str]:
+        """Execute one resolved route; shard failures carry the culprit's
+        index as ``error._repro_shard`` so ``run`` can mark it down."""
+        session = self._session
+
+        def runner(index: int):
+            try:
+                return self._shard_prepared(index).run(
+                    engine=engine,
+                    collection=per_shard,
+                    params=params,
+                    **kwargs,
+                )
+            except SHARD_FAILURES as error:
+                error._repro_shard = index
+                raise
+
+        if decision.mode == "fanout":
+            if session.shard_count == 1:
+                results = [runner(0)]
+            else:
+                results = list(session._pool.map(runner, decision.shards))
+            value: list = []
+            for result in results:
+                value.extend(result.value)
+            merged = ExecutionStats()
+            for result in results:
+                merged.merge(result.stats)
+            return value, merged, results[0].engine
+        if decision.mode in ("fallback", "failover"):
+            result = session._fallback_prepared(self._term).run(
+                engine=engine, collection=per_shard, params=params, **kwargs
+            )
+        else:  # routed / single: exactly one partition shard
+            result = runner(decision.shards[0])
+        merged = ExecutionStats()
+        merged.merge(result.stats)
+        return result.value, merged, result.engine
 
 
 class ShardedSession:
@@ -384,6 +453,10 @@ class ShardedSession:
         self._stats_lock = threading.Lock()
         self.shard_runs = [0] * self.shard_count
         self.fallback_runs = 0
+        #: Partition shards presumed dead: routes divert around them
+        #: (``failover_reroutes``) until :meth:`mark_shard_up` /
+        #: :meth:`check_health` clears them.
+        self._down: set[int] = set()
         self._pool = ThreadPoolExecutor(
             max_workers=self.shard_count,
             thread_name_prefix="repro-shard",
@@ -432,8 +505,48 @@ class ShardedSession:
             self.stats.merge(merged)
             for index in shard_indexes:
                 self.shard_runs[index] += 1
-            if mode == "fallback":
+            if mode in ("fallback", "failover"):
                 self.fallback_runs += 1
+
+    # ------------------------------------------------------------- liveness
+
+    def mark_shard_down(self, index: int) -> None:
+        """Divert routes around partition shard ``index`` until it is
+        marked up again (set automatically by a reactive failover)."""
+        if not 0 <= index < self.shard_count:
+            raise ShardingError(
+                f"shard index {index} out of range for {self.shard_count} shards"
+            )
+        with self._stats_lock:
+            self._down.add(index)
+
+    def mark_shard_up(self, index: int) -> None:
+        with self._stats_lock:
+            self._down.discard(index)
+
+    def down_shards(self) -> frozenset:
+        """The partition shards currently presumed dead."""
+        with self._stats_lock:
+            return frozenset(self._down)
+
+    def check_health(self) -> dict[int, bool]:
+        """Probe every partition store and refresh the liveness set.
+
+        A shard that answers a trivial read is marked up (recovery path
+        for shards downed by a reactive failover); one that raises stays
+        or becomes down.
+        """
+        verdicts: dict[int, bool] = {}
+        for index, shard in enumerate(self.db.shards):
+            try:
+                shard.total_rows()
+            except SHARD_FAILURES:
+                verdicts[index] = False
+                self.mark_shard_down(index)
+            else:
+                verdicts[index] = True
+                self.mark_shard_up(index)
+        return verdicts
 
     # -------------------------------------------------------------- surface
 
@@ -459,6 +572,9 @@ class ShardedSession:
                 "routed": self.stats.sharded_routed,
                 "singles": self.stats.sharded_singles,
                 "fallbacks": self.stats.sharded_fallbacks,
+                "failover_reroutes": self.stats.failover_reroutes,
+                "failover_retries": self.stats.failover_retries,
+                "down_shards": sorted(self._down),
             }
 
     def insert(

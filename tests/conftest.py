@@ -36,6 +36,13 @@ from repro.data.organisation import (
 )
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: spawns real serve subprocesses (kill/restart fault tests)",
+    )
+
+
 @pytest.fixture
 def schema():
     return ORGANISATION_SCHEMA

@@ -196,6 +196,12 @@ class TestShardedSessionHammer:
                 mode_runs[key] += 1
         for key, expected in mode_runs.items():
             assert stats[key] - base_stats[key] == expected, key
+        # A healthy hammer must stay failover-free: any nonzero counter
+        # here means a shard store failed (or was misdiagnosed as failed)
+        # under plain contention.
+        assert stats["failover_reroutes"] == 0
+        assert stats["failover_retries"] == 0
+        assert stats["down_shards"] == []
         session.close()
         single.close()
 
@@ -249,6 +255,10 @@ class TestShardedServiceHammer:
                         assert bag_equal(
                             rows, expected_values[(name, str(params))]
                         ), (name, params)
+                    # Healthy servers: no failovers, no tripped breakers.
+                    assert client.failover_reroutes == 0
+                    assert client.failover_retries == 0
+                    assert client.down_shards() == frozenset()
 
             failures = _hammer(worker)
             assert not failures, failures
