@@ -5,6 +5,8 @@
     python -m repro run Q6 --engine parallel --stats
     python -m repro serve --port 7411    # the asyncio query service
     python -m repro serve --shard 0/4    # one slice of a sharded deployment
+    python -m repro serve --data-dir ./state   # durable store (WAL + recovery)
+    python -m repro supervise --shards 2 --replicas 2   # self-healing fleet
     python -m repro normal-form Q2       # show the normal form
     python -m repro figures --figure 11  # regenerate an evaluation figure
     python -m repro bench --smoke        # tiny per-system sweep, fail on error
@@ -191,6 +193,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
             placement = organisation_placement().validate(db.schema)
             db = db.partitioned(placement.owner_fn(count), index)
+    if args.data_dir:
+        from pathlib import Path
+
+        from repro.backend.database import Database
+
+        directory = Path(args.data_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        slug = (shard_label or "single").replace("/", "-of-")
+        if args.replica:
+            slug += f".r{args.replica}"
+        # Rebuild over the on-disk store: a non-empty file wins over the
+        # seed rows (crash recovery), an empty one is seeded and synced.
+        seed = {ts.name: db.raw_rows(ts.name) for ts in db.schema.tables}
+        db = Database(db.schema, seed, path=directory / f"shard-{slug}.sqlite")
     session = connect(db)
     registry = paper_registry()
     server = QueryServer(
@@ -208,6 +224,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if shard_label:
             print(f"  shard   : {shard_label} "
                   f"({db.total_rows()} rows on this shard)")
+        if args.data_dir:
+            state = "recovered" if db.recovered else "seeded"
+            print(f"  durable : {db._path} ({state}, WAL)")
         print(f"  queries : {', '.join(registry.names())}")
         print(f"  pool    : {args.pool} read connections, "
               f"admission limit {server.max_pending}")
@@ -225,6 +244,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(serve())
     except KeyboardInterrupt:
         print("\nshutting down")
+    return 0
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.shard.supervisor import Supervisor, spawn_group
+
+    groups, fallback = spawn_group(
+        args.shards,
+        replication=args.replicas,
+        pool=args.pool,
+        scale=args.scale,
+        rows=args.rows,
+        data_dir=args.data_dir or None,
+        log_dir=args.log_dir or None,
+        base_port=args.base_port,
+    )
+    processes = [fallback] + [p for group in groups for p in group]
+    supervisor = Supervisor(
+        processes,
+        backoff_base=args.backoff_base,
+        crash_loop_threshold=args.crash_loop_threshold,
+        check_interval=args.check_interval,
+    )
+    print(
+        f"repro supervised deployment: {args.shards} shards × "
+        f"{args.replicas} replicas + full-copy fallback"
+    )
+    for process in processes:
+        durable = f"  [{process.data_dir}]" if process.data_dir else ""
+        print(f"  {process.label:>8} @ 127.0.0.1:{process.port}{durable}")
+    print("supervising (Ctrl-C drains and exits)")
+    try:
+        while True:
+            for event in supervisor.poll():
+                print("  " + json.dumps(event, sort_keys=True))
+            time.sleep(supervisor.check_interval)
+    except KeyboardInterrupt:
+        print("\ndraining fleet")
+        supervisor.stop(drain_grace=args.drain_grace)
     return 0
 
 
@@ -329,6 +390,22 @@ def main(argv: list[str] | None = None) -> int:
         "fallback shard",
     )
     serve.add_argument(
+        "--data-dir",
+        default="",
+        metavar="DIR",
+        help="durable mode: keep this server's store in "
+        "DIR/shard-<label>.sqlite (WAL); a restart recovers every "
+        "pre-crash insert instead of regenerating seed data",
+    )
+    serve.add_argument(
+        "--replica",
+        type=int,
+        default=0,
+        metavar="J",
+        help="replica index within this shard's group (shifts the "
+        "durable file name so siblings never share a store; 0 = primary)",
+    )
+    serve.add_argument(
         "--max-pending",
         type=int,
         default=None,
@@ -353,6 +430,48 @@ def main(argv: list[str] | None = None) -> int:
         "before their connections are cancelled",
     )
     serve.set_defaults(fn=_cmd_serve)
+
+    supervise = sub.add_parser(
+        "supervise",
+        help="spawn and supervise a local sharded fleet "
+        "(shards × replicas + full-copy fallback, auto-restart)",
+    )
+    supervise.add_argument("--shards", type=int, default=2)
+    supervise.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="endpoints per logical shard (1 = a lone primary)",
+    )
+    supervise.add_argument("--pool", type=int, default=1)
+    supervise.add_argument("--scale", type=int, default=0)
+    supervise.add_argument("--rows", type=int, default=20)
+    supervise.add_argument(
+        "--data-dir",
+        default="",
+        metavar="DIR",
+        help="durable stores for every process (see serve --data-dir)",
+    )
+    supervise.add_argument(
+        "--log-dir",
+        default="",
+        metavar="DIR",
+        help="per-process stdout/stderr logs "
+        "(default: $REPRO_SUPERVISOR_LOG_DIR, else discarded)",
+    )
+    supervise.add_argument(
+        "--base-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="fallback binds PORT, shard i replica j binds "
+        "PORT+1+i·replicas+j (default: OS-assigned free ports)",
+    )
+    supervise.add_argument("--backoff-base", type=float, default=0.25)
+    supervise.add_argument("--crash-loop-threshold", type=int, default=5)
+    supervise.add_argument("--check-interval", type=float, default=0.25)
+    supervise.add_argument("--drain-grace", type=float, default=10.0)
+    supervise.set_defaults(fn=_cmd_supervise)
 
     nf = sub.add_parser("normal-form", help="show a query's normal form")
     nf.add_argument("query")

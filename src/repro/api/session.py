@@ -208,10 +208,18 @@ class Session:
     # ----------------------------------------------------------------- data
 
     def insert(
-        self, table: str, rows: Iterable[Mapping[str, object]]
-    ) -> None:
-        """Insert rows into a base table (schema-validated, incremental)."""
-        self.db.insert(table, rows)
+        self,
+        table: str,
+        rows: Iterable[Mapping[str, object]],
+        idempotency_key: str | None = None,
+    ) -> bool:
+        """Insert rows into a base table (schema-validated, incremental).
+
+        ``idempotency_key`` dedups re-deliveries (see
+        :meth:`repro.backend.database.Database.insert`); returns ``False``
+        iff the key was already applied and nothing was written.
+        """
+        return self.db.insert(table, rows, idempotency_key=idempotency_key)
 
     def with_options(self, **changes: Any) -> "Session":
         """A derived session over the *same* database with adjusted

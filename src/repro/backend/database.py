@@ -10,6 +10,23 @@ each table.  It serves two roles:
 
 The paper ran PostgreSQL 9.2; we substitute SQLite (see DESIGN.md §3): both
 engines support the SQL:1999 features the translation targets.
+
+Two storage modes share one interface:
+
+* **memory** (default) — a named shared-cache in-memory store, rebuilt
+  from ``_rows`` on demand; data dies with the process;
+* **durable** (``path=``) — an on-disk SQLite file in WAL mode.  Writes
+  go to the file *first* (rows + idempotency journal in one
+  transaction), then to the in-memory interpretation, so a crash between
+  the two can lose at most an acknowledgement, never an acknowledged
+  row.  On open, a non-empty file is snapshotted back into ``_rows``
+  (``recovered`` is set) — a supervisor-restarted shard resumes from its
+  pre-crash contents instead of its seed.
+
+Every insert may carry an **idempotency key**: a key already present in
+the journal (``repro_applied_writes`` on disk, an in-process set in
+memory mode) makes the insert a no-op returning ``False`` — at-least-once
+delivery from retrying clients becomes exactly-once application.
 """
 
 from __future__ import annotations
@@ -56,6 +73,16 @@ def _from_sql_value(value: object, ctype: BaseType) -> object:
     return value
 
 
+#: On-disk journal of applied idempotency keys (durable mode).  Lives in
+#: the same file as the data so "rows applied" and "key recorded" commit
+#: atomically; the name is reserved and never appears in a Schema.
+_JOURNAL_TABLE = "repro_applied_writes"
+_JOURNAL_DDL = (
+    f"CREATE TABLE IF NOT EXISTS {_JOURNAL_TABLE} "
+    "(key TEXT PRIMARY KEY, at REAL)"
+)
+
+
 class Database:
     """A schema plus table contents, queryable in memory and via SQLite."""
 
@@ -63,8 +90,16 @@ class Database:
         self,
         schema: Schema,
         tables: Mapping[str, Iterable[Mapping[str, object]]] | None = None,
+        path: str | os.PathLike | None = None,
     ) -> None:
         self.schema = schema
+        self._path = os.fspath(path) if path is not None else None
+        #: True iff a durable store was opened non-empty: ``tables`` seed
+        #: data is then ignored — the file is the surviving truth.
+        self.recovered = False
+        #: Idempotency keys already applied (mirrors the on-disk journal
+        #: in durable mode; purely in-process for memory stores).
+        self._applied: set[str] = set()
         self._rows: dict[str, list[dict]] = {
             table.name: [] for table in schema.tables
         }
@@ -88,23 +123,41 @@ class Database:
         # threads at once.  Reentrant — ensure_index / refresh_statistics
         # call connection() while holding it.
         self._setup_lock = threading.RLock()
+        if self._path is not None:
+            # Open (and if present, recover) the file before any seed
+            # insert: a restarted shard must not re-apply its seed on top
+            # of the rows it wrote before the crash.
+            self.connection()
+            self.recovered = self.total_rows() > 0
+            if self.recovered:
+                return
         if tables:
             for name, rows in tables.items():
                 self.insert(name, rows)
 
     # ------------------------------------------------------------------ rows
 
-    def insert(self, table: str, rows: Iterable[Mapping[str, object]]) -> None:
+    def insert(
+        self,
+        table: str,
+        rows: Iterable[Mapping[str, object]],
+        idempotency_key: str | None = None,
+    ) -> bool:
         """Insert ``rows`` into ``table`` (validated against the schema).
 
         A live SQLite connection is updated incrementally (one
         ``executemany`` of the new rows) rather than rebuilt from scratch,
         so interleaving inserts and queries costs O(new rows), not
         O(database).
+
+        ``idempotency_key`` makes the insert safe to re-deliver: a key the
+        store has already applied turns the call into a no-op returning
+        ``False`` (exactly-once application under at-least-once delivery).
+        Durable stores commit the rows and the journal entry in one
+        transaction, so the dedup survives a crash-restart.
         """
         table_schema = self.schema.table(table)
         expected = set(table_schema.column_names)
-        target = self._rows[table]
         added: list[dict] = []
         for row in rows:
             if set(row) != expected:
@@ -113,40 +166,91 @@ class Database:
                     f"expected {sorted(expected)}"
                 )
             added.append(dict(row))
-        target.extend(added)
-        self._canonical.pop(table, None)
+        with self._setup_lock:
+            if idempotency_key is not None and idempotency_key in self._applied:
+                return False
+            if self._path is not None:
+                self._insert_durable(table_schema, added, idempotency_key)
+            else:
+                self._insert_memory(table_schema, added)
+            if idempotency_key is not None:
+                self._applied.add(idempotency_key)
+        return True
+
+    def _insert_memory(
+        self, table_schema: TableSchema, added: list[dict]
+    ) -> None:
+        """Memory-mode apply: ``_rows`` is the truth, SQLite follows."""
+        self._rows[table_schema.name].extend(added)
+        self._canonical.pop(table_schema.name, None)
         if not added:
             return
         # The version bump and the SQLite apply are one unit under the
         # setup lock: a shared-scan acquirer must never observe the new
         # version while the store still holds the old rows.
-        with self._setup_lock:
-            self._data_version += 1
-            if self._ensured_indexes:
-                self._stats_stale = True  # table sizes shifted under ANALYZE
-            if self._connection is None:
-                return
+        self._data_version += 1
+        if self._ensured_indexes:
+            self._stats_stale = True  # table sizes shifted under ANALYZE
+        if self._connection is None:
+            return
 
-            def apply() -> None:
-                # A prior attempt may have died between executemany and
-                # commit; clear the open transaction so a retry cannot
-                # stack the rows twice (rollback is a no-op when clean).
-                self._connection.rollback()
-                self._insert_into_connection(
-                    self._connection, table_schema, added
+        def apply() -> None:
+            # A prior attempt may have died between executemany and
+            # commit; clear the open transaction so a retry cannot
+            # stack the rows twice (rollback is a no-op when clean).
+            self._connection.rollback()
+            self._insert_into_connection(
+                self._connection, table_schema, added
+            )
+            self._connection.commit()
+
+        try:
+            # Briefly retry on shared-cache lock contention (a leased
+            # reader mid-statement): disposing would close pooled
+            # connections other threads are still using.
+            self._retry_locked(apply)
+        except sqlite3.Error:
+            # e.g. a declared-key violation: fall back to the lazy
+            # rebuild, which re-raises at the next query (as a
+            # BackendError) exactly like a cold connection would.
+            self._dispose_connection()
+
+    def _insert_durable(
+        self,
+        table_schema: TableSchema,
+        added: list[dict],
+        idempotency_key: str | None,
+    ) -> None:
+        """Durable-mode apply, file first: rows + journal entry commit in
+        one transaction; only then does the in-memory interpretation
+        advance.  A failure leaves both sides on the pre-insert state
+        (and raises), so memory and file can never diverge."""
+        connection = self.connection()
+
+        def apply() -> None:
+            connection.rollback()
+            if added:
+                self._insert_into_connection(connection, table_schema, added)
+            if idempotency_key is not None:
+                connection.execute(
+                    f"INSERT INTO {_JOURNAL_TABLE} (key, at) VALUES (?, ?)",
+                    (idempotency_key, time.time()),
                 )
-                self._connection.commit()
+            connection.commit()
 
-            try:
-                # Briefly retry on shared-cache lock contention (a leased
-                # reader mid-statement): disposing would close pooled
-                # connections other threads are still using.
-                self._retry_locked(apply)
-            except sqlite3.Error:
-                # e.g. a declared-key violation: fall back to the lazy
-                # rebuild, which re-raises at the next query (as a
-                # BackendError) exactly like a cold connection would.
-                self._dispose_connection()
+        try:
+            self._retry_locked(apply)
+        except sqlite3.Error as error:
+            raise BackendError(
+                f"durable insert into {table_schema.name!r} failed: {error}"
+            ) from error
+        if not added:
+            return
+        self._rows[table_schema.name].extend(added)
+        self._canonical.pop(table_schema.name, None)
+        self._data_version += 1
+        if self._ensured_indexes:
+            self._stats_stale = True
 
     def partitioned(self, owner, shard_index: int) -> "Database":
         """Partitioned loading: a fresh :class:`Database` over the same
@@ -244,6 +348,8 @@ class Database:
         return self._connection
 
     def _build_connection(self) -> sqlite3.Connection:
+        if self._path is not None:
+            return self._build_durable_connection()
         # A *named* shared-cache in-memory database instead of a private
         # ":memory:" one: extra read-only connections (the parallel
         # executor's pool) can attach to the same store by URI.  The store
@@ -268,21 +374,94 @@ class Database:
         connection.commit()
         return connection
 
-    def _create_table(
+    def _build_durable_connection(self) -> sqlite3.Connection:
+        """Open (creating if absent) the on-disk store at ``self._path``.
+
+        WAL keeps readers unblocked by the writer (the lease pool reads
+        while inserts commit); ``synchronous=NORMAL`` is WAL's standard
+        durability point — a commit survives a process kill, which is the
+        failure the supervisor injects.  A non-empty file *snapshots back*
+        into ``_rows`` so the in-memory semantics and ``row_number``
+        canonicalisation see the recovered contents.
+        """
+        connection = sqlite3.connect(self._path, check_same_thread=False)
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        connection.execute(_JOURNAL_DDL)
+        for table_schema in self.schema.tables:
+            self._create_table(connection, table_schema, if_not_exists=True)
+        self._applied = {
+            key
+            for (key,) in connection.execute(
+                f"SELECT key FROM {_JOURNAL_TABLE}"
+            )
+        }
+        if self.total_rows() == 0:
+            # Fresh object over an existing file: recover the snapshot.
+            for table_schema in self.schema.tables:
+                self._rows[table_schema.name] = self._read_table(
+                    connection, table_schema
+                )
+                self._canonical.pop(table_schema.name, None)
+        else:
+            # Rebuild after disposal (or first open of a fresh file) with
+            # rows already in memory: write-through any table the file
+            # does not hold yet; tables present on disk are already in
+            # sync (durable inserts commit to the file first).
+            for table_schema in self.schema.tables:
+                name = quote_identifier(table_schema.name)
+                (count,) = connection.execute(
+                    f"SELECT COUNT(*) FROM {name}"
+                ).fetchone()
+                if count == 0:
+                    self._load_table(connection, table_schema)
+        for (table, columns), name in self._ensured_indexes.items():
+            connection.execute(_index_ddl(name, table, columns))
+        if self._ensured_indexes:
+            self._stats_stale = True
+        connection.commit()
+        return connection
+
+    def _read_table(
         self, connection: sqlite3.Connection, table_schema: TableSchema
+    ) -> list[dict]:
+        """All rows of ``table_schema`` as typed dicts (recovery load)."""
+        names = table_schema.column_names
+        column_list = ", ".join(quote_identifier(name) for name in names)
+        cursor = connection.execute(
+            f"SELECT {column_list} FROM {quote_identifier(table_schema.name)}"
+        )
+        types = dict(table_schema.columns)
+        return [
+            {
+                name: _from_sql_value(value, types[name])
+                for name, value in zip(names, row)
+            }
+            for row in cursor
+        ]
+
+    def _create_table(
+        self,
+        connection: sqlite3.Connection,
+        table_schema: TableSchema,
+        if_not_exists: bool = False,
     ) -> None:
         columns = ", ".join(
             f"{quote_identifier(name)} {_sql_type(ctype)}"
             for name, ctype in table_schema.columns
         )
-        ddl = f"CREATE TABLE {quote_identifier(table_schema.name)} ({columns})"
+        guard = "IF NOT EXISTS " if if_not_exists else ""
+        ddl = (
+            f"CREATE TABLE {guard}"
+            f"{quote_identifier(table_schema.name)} ({columns})"
+        )
         connection.execute(ddl)
         if table_schema.has_declared_key:
             key_cols = ", ".join(
                 quote_identifier(c) for c in table_schema.key_columns
             )
             connection.execute(
-                f"CREATE UNIQUE INDEX "
+                f"CREATE UNIQUE INDEX {guard}"
                 f"{quote_identifier('key_' + table_schema.name)} "
                 f"ON {quote_identifier(table_schema.name)} ({key_cols})"
             )
@@ -478,9 +657,16 @@ class Database:
                 pass  # already disposed with the store
 
     def _open_reader(self) -> sqlite3.Connection:
-        reader = sqlite3.connect(
-            self._memory_uri, uri=True, check_same_thread=False
-        )
+        if self._path is not None:
+            # Durable stores hand readers their own file connection: WAL
+            # lets them read the last committed snapshot while the writer
+            # commits, and query_only guards them exactly like the
+            # shared-cache readers below.
+            reader = sqlite3.connect(self._path, check_same_thread=False)
+        else:
+            reader = sqlite3.connect(
+                self._memory_uri, uri=True, check_same_thread=False
+            )
         reader.execute("PRAGMA query_only=ON")
         return reader
 

@@ -160,7 +160,10 @@ class ShardUnavailableError(ShardingError):
 
     Carries the failing ``shard`` label (``"2/4"``, ``"full/4"``) and the
     ``op`` that failed, so a fan-out failure names its culprit instead of
-    surfacing as a bare ``OSError`` from one of many sockets.
+    surfacing as a bare ``OSError`` from one of many sockets.  When the
+    shard is a replica group, ``replica`` is the index of the *last*
+    replica tried (every earlier sibling already failed — the group is
+    exhausted, not just one endpoint).
     """
 
     def __init__(
@@ -168,10 +171,12 @@ class ShardUnavailableError(ShardingError):
         message: str,
         shard: "str | None" = None,
         op: "str | None" = None,
+        replica: "int | None" = None,
     ) -> None:
         super().__init__(message)
         self.shard = shard
         self.op = op
+        self.replica = replica
 
 
 class IndexingError(ReproError):

@@ -46,7 +46,8 @@ from __future__ import annotations
 import asyncio
 import socket
 import time
-from typing import Optional
+import uuid
+from typing import Callable, Optional
 
 from repro.errors import (
     DeadlineExceededError,
@@ -85,6 +86,7 @@ class ServiceClient:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         connect_now: bool = True,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.host = host
         self.port = port
@@ -92,6 +94,13 @@ class ServiceClient:
         self.deadline_ms = deadline_ms
         self.retry = RetryPolicy() if retry is None else retry
         self.breaker = breaker
+        #: Monotonic clock used to time pings — injectable so tests (and
+        #: the replica router's latency tie-break) are deterministic.
+        self.clock = clock
+        #: Round-trip time of the most recent successful :meth:`ping`
+        #: (milliseconds), or None before the first one.  The sharded
+        #: client reads this to prefer the lowest-latency live replica.
+        self.last_ping_ms: Optional[float] = None
         #: Observability counters: transparent retries and reconnects this
         #: client performed (the fault-injection suite asserts these).
         self.retries = 0
@@ -278,6 +287,37 @@ class ServiceClient:
             payload["collection"] = collection
         return self.request(payload, deadline_ms=deadline_ms)
 
+    def insert(
+        self,
+        table: str,
+        rows: list,
+        idempotency_key: str | None = None,
+        deadline_ms: object = _USE_DEFAULT,
+    ) -> dict:
+        """Insert ``rows`` into ``table`` on the server (protocol v1.2).
+
+        The *one* op that mutates — and still safe under the client's
+        transparent transport retries, because every insert carries an
+        idempotency key (a fresh UUID when the caller names none): a
+        re-delivered frame answers ``"applied": false`` instead of
+        writing twice.  Callers that retry at a higher level (e.g. after
+        a ``DeadlineExceededError``) must re-send the *same* key, which
+        is why the response echoes it.
+        """
+        if idempotency_key is None:
+            idempotency_key = uuid.uuid4().hex
+        response = self.request(
+            {
+                "op": "insert",
+                "table": table,
+                "rows": rows,
+                "idempotency_key": idempotency_key,
+            },
+            deadline_ms=deadline_ms,
+        )
+        response.setdefault("idempotency_key", idempotency_key)
+        return response
+
     def explain(self, query: str) -> str:
         return self.request({"op": "explain", "query": query})["text"]
 
@@ -287,10 +327,14 @@ class ServiceClient:
 
     def ping(self, deadline_ms: object = _USE_DEFAULT) -> dict:
         """Liveness probe: answered inline by the server (no lease, no
-        compile), so it measures the serving path itself."""
-        return self.request(
+        compile), so it measures the serving path itself.  A successful
+        ping records its round-trip time in :attr:`last_ping_ms`."""
+        started = self.clock()
+        response = self.request(
             {"op": "ping"}, deadline_ms=deadline_ms, retry=False
         )
+        self.last_ping_ms = (self.clock() - started) * 1000.0
+        return response
 
     def close(self) -> None:
         """Polite shutdown: send the close op, then drop the socket.
@@ -327,11 +371,16 @@ class AsyncServiceClient:
         timeout: float = DEFAULT_TIMEOUT,
         *,
         deadline_ms: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.deadline_ms = deadline_ms
+        self.clock = clock
+        #: Round-trip time of the most recent successful ping (ms); same
+        #: contract as the blocking client's attribute.
+        self.last_ping_ms: Optional[float] = None
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._request_seq = 0
@@ -346,6 +395,14 @@ class AsyncServiceClient:
             raise ServiceConnectionError(
                 f"connect to {self.host}:{self.port} timed out "
                 f"after {self.timeout}s"
+            ) from error
+        except OSError as error:
+            # Parity with the blocking client, which wraps a refused or
+            # unreachable endpoint in its request loop: connection
+            # failures surface as ServiceConnectionError on both
+            # transports, never a raw OSError.
+            raise ServiceConnectionError(
+                f"connect to {self.host}:{self.port} failed: {error}"
             ) from error
         return self
 
@@ -431,6 +488,31 @@ class AsyncServiceClient:
             payload["collection"] = collection
         return (await self.request(payload, deadline_ms=deadline_ms))["rows"]
 
+    async def insert(
+        self,
+        table: str,
+        rows: list,
+        idempotency_key: str | None = None,
+        deadline_ms: object = _USE_DEFAULT,
+    ) -> dict:
+        """Protocol v1.2 insert — the blocking client's contract verbatim
+        (auto-generated idempotency key, echoed in the response); delivery
+        is single-attempt like every other async op, so re-sending with
+        the echoed key is the caller's retry loop."""
+        if idempotency_key is None:
+            idempotency_key = uuid.uuid4().hex
+        response = await self.request(
+            {
+                "op": "insert",
+                "table": table,
+                "rows": rows,
+                "idempotency_key": idempotency_key,
+            },
+            deadline_ms=deadline_ms,
+        )
+        response.setdefault("idempotency_key", idempotency_key)
+        return response
+
     async def explain(self, query: str) -> str:
         return (await self.request({"op": "explain", "query": query}))["text"]
 
@@ -438,7 +520,10 @@ class AsyncServiceClient:
         return await self.request({"op": "stats"})
 
     async def ping(self, deadline_ms: object = _USE_DEFAULT) -> dict:
-        return await self.request({"op": "ping"}, deadline_ms=deadline_ms)
+        started = self.clock()
+        response = await self.request({"op": "ping"}, deadline_ms=deadline_ms)
+        self.last_ping_ms = (self.clock() - started) * 1000.0
+        return response
 
     async def close(self) -> None:
         if self._writer is None:

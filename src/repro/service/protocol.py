@@ -42,6 +42,21 @@ ignores them:
 * ``OVERLOADED`` load shedding — once the server's bounded admission
   queue is full, new executes are refused *immediately* with an
   ``Overloaded`` error frame; queued work is unaffected.
+
+Protocol **v1.2** (self-healing deployments) adds the write path::
+
+    {"op": "insert", "table": "departments",
+     "rows": [{"name": "engineering"}],
+     "idempotency_key": "c0ffee…"}
+    {"ok": true, "table": "departments", "rows": 1, "applied": true}
+
+``insert`` is the one mutating op, and the idempotency key is what makes
+it safe under v1.1's retry machinery: delivery is at-least-once (a
+client whose connection drops mid-insert *re-sends* the frame), but the
+server journals applied keys, so application is exactly-once — a
+re-delivered key answers ``"applied": false`` with nothing written.
+Durable stores (``serve --data-dir``) persist the journal next to the
+rows in the same transaction, so dedup survives a crash-restart.
 """
 
 from __future__ import annotations
@@ -71,13 +86,14 @@ __all__ = [
 #: length prefix must not look like a 4 GiB allocation request.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
-#: v1.1: ping + request-id echo + per-request deadlines + load shedding.
-PROTOCOL_VERSION = "1.1"
+#: v1.2: the ``insert`` write op with idempotency-key dedup (on top of
+#: v1.1's ping + request-id echo + per-request deadlines + load shedding).
+PROTOCOL_VERSION = "1.2"
 
 _LENGTH = struct.Struct(">I")
 
 #: The operations the server dispatches (protocol reference, README).
-OPS = ("prepare", "execute", "explain", "stats", "ping", "close")
+OPS = ("prepare", "execute", "insert", "explain", "stats", "ping", "close")
 
 #: Error-frame types that deserialise to dedicated exception classes, so
 #: callers branch on ``except OverloadedError`` instead of string-matching

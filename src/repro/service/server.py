@@ -275,8 +275,10 @@ class QueryServer:
                     try:
                         # Serialising a big result set is real CPU time —
                         # keep it off the loop so other connections stay
-                        # served.
-                        if len(response.get("rows") or ()) > 256:
+                        # served.  (An insert response's "rows" is a count,
+                        # not a list — hence the sized check.)
+                        rows = response.get("rows")
+                        if isinstance(rows, (list, tuple)) and len(rows) > 256:
                             frame = await asyncio.to_thread(pack_frame, response)
                         else:
                             frame = pack_frame(response)
@@ -330,14 +332,16 @@ class QueryServer:
             response = await self._prepare(request)
         elif op == "execute":
             response = await self._execute(request)
+        elif op == "insert":
+            response = await self._insert(request)
         elif op == "explain":
             response = await self._explain(request)
         elif op == "stats":
             response = self._stats()
         else:
             raise ServiceError(
-                f"unknown op {op!r}; one of: prepare, execute, explain, "
-                f"stats, ping, close"
+                f"unknown op {op!r}; one of: prepare, execute, insert, "
+                f"explain, stats, ping, close"
             )
         self._count(op, started)
         return response, False
@@ -446,6 +450,51 @@ class QueryServer:
                 "rows_fetched": stats.rows_fetched,
                 "millis": round(stats.total_millis, 3),
             },
+        }
+
+    async def _insert(self, request: dict) -> dict:
+        """The protocol v1.2 write op.
+
+        Inserts share the execute admission bound (they contend for the
+        same store), run off-loop like executes, and honour the request's
+        idempotency key: a key the store has journalled already answers
+        ``"applied": false`` without touching a row, which is what makes
+        the clients' at-least-once retry delivery exactly-once in effect.
+        No deadline applies — an abandoned write would leave the client
+        unsure whether it landed; the key exists precisely so the client
+        re-sends instead of guessing.
+        """
+        if self._pending >= self.max_pending:
+            self.shed_count += 1
+            raise OverloadedError(
+                f"server at admission limit ({self.max_pending} requests "
+                f"in flight); retry with backoff or divert"
+            )
+        table = request.get("table")
+        if not isinstance(table, str):
+            raise ServiceError("insert requests need a 'table' field")
+        rows = request.get("rows")
+        if not isinstance(rows, list) or not all(
+            isinstance(row, dict) for row in rows
+        ):
+            raise ServiceError("'rows' must be an array of row objects")
+        key = request.get("idempotency_key")
+        if key is not None and not isinstance(key, str):
+            raise ServiceError(
+                f"'idempotency_key' must be a string, got {key!r}"
+            )
+        self._pending += 1
+        try:
+            applied = await asyncio.to_thread(
+                self.session.insert, table, rows, idempotency_key=key
+            )
+        finally:
+            self._pending -= 1
+        return {
+            "ok": True,
+            "table": table,
+            "rows": len(rows),
+            "applied": applied,
         }
 
     async def _explain(self, request: dict) -> dict:

@@ -19,7 +19,11 @@ Four pieces:
   (+ :func:`connect_sharded`), the in-process multi-session deployment;
 * :mod:`~repro.shard.client` — ``ShardedServiceClient``, the same
   routing over the PR 4 wire protocol against ``python -m repro serve
-  --shard i/n`` servers.
+  --shard i/n`` servers;
+* :mod:`~repro.shard.supervisor` — ``ShardProcess`` / ``Supervisor`` /
+  ``SupervisedDeployment``, the self-healing process layer under those
+  servers (spawn, health-check, restart with backoff, crash-loop
+  detection, graceful drain).
 """
 
 from repro.shard.analysis import (
@@ -46,6 +50,12 @@ from repro.shard.deployment import (
     ShardedSession,
     connect_sharded,
 )
+from repro.shard.supervisor import (
+    ShardProcess,
+    SupervisedDeployment,
+    Supervisor,
+    spawn_group,
+)
 
 __all__ = [
     "Placement",
@@ -66,4 +76,8 @@ __all__ = [
     "ShardedResult",
     "connect_sharded",
     "ShardedServiceClient",
+    "ShardProcess",
+    "Supervisor",
+    "SupervisedDeployment",
+    "spawn_group",
 ]

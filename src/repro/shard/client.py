@@ -23,7 +23,7 @@ Fault tolerance (PR 6): every endpoint gets its own
 deadline/retry machinery of :class:`~repro.service.client.ServiceClient`.
 On top of that the *sharded* client adds failover:
 
-* **proactively** — a shard whose breaker is open (or that a
+* **proactively** — a shard whose breakers are all open (or that a
   :meth:`check_health` ping just failed) is routed around before any
   request is sent: the whole query runs on the full-copy fallback and the
   response carries ``route="failover:…"`` plus a ``failover_reroutes``
@@ -34,9 +34,25 @@ On top of that the *sharded* client adds failover:
   (``failover_retries``).  Partial results cannot be patched — the dead
   shard's slice is simply missing — and the fallback holds a full copy.
 
+Replica groups (PR 7): each logical shard may be served by a *group* of
+endpoints — a primary plus N replicas holding the same partition (pass a
+list of ``(host, port)`` lists for ``shard_addresses``; a flat list of
+pairs is the degenerate one-replica deployment).  Reads route to the
+preferred live replica — breaker state first, then the lowest measured
+:meth:`~repro.service.client.ServiceClient.ping` round-trip, primaries
+winning ties — and a *sub-request* that fails with a sibling still
+standing retries on the sibling (``replica_failovers``) instead of
+abandoning the fan-out: the full-copy fallback is now the last resort,
+reached only when an entire group is exhausted.  A failed-over run costs
+at most (replicas + 1) attempts on the slow path, each bounded by the
+per-attempt deadline.  Writes (:meth:`ShardedServiceClient.insert`) go
+to *every* replica of the owning group — write-all/read-any, with the
+idempotency key making redelivery after a partial write safe.
+
 When the fallback itself cannot answer, the client raises
 :class:`~repro.errors.ShardUnavailableError` naming the failing shard
-label and op — never a bare ``OSError`` out of one of many sockets.
+label, replica index and op — never a bare ``OSError`` out of one of
+many sockets.
 
 Like :class:`~repro.service.client.ServiceClient`, an instance is
 thread-confined: give each application thread its own client.
@@ -44,8 +60,11 @@ thread-confined: give each application thread its own client.
 
 from __future__ import annotations
 
+import threading
+import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
-from typing import Mapping, Optional, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.errors import (
     DeadlineExceededError,
@@ -75,12 +94,35 @@ SHARD_UNAVAILABLE = (
 )
 
 
+def _normalise_groups(
+    shard_addresses: Sequence,
+) -> list[list[tuple[str, int]]]:
+    """Accept both address shapes: a flat list of ``(host, port)`` pairs
+    (one endpoint per shard — every pre-replica deployment) or a list of
+    *lists* of pairs (each inner list one shard's replica group, primary
+    first)."""
+    groups: list[list[tuple[str, int]]] = []
+    for entry in shard_addresses:
+        if (
+            isinstance(entry, (tuple, list))
+            and len(entry) == 2
+            and isinstance(entry[0], str)
+        ):
+            groups.append([(entry[0], int(entry[1]))])
+            continue
+        group = [(host, int(port)) for host, port in entry]
+        if not group:
+            raise ShardingError("a shard's replica group cannot be empty")
+        groups.append(group)
+    return groups
+
+
 class ShardedServiceClient:
-    """Fan-out/routing client over ``n`` shard servers + a fallback server."""
+    """Fan-out/routing client over ``n`` shard groups + a fallback server."""
 
     def __init__(
         self,
-        shard_addresses: Sequence[tuple[str, int]],
+        shard_addresses: Sequence,
         fallback_address: tuple[str, int],
         *,
         placement: Placement,
@@ -91,53 +133,71 @@ class ShardedServiceClient:
         retry: Optional[RetryPolicy] = None,
         breaker_threshold: int = 5,
         breaker_reset: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not shard_addresses:
             raise ShardingError("need at least one shard address")
         self.placement = placement.validate(schema)
         self.registry = registry
         self.schema = schema
-        self.shard_count = len(shard_addresses)
+        addresses = _normalise_groups(shard_addresses)
+        self.shard_count = len(addresses)
+        self.replication = max(len(group) for group in addresses)
         self.deadline_ms = deadline_ms
-        #: Per-endpoint breakers (shards, then the fallback) — shared with
-        #: the underlying clients, consulted (non-mutatingly) for routing.
-        self.breakers = [
-            CircuitBreaker(breaker_threshold, breaker_reset)
-            for _ in range(self.shard_count + 1)
-        ]
+
         # connect_now=False: a dead shard at construction time must not
         # make the *client* unusable — its breaker trips on first use and
-        # routes divert to the fallback.
-        self._clients = [
-            ServiceClient(
+        # routes divert to a sibling replica or the fallback.
+        def make_client(host: str, port: int) -> ServiceClient:
+            breaker = CircuitBreaker(breaker_threshold, breaker_reset)
+            return ServiceClient(
                 host,
                 port,
                 timeout=timeout,
                 deadline_ms=deadline_ms,
                 retry=retry,
-                breaker=self.breakers[index],
+                breaker=breaker,
                 connect_now=False,
+                clock=clock,
             )
-            for index, (host, port) in enumerate(shard_addresses)
+
+        #: One :class:`ServiceClient` per endpoint, grouped by logical
+        #: shard (``self._groups[i][j]`` = shard ``i``, replica ``j``;
+        #: replica 0 is the primary).
+        self._groups: list[list[ServiceClient]] = [
+            [make_client(host, port) for host, port in group]
+            for group in addresses
         ]
-        self._fallback = ServiceClient(
-            *fallback_address,
-            timeout=timeout,
-            deadline_ms=deadline_ms,
-            retry=retry,
-            breaker=self.breakers[-1],
-            connect_now=False,
-        )
+        self._fallback = make_client(*fallback_address)
+        #: Per-endpoint breakers in endpoint order (shard 0's replicas,
+        #: shard 1's, …, the fallback last) — each shared with its
+        #: underlying client, consulted (non-mutatingly) for routing.  At
+        #: replication 1 this is exactly the PR 6 one-breaker-per-shard
+        #: list, index ``i`` = shard ``i``.
+        self.breakers = [
+            client.breaker for group in self._groups for client in group
+        ] + [self._fallback.breaker]
         self._plans: dict[str, ShardPlan] = {}
         #: Per-shard / fallback *execute* counters (local bookkeeping; the
         #: servers additionally count every request they serve), plus the
         #: failover counters the fault-injection suite asserts exactly.
+        #: ``replica_requests[i][j]`` splits ``shard_requests[i]`` by the
+        #: replica that actually answered.
         self.shard_requests = [0] * self.shard_count
+        self.replica_requests = [
+            [0] * len(group) for group in self._groups
+        ]
         self.fallback_requests = 0
         self.failover_reroutes = 0
         self.failover_retries = 0
+        #: Sub-requests retried on a sibling replica after their preferred
+        #: replica failed — the failovers that *don't* cost a fallback run.
+        #: Incremented from fan-out worker threads, hence the lock.
+        self.replica_failovers = 0
+        self._counter_lock = threading.Lock()
+        endpoint_count = sum(len(group) for group in self._groups) + 1
         self._pool = ThreadPoolExecutor(
-            max_workers=self.shard_count,
+            max_workers=endpoint_count,
             thread_name_prefix="repro-shard-client",
         )
 
@@ -160,16 +220,49 @@ class ShardedServiceClient:
             return f"full/{self.shard_count}"
         return f"{index}/{self.shard_count}"
 
+    def replica_label(self, index: int, replica: int) -> str:
+        """The label of one endpoint of shard ``index``: the primary keeps
+        the plain shard label (``"2/4"``), replicas append their index
+        (``"2.1/4"``) — so one-replica deployments read exactly as before."""
+        if replica == 0:
+            return self.shard_label(index)
+        return f"{index}.{replica}/{self.shard_count}"
+
     def down_shards(self) -> frozenset:
-        """Partition shards currently presumed dead: open breakers.
+        """Logical shards currently presumed dead: *every* replica's
+        breaker open.  A group with one live replica left is not down —
+        reads route to the survivor instead of the fallback.
 
         Non-mutating (``is_open`` never consumes a half-open probe slot),
         so calling this for routing decisions cannot starve recovery."""
         return frozenset(
             index
-            for index in range(self.shard_count)
-            if self.breakers[index].is_open
+            for index, group in enumerate(self._groups)
+            if all(client.breaker.is_open for client in group)
         )
+
+    def _replica_order(self, index: int) -> list[int]:
+        """Replica preference for shard ``index``: live (breaker not
+        open) replicas first, ordered by their last measured ping
+        round-trip (unmeasured sorts last among the live; the primary
+        wins ties).  With every breaker open, all replicas in primary
+        order — their breakers' half-open probes decide at request time.
+        """
+        group = self._groups[index]
+        candidates = [
+            replica
+            for replica, client in enumerate(group)
+            if not client.breaker.is_open
+        ] or list(range(len(group)))
+
+        def preference(replica: int) -> tuple[float, int]:
+            latency = group[replica].last_ping_ms
+            return (
+                latency if latency is not None else float("inf"),
+                replica,
+            )
+
+        return sorted(candidates, key=preference)
 
     def check_health(self, deadline_ms: Optional[float] = 1000.0) -> dict:
         """Ping every endpoint; returns label → liveness verdict.
@@ -177,7 +270,8 @@ class ShardedServiceClient:
         A successful ping feeds the endpoint's breaker via the shared
         :class:`~repro.service.client.ServiceClient`, so health checks
         both *observe* and *heal* liveness state (a half-open breaker's
-        probe slot rides on the ping).
+        probe slot rides on the ping) — and it records each endpoint's
+        round-trip latency, which is the replica-routing tie-break.
         """
         verdicts: dict[str, bool] = {}
 
@@ -190,8 +284,9 @@ class ShardedServiceClient:
             return label, True
 
         pairs = [
-            (self.shard_label(index), client)
-            for index, client in enumerate(self._clients)
+            (self.replica_label(index, replica), client)
+            for index, group in enumerate(self._groups)
+            for replica, client in enumerate(group)
         ] + [(self.shard_label(None), self._fallback)]
         for label, alive in self._pool.map(probe, pairs):
             verdicts[label] = alive
@@ -200,19 +295,20 @@ class ShardedServiceClient:
     # ------------------------------------------------------------------ ops
 
     def prepare(self, query: str) -> dict:
-        """Compile ``query`` on every *live* shard server (and the
-        fallback), so later executes hit warm plan caches everywhere."""
-        down = self.down_shards()
+        """Compile ``query`` on every *live* replica of every shard (and
+        the fallback), so later executes hit warm plan caches everywhere —
+        including the sibling a sub-request may fail over to."""
 
-        def prep(index: int) -> Optional[dict]:
-            if index in down:
+        def prep(client: ServiceClient) -> Optional[dict]:
+            if client.breaker is not None and client.breaker.is_open:
                 return None
             try:
-                return self._clients[index].prepare(query)
+                return client.prepare(query)
             except SHARD_UNAVAILABLE:
                 return None  # breaker has recorded it; executes divert
 
-        responses = [r for r in self._pool.map(prep, range(self.shard_count))]
+        replicas = [client for group in self._groups for client in group]
+        responses = [r for r in self._pool.map(prep, replicas)]
         template = next((r for r in responses if r is not None), None)
         try:
             fallback_response = self._fallback.prepare(query)
@@ -301,6 +397,7 @@ class ShardedServiceClient:
                     f"in ({fallback_error})",
                     shard=self.shard_label(failed),
                     op="execute",
+                    replica=getattr(error, "_repro_replica", None),
                 ) from fallback_error
         if retried:
             self.failover_retries += 1
@@ -335,16 +432,40 @@ class ShardedServiceClient:
         deadline_ms: Optional[float],
     ) -> tuple[list, dict, str]:
         """Execute one resolved route; shard failures carry the culprit's
-        index as ``error._repro_shard`` for failover attribution."""
+        index as ``error._repro_shard`` (and the last replica tried as
+        ``error._repro_replica``) for failover attribution.
+
+        A shard's sub-request walks its replica group in preference order
+        (see :meth:`_replica_order`): a replica that fails with a sibling
+        still untried hands the sub-request to the sibling
+        (``replica_failovers``) — the whole-query fallback only triggers
+        once a group is exhausted.
+        """
 
         def shard_execute(index: int) -> dict:
-            try:
-                return self._clients[index].execute_full(
-                    query, bound, engine, per_shard, deadline_ms=deadline_ms
-                )
-            except SHARD_UNAVAILABLE as error:
-                error._repro_shard = index
-                raise
+            order = self._replica_order(index)
+            last_error: Optional[Exception] = None
+            for position, replica in enumerate(order):
+                try:
+                    response = self._groups[index][replica].execute_full(
+                        query,
+                        bound,
+                        engine,
+                        per_shard,
+                        deadline_ms=deadline_ms,
+                    )
+                except SHARD_UNAVAILABLE as error:
+                    error._repro_shard = index
+                    error._repro_replica = replica
+                    last_error = error
+                    if position < len(order) - 1:
+                        with self._counter_lock:
+                            self.replica_failovers += 1
+                    continue
+                self.replica_requests[index][replica] += 1
+                return response
+            assert last_error is not None
+            raise last_error
 
         if decision.mode == "fanout":
             # Submit + drain *every* future before raising: per-endpoint
@@ -384,9 +505,126 @@ class ShardedServiceClient:
             self.shard_requests[decision.shards[0]] += 1
         return response["rows"], dict(response["stats"]), response["engine"]
 
+    def insert(
+        self,
+        table: str,
+        rows: Iterable[Mapping[str, object]],
+        idempotency_key: str | None = None,
+    ) -> dict:
+        """Insert ``rows`` over the wire, routed exactly like the
+        in-process :meth:`~repro.shard.deployment.ShardedDatabase.insert`:
+        the full-copy fallback first (it validates the batch), then every
+        *replica* of each owning shard — write-all/read-any, the contract
+        that lets reads route to any live replica.
+
+        One idempotency key (generated when absent) covers the whole
+        distributed write: each endpoint journals it independently, so a
+        batch that fails part-way — some endpoints applied, a replica
+        down — is simply **re-sent whole** with the same key after the
+        raise; endpoints that applied it answer ``applied: false``,
+        stragglers catch up, and no row lands twice anywhere.
+
+        Returns ``{"table": …, "rows": n, "applied": bool,
+        "idempotency_key": …, "endpoints": m}`` — ``applied`` is the
+        full copy's verdict (False = the whole batch was a re-delivery).
+        """
+        if idempotency_key is None:
+            idempotency_key = uuid.uuid4().hex
+        materialised = [dict(row) for row in rows]
+        column = self.placement.routing_column(table)
+        groups: dict[int, list[dict]] = {}
+        if column is not None:
+            owner = self.placement.owner_fn(self.shard_count)
+            for row in materialised:
+                groups.setdefault(owner(table, row), []).append(row)
+        try:
+            response = self._fallback.insert(
+                table, materialised, idempotency_key=idempotency_key
+            )
+        except SHARD_UNAVAILABLE as error:
+            raise ShardUnavailableError(
+                f"full-copy shard cannot accept insert into {table!r}: "
+                f"{error}; re-send with idempotency key "
+                f"{idempotency_key!r}",
+                shard=self.shard_label(None),
+                op="insert",
+            ) from error
+        applied = bool(response.get("applied"))
+        if column is None:
+            targets = [(index, materialised) for index in range(self.shard_count)]
+        else:
+            targets = [(index, groups[index]) for index in sorted(groups)]
+        endpoints = 1
+        for index, shard_rows in targets:
+            for replica, client in enumerate(self._groups[index]):
+                try:
+                    client.insert(
+                        table, shard_rows, idempotency_key=idempotency_key
+                    )
+                except SHARD_UNAVAILABLE as error:
+                    raise ShardUnavailableError(
+                        f"replica {self.replica_label(index, replica)} "
+                        f"could not apply insert into {table!r}: {error}; "
+                        f"re-send with idempotency key {idempotency_key!r}",
+                        shard=self.shard_label(index),
+                        op="insert",
+                        replica=replica,
+                    ) from error
+                endpoints += 1
+        return {
+            "ok": True,
+            "table": table,
+            "rows": len(materialised),
+            "applied": applied,
+            "idempotency_key": idempotency_key,
+            "endpoints": endpoints,
+        }
+
+    def stats_snapshot(self) -> dict:
+        """This client's resilience counters, *without* touching the wire
+        (unlike :meth:`stats`, which asks every server): routing and
+        failover totals, the transparent retry/reconnect work the
+        per-endpoint clients performed, each endpoint's breaker state and
+        last measured ping round-trip.  The operator's (and the degraded
+        benchmark's) one-call view of what fault handling actually cost.
+        """
+        endpoints = {}
+        for index, group in enumerate(self._groups):
+            for replica, client in enumerate(group):
+                endpoints[self.replica_label(index, replica)] = {
+                    "breaker": client.breaker.snapshot(),
+                    "retries": client.retries,
+                    "reconnects": client.reconnects,
+                    "ping_ms": client.last_ping_ms,
+                }
+        endpoints[self.shard_label(None)] = {
+            "breaker": self._fallback.breaker.snapshot(),
+            "retries": self._fallback.retries,
+            "reconnects": self._fallback.reconnects,
+            "ping_ms": self._fallback.last_ping_ms,
+        }
+        every = [c for group in self._groups for c in group] + [self._fallback]
+        return {
+            "shard_requests": list(self.shard_requests),
+            "replica_requests": [list(counts) for counts in self.replica_requests],
+            "fallback_requests": self.fallback_requests,
+            "failover_reroutes": self.failover_reroutes,
+            "failover_retries": self.failover_retries,
+            "replica_failovers": self.replica_failovers,
+            "retries": sum(client.retries for client in every),
+            "reconnects": sum(client.reconnects for client in every),
+            "down_shards": sorted(self.down_shards()),
+            "endpoints": endpoints,
+        }
+
     def stats(self) -> dict:
-        """Server-side counters from every live shard plus the fallback,
-        and this client's local routing/failover counters."""
+        """Server-side counters from every live endpoint plus the
+        fallback, and this client's local routing/failover counters.
+
+        ``shards`` stays one entry per *logical* shard (the preferred
+        replica's report — the shape PR 6 callers consume); per-replica
+        reports live under ``replicas``.
+        """
 
         def server_stats(client: ServiceClient) -> Optional[dict]:
             try:
@@ -394,14 +632,26 @@ class ShardedServiceClient:
             except SHARD_UNAVAILABLE:
                 return None  # a dead shard must not sink the whole report
 
+        replica_reports = [
+            [server_stats(client) for client in group]
+            for group in self._groups
+        ]
         return {
-            "shards": [server_stats(client) for client in self._clients],
+            "shards": [
+                next((r for r in reports if r is not None), None)
+                for reports in replica_reports
+            ],
+            "replicas": replica_reports,
             "fallback": server_stats(self._fallback),
             "client": {
                 "shard_requests": list(self.shard_requests),
+                "replica_requests": [
+                    list(counts) for counts in self.replica_requests
+                ],
                 "fallback_requests": self.fallback_requests,
                 "failover_reroutes": self.failover_reroutes,
                 "failover_retries": self.failover_retries,
+                "replica_failovers": self.replica_failovers,
                 "down_shards": sorted(self.down_shards()),
                 "breakers": [b.snapshot() for b in self.breakers],
             },
@@ -409,8 +659,9 @@ class ShardedServiceClient:
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
-        for client in self._clients:
-            client.close()
+        for group in self._groups:
+            for client in group:
+                client.close()
         self._fallback.close()
 
     def __enter__(self) -> "ShardedServiceClient":

@@ -120,8 +120,11 @@ class ShardedDatabase:
         )
 
     def insert(
-        self, table: str, rows: Iterable[Mapping[str, object]]
-    ) -> None:
+        self,
+        table: str,
+        rows: Iterable[Mapping[str, object]],
+        idempotency_key: str | None = None,
+    ) -> bool:
         """Insert rows, routing each to its owning shard.
 
         A sharded table's rows land on exactly the shards that own them —
@@ -135,6 +138,12 @@ class ShardedDatabase:
         validates the routing column before that), so a bad batch raises
         before any partition shard is touched — a failed insert never
         leaves a partition holding rows the full copy lacks.
+
+        ``idempotency_key`` dedups re-deliveries; every constituent store
+        journals the key independently, so a *partially* delivered batch
+        (e.g. a crash between the full copy and a partition) converges on
+        redelivery — stores that applied it skip, the rest catch up.
+        Returns ``False`` iff the full copy had already applied the key.
         """
         materialised = [dict(row) for row in rows]
         column = self.placement.routing_column(table)
@@ -143,13 +152,18 @@ class ShardedDatabase:
             owner = self.placement.owner_fn(self.shard_count)
             for row in materialised:
                 groups.setdefault(owner(table, row), []).append(row)
-        self.full.insert(table, materialised)
+        applied = self.full.insert(
+            table, materialised, idempotency_key=idempotency_key
+        )
         if column is None:
             for shard in self.shards:
-                shard.insert(table, materialised)
+                shard.insert(table, materialised, idempotency_key=idempotency_key)
         else:
             for index in sorted(groups):
-                self.shards[index].insert(table, groups[index])
+                self.shards[index].insert(
+                    table, groups[index], idempotency_key=idempotency_key
+                )
+        return applied
 
     def total_rows(self) -> int:
         return self.full.total_rows()
@@ -578,11 +592,14 @@ class ShardedSession:
             }
 
     def insert(
-        self, table: str, rows: Iterable[Mapping[str, object]]
-    ) -> None:
+        self,
+        table: str,
+        rows: Iterable[Mapping[str, object]],
+        idempotency_key: str | None = None,
+    ) -> bool:
         """Insert rows (routed per the placement; see
         :meth:`ShardedDatabase.insert`)."""
-        self.db.insert(table, rows)
+        return self.db.insert(table, rows, idempotency_key=idempotency_key)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

@@ -99,10 +99,24 @@ class Placement:
 
     #: Only the sharded entries, sorted by table name (hashable).
     tables: tuple[tuple[str, Sharded], ...] = ()
+    #: Copies of every logical shard: 1 = a lone primary (the pre-replica
+    #: deployments), 2 = primary + one replica, and so on.  Replication
+    #: never changes *row ownership* — :func:`shard_for` still maps a row
+    #: to one logical shard; it changes how many endpoints serve that
+    #: shard's partition (reads go to any live one, writes go to all).
+    replication: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ShardingError(
+                f"replication factor must be ≥1, got {self.replication}"
+            )
 
     @classmethod
     def of(
-        cls, mapping: Mapping[str, "Sharded | _Replicated"]
+        cls,
+        mapping: Mapping[str, "Sharded | _Replicated"],
+        replication: int = 1,
     ) -> "Placement":
         entries = []
         for table, marker in mapping.items():
@@ -114,7 +128,12 @@ class Placement:
                     f"or replicated, got {marker!r}"
                 )
             entries.append((table, marker))
-        return cls(tuple(sorted(entries)))
+        return cls(tuple(sorted(entries)), replication=replication)
+
+    def with_replication(self, replication: int) -> "Placement":
+        """This placement with a different replication factor (the same
+        tables and routing — ownership is unaffected by replication)."""
+        return Placement(self.tables, replication=replication)
 
     @property
     def sharded_tables(self) -> tuple[str, ...]:

@@ -23,7 +23,9 @@ timing — tests decide exactly which fault fires and when):
 
 * :class:`ShardProcess` — one ``python -m repro serve --shard i/n``
   subprocess with kill/restart, for failures no in-process harness can
-  fake (the whole server process dies mid-connection).
+  fake (the whole server process dies mid-connection).  Since PR 7 this
+  is the production class from :mod:`repro.shard.supervisor` (re-exported
+  here so existing tests keep importing it from the harness).
 
 * :func:`register_slow` — a registry entry that sleeps before answering,
   for deadline/admission/drain tests that need a predictably slow query
@@ -35,27 +37,16 @@ from __future__ import annotations
 import json
 import os
 import socket
-import subprocess
-import sys
 import threading
 import time
-from pathlib import Path
-from typing import Optional
 
 from repro.data.queries import NESTED_QUERIES
 from repro.service.registry import QueryRegistry, RegisteredQuery
+from repro.shard.supervisor import ShardProcess, free_port
 
 __all__ = ["FaultyProxy", "ShardProcess", "register_slow", "free_port"]
 
 _CHUNK = 65536
-
-
-def free_port() -> int:
-    """An OS-assigned free TCP port (closed again before use — the usual
-    benign race; tests bind immediately after)."""
-    with socket.socket() as probe:
-        probe.bind(("127.0.0.1", 0))
-        return probe.getsockname()[1]
 
 
 class FaultyProxy:
@@ -236,100 +227,6 @@ def _shutdown(sock: socket.socket) -> None:
         sock.close()
     except OSError:
         pass
-
-
-# --------------------------------------------------------------------------
-# Real ``serve`` subprocesses: the only way to test a whole process dying.
-
-
-class ShardProcess:
-    """One ``python -m repro serve`` subprocess with kill/restart."""
-
-    def __init__(self, shard: str = "", port: Optional[int] = None, pool: int = 1):
-        self.shard = shard
-        self.port = free_port() if port is None else port
-        self.pool = pool
-        self.process: Optional[subprocess.Popen] = None
-        self.start()
-
-    def start(self) -> None:
-        if self.process is not None and self.process.poll() is None:
-            return
-        argv = [
-            sys.executable,
-            "-m",
-            "repro",
-            "serve",
-            "--host",
-            "127.0.0.1",
-            "--port",
-            str(self.port),
-            "--pool",
-            str(self.pool),
-        ]
-        if self.shard:
-            argv += ["--shard", self.shard]
-        env = dict(os.environ)
-        src = str(Path(__file__).resolve().parent.parent / "src")
-        env["PYTHONPATH"] = src + (
-            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-        )
-        self.process = subprocess.Popen(
-            argv,
-            env=env,
-            stdout=subprocess.DEVNULL,
-            stderr=subprocess.DEVNULL,
-        )
-        self._await_ready()
-
-    def _await_ready(self, timeout: float = 30.0) -> None:
-        from repro.service.client import ServiceClient
-
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            assert self.process is not None
-            if self.process.poll() is not None:
-                raise RuntimeError(
-                    f"serve --shard {self.shard or '-'} exited with "
-                    f"{self.process.returncode} before accepting connections"
-                )
-            try:
-                client = ServiceClient(
-                    "127.0.0.1", self.port, timeout=2, connect_now=True
-                )
-            except OSError:
-                time.sleep(0.05)
-                continue
-            try:
-                client.ping(deadline_ms=2000)
-                return
-            except Exception:  # noqa: BLE001 - still booting
-                time.sleep(0.05)
-            finally:
-                client.close()
-        raise RuntimeError(
-            f"serve --shard {self.shard or '-'} not ready within {timeout}s"
-        )
-
-    def kill(self) -> None:
-        """SIGKILL the server process — connections die mid-whatever."""
-        if self.process is not None and self.process.poll() is None:
-            self.process.kill()
-            self.process.wait(timeout=10)
-
-    def restart(self) -> None:
-        self.kill()
-        self.process = None
-        self.start()
-
-    def close(self) -> None:
-        self.kill()
-
-    def __enter__(self) -> "ShardProcess":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
 
 
 # --------------------------------------------------------------------------

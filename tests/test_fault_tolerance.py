@@ -49,6 +49,7 @@ from repro.errors import (
     ShardUnavailableError,
 )
 from repro.service import (
+    PROTOCOL_VERSION,
     AsyncServiceClient,
     CircuitBreaker,
     Deadline,
@@ -383,7 +384,7 @@ class TestDeadlines:
         _proxy, client = proxy_client
         pong = client.ping()
         assert pong["pong"] is True
-        assert pong["protocol"] == "1.1"
+        assert pong["protocol"] == PROTOCOL_VERSION
         assert pong["shard"] is None and pong["draining"] is False
 
 

@@ -1,0 +1,208 @@
+"""Sync/async client parity on protocol v1.2 — one script, two transports.
+
+PR 6 kept :class:`ServiceClient` and :class:`AsyncServiceClient` aligned
+by hand; v1.2 adds the first *mutating* op (``insert`` + idempotency
+keys), where a drift between the transports would corrupt data rather
+than just annoy.  This suite drives the **same step script** through
+both clients against the same live server and asserts the outcomes are
+identical step by step: response shapes, ``applied`` verdicts, echoed
+idempotency keys, structured error kinds (including the server-side
+deadline), and transport-failure types against a dead endpoint.
+
+Each transport gets its own identically-seeded server (sharing one would
+let the first transport's inserts shift the second's query results — and
+reusing a key across transports would *correctly* dedup, hiding a parity
+break behind a false "applied: false" match).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import connect
+from repro.data.organisation import figure3_database
+from repro.errors import ServiceError
+from repro.service import (
+    AsyncServiceClient,
+    ServiceClient,
+    paper_registry,
+    serve_in_background,
+)
+from repro.values import bag_equal
+
+from .fault_injection import free_port, register_slow
+
+#: (step label, client method, kwargs builder) — the builder takes the
+#: transport's namespace so keys and declared-key ids never collide on
+#: the shared server.
+_STEPS = (
+    ("ping", "ping", lambda ns: {}),
+    ("execute-q1", "execute", lambda ns: {"query": "Q1"}),
+    (
+        "execute-params",
+        "execute",
+        lambda ns: {"query": "staff_above", "params": {"min_salary": 900}},
+    ),
+    (
+        "insert-fresh",
+        "insert",
+        lambda ns: {
+            "table": "departments",
+            "rows": [{"id": 9000 + ns, "name": f"Parity{ns}"}],
+            "idempotency_key": f"parity-{ns}-a",
+        },
+    ),
+    (
+        "insert-redelivered",
+        "insert",
+        lambda ns: {
+            "table": "departments",
+            "rows": [{"id": 9000 + ns, "name": f"Parity{ns}"}],
+            "idempotency_key": f"parity-{ns}-a",
+        },
+    ),
+    (
+        "insert-autokey",
+        "insert",
+        lambda ns: {
+            "table": "departments",
+            "rows": [{"id": 9100 + ns, "name": f"ParityAuto{ns}"}],
+        },
+    ),
+    (
+        "insert-bad-rows",
+        "insert",
+        lambda ns: {"table": "departments", "rows": [{"wrong": 1}]},
+    ),
+    (
+        "insert-bad-table",
+        "insert",
+        lambda ns: {"table": "no_such_table", "rows": []},
+    ),
+    ("execute-unknown", "execute", lambda ns: {"query": "no_such_query"}),
+    (
+        "slow-deadline",
+        "execute",
+        lambda ns: {"query": "slow_parity", "deadline_ms": 150},
+    ),
+)
+
+
+def _normalise(label: str, result: object, kwargs: dict) -> object:
+    """Strip the volatile parts so sync and async compare exactly."""
+    if label == "ping":
+        return {"protocol": result["protocol"], "shard": result.get("shard")}
+    if label.startswith("insert"):
+        sent = kwargs.get("idempotency_key")
+        echoed = result.get("idempotency_key")
+        return {
+            "ok": result.get("ok"),
+            "table": result.get("table"),
+            "rows": result.get("rows"),
+            "applied": result.get("applied"),
+            # Auto-generated keys differ by construction; what must match
+            # is the *contract*: the response echoes the key that was sent
+            # (or the one the client minted).
+            "key_echoed": bool(echoed) and (sent is None or echoed == sent),
+        }
+    return result  # execute: the nested rows themselves
+
+
+async def _drive(client, namespace: int, awaited: bool) -> list:
+    """Run the script; every step's outcome is ``("ok", payload)`` or
+    ``("error", type name, structured kind)``."""
+    outcomes = []
+    for label, method, build in _STEPS:
+        kwargs = build(namespace)
+        try:
+            result = getattr(client, method)(**kwargs)
+            if awaited:
+                result = await result
+        except ServiceError as error:
+            outcomes.append(
+                (label, "error", type(error).__name__, error.kind)
+            )
+        else:
+            outcomes.append(
+                (label, "ok", _normalise(label, result, kwargs))
+            )
+    return outcomes
+
+
+def _server():
+    registry = paper_registry()
+    register_slow(registry, "slow_parity", 1.0)
+    db = figure3_database()
+    return db, serve_in_background(connect(db), registry, pool_size=2)
+
+
+def test_sync_and_async_clients_agree_step_for_step():
+    sync_db, sync_handle = _server()
+    async_db, async_handle = _server()
+    try:
+        sync_client = ServiceClient(
+            sync_handle.host, sync_handle.port, timeout=5
+        )
+        try:
+            sync_outcomes = asyncio.run(_drive(sync_client, 1, awaited=False))
+        finally:
+            sync_client.close()
+
+        async def drive_async() -> list:
+            client = AsyncServiceClient(
+                async_handle.host, async_handle.port, timeout=5
+            )
+            try:
+                return await _drive(client, 1, awaited=True)
+            finally:
+                await client.close()
+
+        async_outcomes = asyncio.run(drive_async())
+    finally:
+        sync_handle.stop()
+        async_handle.stop()
+
+    assert len(sync_outcomes) == len(async_outcomes) == len(_STEPS)
+    for sync_out, async_out in zip(sync_outcomes, async_outcomes):
+        label = sync_out[0]
+        if label.startswith("execute") and sync_out[1] == "ok":
+            assert async_out[1] == "ok", f"{label}: {async_out}"
+            assert bag_equal(sync_out[2], async_out[2]), label
+        else:
+            assert sync_out == async_out, (
+                f"{label}: sync {sync_out!r} != async {async_out!r}"
+            )
+    # Both transports actually exercised the write path and both dedup'd.
+    by_label = {entry[0]: entry for entry in sync_outcomes}
+    assert by_label["insert-fresh"][2]["applied"] is True
+    assert by_label["insert-redelivered"][2]["applied"] is False
+    assert by_label["slow-deadline"][1] == "error"
+    # Exactly one application per fresh key on each transport's store.
+    assert sync_db.row_count("departments") == 4 + 2  # Fig. 3 + 2 applied
+    assert async_db.row_count("departments") == 4 + 2
+
+
+def test_both_transports_fail_identically_against_a_dead_endpoint():
+    port = free_port()  # bound and released: nothing listens here
+
+    def sync_kind() -> str:
+        client = ServiceClient("127.0.0.1", port, timeout=1, connect_now=False)
+        try:
+            with pytest.raises(ServiceError) as caught:
+                client.ping(deadline_ms=500)
+        finally:
+            client.close()
+        return type(caught.value).__name__
+
+    async def async_kind() -> str:
+        client = AsyncServiceClient("127.0.0.1", port, timeout=1)
+        try:
+            with pytest.raises(ServiceError) as caught:
+                await client.ping(deadline_ms=500)
+        finally:
+            await client.close()
+        return type(caught.value).__name__
+
+    assert sync_kind() == asyncio.run(async_kind())
