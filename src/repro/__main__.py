@@ -289,6 +289,44 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.api import connect
+    from repro.check.diagnostics import has_failures
+    from repro.data.organisation import organisation_placement
+    from repro.service.registry import paper_registry
+    from repro.sql.codegen import SqlOptions
+
+    registry = paper_registry()
+    names = args.queries or registry.names()
+    session = connect(
+        schema=ORGANISATION_SCHEMA,
+        options=SqlOptions(optimize=True),
+        cache=False,
+    )
+    placement = organisation_placement()
+    failed = False
+    for name in names:
+        if name not in registry:
+            known = ", ".join(registry.names())
+            raise SystemExit(f"unknown query {name!r}; one of: {known}")
+        term = registry.lookup(name).term
+        diagnostics = session.lint(term, placement=placement)
+        reported = [
+            d
+            for d in diagnostics
+            if args.verbose or d.severity in ("error", "warning")
+        ]
+        if has_failures(diagnostics):
+            failed = True
+            status = "FAIL"
+        else:
+            status = "ok"
+        print(f"{name}: {status}")
+        for diagnostic in reported:
+            print(f"  {diagnostic}")
+    return 1 if failed else 0
+
+
 def _cmd_normal_form(args: argparse.Namespace) -> int:
     from repro.normalise import normalise, pretty_nf
 
@@ -472,6 +510,25 @@ def main(argv: list[str] | None = None) -> int:
     supervise.add_argument("--check-interval", type=float, default=0.25)
     supervise.add_argument("--drain-grace", type=float, default=10.0)
     supervise.set_defaults(fn=_cmd_supervise)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static diagnostics for registry queries (compiles, never "
+        "executes); exit 1 on any error- or warning-level finding",
+    )
+    lint.add_argument(
+        "queries",
+        nargs="*",
+        metavar="QUERY",
+        help="registry query names (default: the whole paper registry)",
+    )
+    lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print info-level diagnostics (shard plan, statement "
+        "bound, advisory indexes)",
+    )
+    lint.set_defaults(fn=_cmd_lint)
 
     nf = sub.add_parser("normal-form", help="show a query's normal form")
     nf.add_argument("query")

@@ -150,6 +150,17 @@ class Prepared(Runnable):
             )
         return self._last_stats
 
+    def diagnostics(self, placement: object = None) -> list:
+        """Static :class:`~repro.check.diagnostics.Diagnostic` findings for
+        this query, most severe first: dead host parameters, the shredding
+        bound, advisory-index hints — plus the shard-plan attribution (why
+        the query fans out / routes / falls back) when a
+        :class:`~repro.shard.placement.Placement` is given.  Compiles (via
+        the plan cache) but never executes."""
+        from repro.check.diagnostics import collect_diagnostics
+
+        return collect_diagnostics(self.compiled, placement=placement)
+
     def explain(self) -> str:
         """The pipeline's compilation report plus the façade's engine and
         optimizer summary for this query."""
@@ -165,9 +176,16 @@ class Prepared(Runnable):
                 if compiled.options.optimize
                 else ""
             ),
-            f"plan cache     : "
-            f"{'on' if self._session.pipeline.cache is not None else 'off'}",
         ]
+        if compiled.options.optimize:
+            header.append(
+                "rules fired    : "
+                + (", ".join(compiled.fired_rules) or "none (all inert)")
+            )
+        header.append(
+            f"plan cache     : "
+            f"{'on' if self._session.pipeline.cache is not None else 'off'}"
+        )
         return "\n".join(header) + "\n" + compiled.explain()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -166,6 +166,19 @@ class Session:
         """The underlying compiled plan (engine-internal escape hatch)."""
         return self.prepare(source).compiled
 
+    def lint(self, source: object, placement: object = None) -> list:
+        """Static diagnostics for ``source`` (compiles, never executes).
+
+        Returns :class:`~repro.check.diagnostics.Diagnostic` values, most
+        severe first: dead host parameters (QS101), the statement-count /
+        shredding-bound report (QS401), advisory-index hints (QS301) — and,
+        when a :class:`~repro.shard.placement.Placement` is supplied, the
+        shard-plan attribution (QS201): which mode the shardability
+        analysis chose and *why* (for fallback plans, the exact table or
+        shape that forced the full-copy shard).
+        """
+        return self.prepare(source).diagnostics(placement=placement)
+
     def _compile(self, term: ast.Term) -> CompiledQuery:
         # Record cache counters into a local carrier first, then fold under
         # the lock: compile work itself (possibly slow) stays unlocked.

@@ -110,6 +110,10 @@ class ExecutionStats:
     #: failed mid-execution.
     failover_reroutes: int = 0
     failover_retries: int = 0
+    #: Fired-rule trace: optimizer rule flag → number of compiles carried
+    #: by these stats whose plan that rule rewrote (cache hits included —
+    #: the rule shaped the plan the compile used).
+    rules_fired: dict = field(default_factory=dict)
 
     def record(self, rows: int, millis: float = 0.0) -> None:
         self.queries += 1
@@ -145,6 +149,8 @@ class ExecutionStats:
         self.sharded_fallbacks += other.sharded_fallbacks
         self.failover_reroutes += other.failover_reroutes
         self.failover_retries += other.failover_retries
+        for rule, count in other.rules_fired.items():
+            self.rules_fired[rule] = self.rules_fired.get(rule, 0) + count
 
     @property
     def total_millis(self) -> float:

@@ -181,3 +181,24 @@ class ShardUnavailableError(ShardingError):
 
 class IndexingError(ReproError):
     """An indexing scheme is invalid for the query (not injective/defined)."""
+
+
+class VerifierError(ReproError):
+    """A stage verifier (:mod:`repro.check`) rejected an intermediate
+    representation.
+
+    Always an *internal* invariant breach — a translation stage or an
+    optimizer rewrite produced malformed IR — never a user mistake.
+    ``stage`` names the pipeline stage whose output failed (``"normalise"``,
+    ``"shred"``, ``"codegen"``, ``"optimize"``, ``"package"``) and ``rule``
+    the failing verifier rule (``"type-preservation"``,
+    ``"variable-hygiene"``, ``"rownumber-guard"``, …).  For optimizer
+    rewrites, ``rule`` is the ``opt_*`` flag of the rewrite that broke the
+    invariant and ``detail`` carries the violated check.
+    """
+
+    def __init__(self, stage: str, rule: str, message: str) -> None:
+        super().__init__(f"verify[{stage}] {rule}: {message}")
+        self.stage = stage
+        self.rule = rule
+        self.detail = message

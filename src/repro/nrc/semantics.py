@@ -60,7 +60,11 @@ def _eval(term: ast.Term, tables: TableProvider, env: dict) -> NestedValue:
     if isinstance(term, ast.Lam):
         captured = dict(env)
 
-        def closure(value: NestedValue, _term=term, _captured=captured):
+        def closure(
+            value: NestedValue,
+            _term: ast.Lam = term,
+            _captured: dict = captured,
+        ) -> NestedValue:
             inner = dict(_captured)
             inner[_term.param] = value
             return _eval(_term.body, tables, inner)

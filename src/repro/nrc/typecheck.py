@@ -219,6 +219,46 @@ def _check(
             )
         return
 
+    if isinstance(term, ast.IsEmpty):
+        # ``empty M : Bool`` for *any* bag M.  M's element type is not
+        # determined by the expected type, so M is inferred when possible;
+        # a bag that only fails to infer because of an un-annotated ∅
+        # inside is accepted (∅ is a bag of everything).
+        if expected != BOOL:
+            raise TypeCheckError(
+                f"empty-test used at non-bool type {expected}"
+            )
+        bag_type = _try_infer(term.bag, schema, env)
+        if bag_type is not None and not isinstance(bag_type, BagType):
+            raise TypeCheckError(f"empty-test over non-bag {bag_type}")
+        return
+
+    if isinstance(term, ast.Prim) and term.op in ("and", "or", "not"):
+        # Boolean connectives propagate the expected type into their
+        # operands, so an emptiness probe over an un-annotated ∅ inside a
+        # compound condition checks the way a bare probe does.
+        result = check_prim(term.op, [BOOL] * len(term.args))
+        if result != expected:
+            raise TypeCheckError(f"expected {expected}, got {result}")
+        for arg in term.args:
+            _check(arg, BOOL, schema, env)
+        return
+
+    if isinstance(term, ast.Record):
+        # Propagate the expected field types down, so un-annotated ∅ (and
+        # λ) fields check the way top-level ones do.
+        if not isinstance(expected, RecordType):
+            raise TypeCheckError(f"record used at non-record type {expected}")
+        if term.labels != tuple(label for label, _ in expected.fields):
+            raise TypeCheckError(
+                f"record fields ({', '.join(term.labels)}) do not match "
+                f"expected {expected}"
+            )
+        field_types = dict(expected.fields)
+        for label, value in term.fields:
+            _check(value, field_types[label], schema, env)
+        return
+
     if isinstance(term, ast.If):
         _check(term.cond, BOOL, schema, env)
         _check(term.then, expected, schema, env)

@@ -140,6 +140,11 @@ class CompiledQuery:
     #: Host parameters of the query term, as sorted (name, BaseType) pairs:
     #: the prepared-statement signature every ``run(params=…)`` must bind.
     param_specs: tuple = field(default=())
+    #: Optimizer rules that rewrote at least one statement of the package,
+    #: in rule order (plus ``"opt_shared"`` when scans were hoisted) — the
+    #: fired-rule trace ``Prepared.explain()`` and ``ExecutionStats``
+    #: surface.  Empty when the optimizer is off or every rule was inert.
+    fired_rules: tuple = field(default=(), compare=False)
 
     @property
     def query_paths(self) -> list[Path]:
@@ -402,26 +407,54 @@ class ShreddingPipeline:
         given) receives the hit/miss count.
         """
         if self.cache is None:
-            return self._compile_cold(query, None)
+            compiled = self._compile_cold(query, None)
+            self._record_rules(compiled, stats)
+            return compiled
         key = plan_key(query, self.schema, self.options, self.validate)
         cached = self.cache.lookup(key)
         if stats is not None:
             stats.record_cache(cached is not None)
         if cached is not None:
+            self._record_rules(cached, stats)
             return cached
         compiled = self._compile_cold(query, key)
         self.cache.store(key, compiled)
+        self._record_rules(compiled, stats)
         return compiled
+
+    @staticmethod
+    def _record_rules(
+        compiled: CompiledQuery, stats: ExecutionStats | None
+    ) -> None:
+        """Fold the plan's fired-rule trace into ``stats`` (per compile —
+        cache hits count too: the rules shaped the plan this compile uses)."""
+        if stats is None:
+            return
+        for rule in compiled.fired_rules:
+            stats.rules_fired[rule] = stats.rules_fired.get(rule, 0) + 1
 
     def _compile_cold(
         self, query: ast.Term, cache_key: PlanKey | None
     ) -> CompiledQuery:
+        from repro.check.verifier import verification_enabled
+
+        verify = verification_enabled(self.options)
         do_normalise = normalise if self.cache is None else normalise_cached
         normal_form = do_normalise(query, self.schema)
         result_type = self._result_type(normal_form, query)
+        if verify:
+            from repro.check.verifier import verify_normalisation
+
+            verify_normalisation(query, normal_form, result_type, self.schema)
         shredded_package = shred_query_package(normal_form, result_type)
+        if verify:
+            from repro.check.verifier import verify_shredded_package
+
+            verify_shredded_package(shredded_package, result_type, self.schema)
         if self.validate:
             self._validate(shredded_package, result_type)
+        # compile_shredded runs the codegen-stage verifier (and, with the
+        # optimizer on, the per-rule rewrite verifier) on each member.
         sql_package = package_from(
             result_type,
             lambda path: compile_shredded(
@@ -437,6 +470,17 @@ class ShreddingPipeline:
             sql_package, shared_scans = _hoist_shared_scans(
                 sql_package, self.options
             )
+        param_specs = collect_param_specs(query)
+        if verify:
+            from repro.check.verifier import verify_compiled_package
+
+            verify_compiled_package(
+                sql_package,
+                result_type,
+                self.schema,
+                param_specs,
+                shared_scans,
+            )
         return CompiledQuery(
             schema=self.schema,
             result_type=result_type,
@@ -446,7 +490,8 @@ class ShreddingPipeline:
             options=self.options,
             cache_key=cache_key,
             shared_scans=shared_scans,
-            param_specs=collect_param_specs(query),
+            param_specs=param_specs,
+            fired_rules=_package_fired_rules(sql_package, shared_scans),
         )
 
     def run(self, query: ast.Term, db: Database, **kwargs) -> NestedValue:
@@ -489,6 +534,23 @@ class ShreddingPipeline:
             shredded = annotation_at(shredded_package, path)
             check_shredded_query(shredded, expected, self.schema)
             check_let_query(let_insert(shredded), expected, self.schema)
+
+
+def _package_fired_rules(sql_package: Package, shared_scans: tuple) -> tuple:
+    """The package's fired-rule trace: every statement-local rule that
+    rewrote at least one member (in the optimizer's application order),
+    plus ``opt_shared`` when the package-level hoist found scans."""
+    from repro.sql.optimizer import statement_rule_names
+
+    fired_anywhere: set[str] = set()
+    for _path, compiled in annotations(sql_package):
+        fired_anywhere.update(compiled.fired_rules)
+    fired = [
+        flag for flag, _desc in statement_rule_names if flag in fired_anywhere
+    ]
+    if shared_scans:
+        fired.append("opt_shared")
+    return tuple(fired)
 
 
 def _hoist_shared_scans(sql_package: Package, options: SqlOptions):

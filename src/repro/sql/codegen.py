@@ -111,6 +111,10 @@ class SqlOptions:
     opt_pushdown: bool = True  # predicate pushdown into CTEs/subqueries
     opt_prune: bool = True  # CTE projection pruning
     opt_shared: bool = True  # cross-statement shared scans (package level)
+    #: Stage verification (:mod:`repro.check`): ``True``/``False`` force it,
+    #: ``None`` (default) defers to ``REPRO_VERIFY`` / pytest-or-CI
+    #: detection (see :func:`repro.check.verifier.verification_enabled`).
+    verify: bool | None = None
 
     def __post_init__(self) -> None:
         if self.scheme not in ("flat", "natural"):
@@ -118,6 +122,10 @@ class SqlOptions:
         if self.ordered and self.scheme != "flat":
             raise SqlGenerationError(
                 "ordered (list-semantics) output requires the flat scheme"
+            )
+        if self.verify not in (None, True, False):
+            raise SqlGenerationError(
+                f"verify must be True, False or None, got {self.verify!r}"
             )
 
 
@@ -139,6 +147,10 @@ class CompiledSql:
     columns: tuple[str, ...] = field(default=())
     #: Host-parameter names this statement binds at execution time (sorted).
     params: tuple[str, ...] = field(default=())
+    #: Optimizer rules that actually rewrote this statement, in application
+    #: order (the fired-rule trace; empty when the optimizer is off or
+    #: every rule was a no-op).
+    fired_rules: tuple[str, ...] = field(default=(), compare=False)
     cache_key: object = field(default=None, compare=False)
     _decoders: tuple | None = field(
         default=None, repr=False, compare=False
@@ -253,7 +265,11 @@ def _compile_decoder(
                     tuple(raw[pos] for pos in _dyns if raw[pos] is not None),
                 )
 
-            def decode_natural(raw, _tag=tag_pos, _dyns=dyn_pos):
+            def decode_natural(
+                raw: tuple,
+                _tag: int = tag_pos,
+                _dyns: tuple = dyn_pos,
+            ) -> NaturalIndex:
                 return NaturalIndex(
                     str(raw[_tag]),
                     tuple(
@@ -272,7 +288,9 @@ def _compile_decoder(
                 raw[_dyn],
             )
 
-        def decode_flat(raw, _tag=tag_pos, _dyn=dyn_pos[0]):
+        def decode_flat(
+            raw: tuple, _tag: int = tag_pos, _dyn: int = dyn_pos[0]
+        ) -> FlatIndex:
             return FlatIndex(str(raw[_tag]), int(raw[_dyn]))
 
         return decode_flat
@@ -292,7 +310,7 @@ def _compile_decoder(
             for label, ftype in f.fields
         )
 
-        def decode_record(raw, _subs=subdecoders):
+        def decode_record(raw: tuple, _subs: tuple = subdecoders) -> dict:
             return {label: decode(raw) for label, decode in _subs}
 
         return decode_record
@@ -317,15 +335,31 @@ def compile_shredded(
         compiled = _compile_natural(shredded, row_type, schema, options)
     else:
         compiled = _compile_flat(let_insert(shredded), row_type, schema, options)
+    from repro.check.verifier import verification_enabled
+
+    verify = verification_enabled(options)
     if options.optimize:
         from repro.sql.optimizer import optimize_statement
 
-        optimized = optimize_statement(compiled.statement, options)
+        trace: list[str] = []
+        on_rewrite = None
+        if verify:
+            from repro.check.verifier import rewrite_hook
+
+            on_rewrite = rewrite_hook(schema)
+        optimized = optimize_statement(
+            compiled.statement, options, trace=trace, on_rewrite=on_rewrite
+        )
         if optimized != compiled.statement:
             compiled.statement = optimized
             compiled.sql = render_statement(optimized, options.pretty)
+        compiled.fired_rules = tuple(trace)
     compiled.params = placeholder_names(compiled.statement)
     compiled.cache_key = cache_key
+    if verify:
+        from repro.check.verifier import verify_compiled_sql
+
+        verify_compiled_sql(compiled, schema)
     return compiled
 
 
@@ -382,7 +416,7 @@ def _expr(e: BaseExpr, ctx: _ExprContext) -> SqlExpr:
     raise SqlGenerationError(f"cannot render base term {e!r}")
 
 
-def _empty_probe(query, ctx: _ExprContext) -> SqlExpr:
+def _empty_probe(query: NormQuery, ctx: _ExprContext) -> SqlExpr:
     """empty L → a conjunction of NOT EXISTS probes, one per comprehension."""
     from repro.shred.shredded_ast import empty_probe_parts
 
@@ -592,7 +626,7 @@ def _inner_order(
 
 
 def _flat_column_expr(
-    column, comp: LetComp, ctx: _ExprContext, inner_order: tuple[SqlExpr, ...]
+    column: FlatColumn, comp: LetComp, ctx: _ExprContext, inner_order: tuple[SqlExpr, ...]
 ) -> SqlExpr:
     if column.path[0] == "outer":
         if column.kind == KIND_INDEX_TAG:
@@ -626,7 +660,7 @@ def _dyn_expr(
     raise SqlGenerationError(f"bad dynamic index {index.dyn!r}")
 
 
-def _descend(term, labels: tuple[str, ...]):
+def _descend(term: object, labels: tuple[str, ...]) -> object:
     current = term
     for label in labels:
         if not isinstance(current, SRecord):
@@ -726,7 +760,7 @@ def _key_exprs(
 
 
 def _natural_column_expr(
-    column,
+    column: FlatColumn,
     comp: ShredComp,
     ctx: _ExprContext,
     outer_keys: tuple[SqlExpr, ...],

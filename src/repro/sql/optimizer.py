@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.sql.ast import (
     BinOp,
@@ -84,6 +85,7 @@ __all__ = [
     "extract_shared_scans",
     "fold_expr",
     "statement_rule_names",
+    "STATEMENT_RULES",
 ]
 
 TRUE = Lit(True)
@@ -104,7 +106,9 @@ statement_rule_names: tuple[tuple[str, str], ...] = (
 # Generic traversal helpers.
 
 
-def _map_expr(expr: SqlExpr, core_fn) -> SqlExpr:
+def _map_expr(
+    expr: SqlExpr, core_fn: Callable[[SelectCore], SelectCore]
+) -> SqlExpr:
     """Rebuild ``expr`` bottom-up, mapping ``core_fn`` over embedded cores."""
     if isinstance(expr, BinOp):
         return BinOp(
@@ -119,7 +123,9 @@ def _map_expr(expr: SqlExpr, core_fn) -> SqlExpr:
     return expr
 
 
-def _map_cores(statement: Statement, core_fn) -> Statement:
+def _map_cores(
+    statement: Statement, core_fn: Callable[[SelectCore], SelectCore]
+) -> Statement:
     """Map ``core_fn`` over every :class:`SelectCore` of a statement,
     innermost first (subqueries and NOT-EXISTS probes included)."""
 
@@ -162,7 +168,7 @@ def _conjoin(exprs: list[SqlExpr]) -> SqlExpr | None:
     return result
 
 
-def _walk_exprs(expr: SqlExpr, visit) -> None:
+def _walk_exprs(expr: SqlExpr, visit: Callable[[SqlExpr], None]) -> None:
     """Visit every subexpression, descending into embedded cores."""
     visit(expr)
     if isinstance(expr, BinOp):
@@ -177,7 +183,9 @@ def _walk_exprs(expr: SqlExpr, visit) -> None:
         _walk_core_exprs(expr.select, visit)
 
 
-def _walk_core_exprs(core: SelectCore, visit) -> None:
+def _walk_core_exprs(
+    core: SelectCore, visit: Callable[[SqlExpr], None]
+) -> None:
     for item in core.items:
         _walk_exprs(item.expr, visit)
     for from_item in core.from_items:
@@ -430,7 +438,9 @@ def _single_alias(expr: SqlExpr) -> str | None:
     return next(iter(aliases))
 
 
-def _rewrite_through(expr: SqlExpr, alias: str, item_map: dict[str, SqlExpr]):
+def _rewrite_through(
+    expr: SqlExpr, alias: str, item_map: dict[str, SqlExpr]
+) -> SqlExpr | None:
     """``alias.c`` → the defining item expression; None if unmappable."""
     if isinstance(expr, Col):
         if expr.alias != alias:
@@ -586,23 +596,49 @@ def _rule_prune(statement: Statement) -> Statement:
 # The statement-level driver.
 
 
-def optimize_statement(statement: Statement, options) -> Statement:
+#: flag name → rule function, in application order (same order as
+#: :data:`statement_rule_names`).  Tests monkeypatch entries here to prove
+#: the per-rule verifier catches a deliberately broken rewrite.
+STATEMENT_RULES: dict[str, Callable[[Statement], Statement]] = {
+    "opt_fold": _rule_fold,
+    "opt_flatten": _rule_flatten,
+    "opt_dedup": _rule_dedup,
+    "opt_pushdown": _rule_pushdown,
+    "opt_prune": _rule_prune,
+}
+
+
+def optimize_statement(
+    statement: Statement,
+    options: object,
+    trace: list[str] | None = None,
+    on_rewrite: Callable[[str, Statement, Statement], None] | None = None,
+) -> Statement:
     """Apply the enabled statement-local rules, in order.
 
     ``options`` is a :class:`~repro.sql.codegen.SqlOptions` (duck-typed:
     any object with the ``opt_*`` flags works, keeping this module free of
     an import cycle with the code generator).
+
+    ``trace`` (a list, if given) receives the flag name of every rule that
+    actually *changed* the statement — the fired-rule trace surfaced by
+    ``Prepared.explain()`` and ``ExecutionStats``.  ``on_rewrite`` (a
+    ``(rule, before, after)`` callable, if given) runs after each such
+    rewrite — the per-rule verify hook
+    (:func:`repro.check.verifier.rewrite_hook`), LLVM's ``-verify-each``
+    for this rewrite engine.
     """
-    if getattr(options, "opt_fold", True):
-        statement = _rule_fold(statement)
-    if getattr(options, "opt_flatten", True):
-        statement = _rule_flatten(statement)
-    if getattr(options, "opt_dedup", True):
-        statement = _rule_dedup(statement)
-    if getattr(options, "opt_pushdown", True):
-        statement = _rule_pushdown(statement)
-    if getattr(options, "opt_prune", True):
-        statement = _rule_prune(statement)
+    for flag, _description in statement_rule_names:
+        if not getattr(options, flag, True):
+            continue
+        rewritten = STATEMENT_RULES[flag](statement)
+        if rewritten == statement:
+            continue
+        if trace is not None:
+            trace.append(flag)
+        if on_rewrite is not None:
+            on_rewrite(flag, statement, rewritten)
+        statement = rewritten
     return statement
 
 
@@ -699,7 +735,9 @@ def extract_shared_scans(
             if name not in cte_to_scan
         )
 
-        def remap(core: SelectCore, _map=cte_to_scan) -> SelectCore:
+        def remap(
+            core: SelectCore, _map: dict[str, str] = cte_to_scan
+        ) -> SelectCore:
             from_items = tuple(
                 TableRef(_map[item.cte], item.alias)
                 if isinstance(item, CteRef) and item.cte in _map

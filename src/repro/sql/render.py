@@ -14,6 +14,7 @@ from repro.sql.ast import (
     BinOp,
     Col,
     CteRef,
+    FromItem,
     Lit,
     NotExists,
     NotOp,
@@ -70,7 +71,7 @@ def render_select(select: SelectCore) -> str:
     return sql
 
 
-def _render_from(item) -> str:
+def _render_from(item: FromItem) -> str:
     if isinstance(item, TableRef):
         return f"{quote_identifier(item.table)} AS {quote_identifier(item.alias)}"
     if isinstance(item, CteRef):

@@ -103,6 +103,20 @@ class TestCollections:
     def test_is_empty(self, schema):
         assert infer(b.is_empty(b.table("tasks")), schema) == BOOL
 
+    def test_check_propagates_through_connectives(self, schema):
+        # Normal forms conjoin emptiness probes over un-annotated ∅ into
+        # compound conditions; checking must propagate Bool through
+        # and/or/not instead of falling back to strict inference.
+        from repro.nrc.ast import IsEmpty, Prim
+
+        cond = Prim("and", (IsEmpty(Empty(None)), b.const(True)))
+        check(cond, BOOL, schema)
+        check(Prim("not", (IsEmpty(Empty(None)),)), BOOL, schema)
+        with pytest.raises(TypeCheckError):
+            check(cond, INT, schema)
+        with pytest.raises(TypeCheckError):
+            check(Prim("and", (b.const(1), b.const(True))), BOOL, schema)
+
     def test_where_through_if(self, schema):
         q = b.for_(
             "e",

@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Concurrency lint for the serving stack (stdlib ``ast``, no dependencies).
+
+The asyncio service and the shard fleet live or die by one rule: nothing
+blocks the event loop.  This tool walks ``src/repro/service/`` and
+``src/repro/shard/`` and flags the patterns that have historically snuck
+blocking work onto a loop thread:
+
+    CC001  a blocking call inside an ``async def`` body — ``time.sleep``,
+           ``sqlite3.connect``, ``socket.create_connection``, the blocking
+           socket methods (``recv``/``sendall``/``accept``/``makefile``/…),
+           or ``subprocess``/``os.system`` — that is not routed through
+           ``asyncio.to_thread`` / ``loop.run_in_executor``
+    CC002  a synchronous service-client round-trip (``.request(…)`` /
+           ``.ping(…)``) inside an ``async def`` without ``await``: either
+           it blocks the loop (sync client) or it silently drops the
+           coroutine (async client, missing await)
+    CC003  a bare ``except:`` anywhere — it swallows ``CancelledError``
+           and ``KeyboardInterrupt``, breaking task cancellation and drain
+
+Calls are sanctioned when they appear inside an ``await`` expression or as
+arguments to ``asyncio.gather`` / ``create_task`` / ``ensure_future`` /
+``wait_for`` / ``shield`` / ``to_thread`` / ``run_in_executor``: those
+either run on the loop properly or are explicitly off-loop.
+
+Run from the repository root::
+
+    python tools/check_concurrency.py            # lint the serving stack
+    python tools/check_concurrency.py PATH...    # lint specific files/dirs
+
+Exit status 1 iff any finding.  ``lint_source`` is importable for tests.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: (module, attribute) calls that block the calling thread.
+BLOCKING_MODULE_CALLS = {
+    ("time", "sleep"),
+    ("sqlite3", "connect"),
+    ("socket", "create_connection"),
+    ("socket", "socket"),
+    ("socket", "getaddrinfo"),
+    ("subprocess", "run"),
+    ("subprocess", "call"),
+    ("subprocess", "check_call"),
+    ("subprocess", "check_output"),
+    ("os", "system"),
+    ("os", "waitpid"),
+}
+
+#: Method names that block on a raw socket (or file made from one).
+BLOCKING_METHODS = {
+    "recv",
+    "recv_into",
+    "recvfrom",
+    "sendall",
+    "accept",
+    "makefile",
+}
+
+#: Synchronous client round-trips: called un-awaited inside a coroutine
+#: they either block the loop (``ServiceClient``) or silently drop the
+#: coroutine (``AsyncServiceClient``, missing ``await``).
+SYNC_CLIENT_METHODS = {"request", "ping"}
+
+#: Call sites whose *arguments* are sanctioned (scheduled or off-loop).
+_SCHEDULERS = {
+    "gather",
+    "create_task",
+    "ensure_future",
+    "wait_for",
+    "shield",
+    "to_thread",
+    "run_in_executor",
+}
+
+DEFAULT_TARGETS = ("src/repro/service", "src/repro/shard")
+
+
+@dataclass(frozen=True)
+class Finding:
+    code: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _dotted(func: ast.expr) -> tuple[str, str] | None:
+    """``module.attr`` for an Attribute call on a plain Name, else None."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr)
+    return None
+
+
+def _sanctioned_calls(tree: ast.AST) -> set[int]:
+    """ids of Call nodes awaited or handed to a scheduler/executor."""
+    sanctioned: set[int] = set()
+
+    def mark(node: ast.AST) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                sanctioned.add(id(child))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Await):
+            mark(node.value)
+        elif isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            if name in _SCHEDULERS:
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    mark(arg)
+    return sanctioned
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, sanctioned: set[int]) -> None:
+        self.path = path
+        self.sanctioned = sanctioned
+        self.findings: list[Finding] = []
+        self._async_depth = 0
+
+    # -- function scoping: a nested sync def runs on whatever thread calls
+    # it later, so it leaves the enclosing coroutine's context.
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        saved, self._async_depth = self._async_depth, 0
+        self.generic_visit(node)
+        self._async_depth = saved
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        saved, self._async_depth = self._async_depth, 0
+        self.generic_visit(node)
+        self._async_depth = saved
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._async_depth += 1
+        self.generic_visit(node)
+        self._async_depth -= 1
+
+    # -- rules
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._async_depth and id(node) not in self.sanctioned:
+            dotted = _dotted(node.func)
+            if dotted in BLOCKING_MODULE_CALLS:
+                self._add(
+                    "CC001",
+                    node,
+                    f"blocking call {dotted[0]}.{dotted[1]}() inside "
+                    f"'async def' — wrap in asyncio.to_thread or use the "
+                    f"loop's non-blocking equivalent",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in BLOCKING_METHODS
+            ):
+                self._add(
+                    "CC001",
+                    node,
+                    f"blocking socket method .{node.func.attr}() inside "
+                    f"'async def' — use the StreamReader/StreamWriter "
+                    f"surface or asyncio.to_thread",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in SYNC_CLIENT_METHODS
+            ):
+                self._add(
+                    "CC002",
+                    node,
+                    f"client round-trip .{node.func.attr}() inside "
+                    f"'async def' without await — blocks the loop (sync "
+                    f"client) or drops the coroutine (async client)",
+                )
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add(
+                "CC003",
+                node,
+                "bare 'except:' swallows CancelledError and "
+                "KeyboardInterrupt — catch Exception (or narrower)",
+            )
+        self.generic_visit(node)
+
+    def _add(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(code, self.path, getattr(node, "lineno", 0), message)
+        )
+
+
+def lint_source(source: str, name: str = "<string>") -> list[Finding]:
+    """Lint one module's source text; returns findings sorted by line."""
+    tree = ast.parse(source, filename=name)
+    visitor = _Visitor(name, _sanctioned_calls(tree))
+    visitor.visit(tree)
+    return sorted(visitor.findings, key=lambda f: (f.line, f.code))
+
+
+def lint_paths(paths: list[Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in paths:
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            findings.extend(lint_source(file.read_text(), str(file)))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    targets = [Path(arg) for arg in args] or [
+        Path(target) for target in DEFAULT_TARGETS
+    ]
+    missing = [target for target in targets if not target.exists()]
+    if missing:
+        print(f"no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    findings = lint_paths(targets)
+    for finding in findings:
+        print(finding)
+    checked = ", ".join(map(str, targets))
+    if findings:
+        print(f"check_concurrency: {len(findings)} finding(s) in {checked}")
+        return 1
+    print(f"check_concurrency: clean ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
