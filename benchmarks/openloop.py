@@ -1,0 +1,159 @@
+"""Open-loop load generation: arrivals at a fixed rate, independent of
+completions.
+
+The closed-loop harness (``test_service_throughput.py``) models N clients
+that each wait for a response before sending again — under overload it
+*self-throttles*, so measured latency stays flat while real users would be
+queueing.  The open-loop model fixes the **arrival schedule** up front
+(request *i* departs at ``i / rate`` seconds) and measures each request
+from its *scheduled* start, so time spent waiting behind a slow server is
+charged to the request that suffered it.  This is the standard defence
+against coordinated omission: a server that falls behind shows up as a
+growing queue and exploding tail percentiles, exactly as it would in
+production.
+
+Two entry points:
+
+* :func:`run_open_loop` — drive one fixed rate for a fixed request count,
+  returning achieved QPS and P50/P95/P99 latency at that offered load;
+* :func:`find_max_sustainable_qps` — walk a rate ladder and report the
+  highest offered rate the server sustains under an SLO (P99 bound, no
+  errors, achieved throughput keeping up with offered).
+
+The generator is deterministic apart from the clock: uniform arrivals (no
+randomised inter-arrival jitter), a bounded worker pool as the in-flight
+cap, and queries rotated round-robin by request index.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "percentile",
+    "run_open_loop",
+    "find_max_sustainable_qps",
+]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0 < q ≤ 1) of an ascending-sorted sample,
+    nearest-rank method — P99 of 100 samples is the 99th largest."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    rank = max(1, -(-int(q * 1000) * len(sorted_values) // 1000))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def run_open_loop(
+    issue: Callable[[int], object],
+    rate_qps: float,
+    requests: int,
+    max_inflight: int = 32,
+    clock: Callable[[], float] = time.perf_counter,
+) -> dict:
+    """Issue ``requests`` calls at a fixed offered rate; measure from the
+    arrival schedule.
+
+    ``issue(i)`` performs request ``i`` and must be thread-safe (workers
+    call it concurrently — keep per-thread clients in a
+    ``threading.local``).  Request ``i`` is *scheduled* at ``i /
+    rate_qps`` seconds after the run starts; its latency is completion
+    time minus scheduled time, so dispatch/queue lag counts against the
+    server, never silently against the generator.  ``max_inflight``
+    bounds concurrently running requests (arrivals beyond it queue, and
+    their queueing time is — correctly — part of their latency).
+
+    Returns offered/achieved QPS, error count, and P50/P95/P99 of the
+    successful requests' latencies in milliseconds.
+    """
+    if rate_qps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_qps}")
+    if requests < 1:
+        raise ValueError(f"need at least one request, got {requests}")
+
+    def timed(index: int, scheduled: float) -> tuple[float, Optional[str]]:
+        try:
+            issue(index)
+        except Exception as error:  # noqa: BLE001 — recorded, not fatal
+            return (clock() - scheduled) * 1000.0, repr(error)
+        return (clock() - scheduled) * 1000.0, None
+
+    with ThreadPoolExecutor(
+        max_workers=min(max_inflight, requests),
+        thread_name_prefix="repro-openloop",
+    ) as pool:
+        origin = clock()
+        futures = []
+        for index in range(requests):
+            scheduled = origin + index / rate_qps
+            delay = scheduled - clock()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(timed, index, scheduled))
+        outcomes = [future.result() for future in futures]
+        wall = clock() - origin
+
+    errors = [message for _millis, message in outcomes if message is not None]
+    latencies = sorted(
+        millis for millis, message in outcomes if message is None
+    )
+    cell = {
+        "offered_qps": round(rate_qps, 2),
+        "requests": requests,
+        "errors": len(errors),
+        "wall_seconds": round(wall, 4),
+        "achieved_qps": round(len(latencies) / wall, 2) if wall > 0 else 0.0,
+    }
+    if latencies:
+        cell["p50_ms"] = round(percentile(latencies, 0.50), 3)
+        cell["p95_ms"] = round(percentile(latencies, 0.95), 3)
+        cell["p99_ms"] = round(percentile(latencies, 0.99), 3)
+        cell["max_ms"] = round(latencies[-1], 3)
+    if errors:
+        cell["first_error"] = errors[0]
+    return cell
+
+
+def meets_slo(
+    cell: dict, p99_slo_ms: float, min_achieved_ratio: float = 0.9
+) -> bool:
+    """Did one rate's run sustain its offered load?  No errors, tail
+    latency under the SLO, and achieved throughput keeping up with the
+    arrival schedule (a server that only *finishes* 60% of the offered
+    rate is saturated however good its percentiles look)."""
+    return (
+        cell["errors"] == 0
+        and "p99_ms" in cell
+        and cell["p99_ms"] <= p99_slo_ms
+        and cell["achieved_qps"] >= min_achieved_ratio * cell["offered_qps"]
+    )
+
+
+def find_max_sustainable_qps(
+    issue: Callable[[int], object],
+    rates: Iterable[float],
+    requests: int,
+    p99_slo_ms: float,
+    min_achieved_ratio: float = 0.9,
+    max_inflight: int = 32,
+) -> tuple[float, dict[str, dict]]:
+    """Walk an ascending rate ladder; the answer is the highest offered
+    rate whose run :func:`meets_slo`.  Returns ``(max_sustainable_qps,
+    {offered_rate: cell})`` — 0.0 when even the lowest rung failed.  The
+    ladder keeps climbing past a failed rung (a single noisy cell must
+    not truncate the sweep), but only SLO-passing rungs move the answer.
+    """
+    cells: dict[str, dict] = {}
+    best = 0.0
+    for rate in rates:
+        cell = run_open_loop(
+            issue, rate, requests, max_inflight=max_inflight
+        )
+        cell["slo_met"] = meets_slo(cell, p99_slo_ms, min_achieved_ratio)
+        cells[str(rate)] = cell
+        if cell["slo_met"] and rate > best:
+            best = rate
+    return best, cells

@@ -15,11 +15,16 @@ from repro.bench.smoke import (
 )
 
 
-def test_smoke_all_systems_pass():
+def test_smoke_all_systems_pass(tmp_path, monkeypatch):
+    snapshot = tmp_path / "metrics-snapshot.prom"
+    monkeypatch.setenv("REPRO_METRICS_SNAPSHOT", str(snapshot))
     results = run_smoke()
     text, ok = format_smoke(results)
     assert ok, f"bench smoke failed:\n{text}"
     expected = set(SMOKE_SYSTEMS) | {
         f"service[{engine}]" for engine in SERVICE_ENGINES
     }
+    expected.add("service[metrics]")
     assert {system for system, *_ in results} == expected
+    # The metrics row scraped the server and wrote the Prometheus snapshot.
+    assert "repro_requests_total" in snapshot.read_text()

@@ -3,6 +3,7 @@
     python -m repro sql Q6               # the SQL a paper query shreds into
     python -m repro run Q6               # run it on the Fig. 3 instance
     python -m repro run Q6 --engine parallel --stats
+    python -m repro trace Q6             # traced run: the nested span tree
     python -m repro serve --port 7411    # the asyncio query service
     python -m repro serve --shard 0/4    # one slice of a sharded deployment
     python -m repro serve --data-dir ./state   # durable store (WAL + recovery)
@@ -50,6 +51,12 @@ def _cmd_sql(args: argparse.Namespace) -> int:
         print(_explain_sql(_query(args.query), options))
         return 0
     session = connect(schema=ORGANISATION_SCHEMA, options=options, cache=False)
+    if args.json:
+        import json
+
+        payload = session.query(_query(args.query)).explain(json=True)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     for path, sql in session.sql(_query(args.query)):
         print(f"-- query at path {path}")
         print(sql)
@@ -140,6 +147,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.api import connect
+    from repro.obs import render_trace
+
+    session = connect(figure3_database(), engine=args.engine)
+    prepared = session.query(_query(args.query))
+    result = prepared.run(trace=True)
+    if args.json:
+        import json
+
+        payload = prepared.explain_payload(result.trace)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(render_trace(result.trace))
+    stats = result.stats
+    print(
+        f"-- engine={result.engine} queries={stats.queries} "
+        f"rows={stats.rows_fetched} millis={stats.total_millis:.1f}"
+    )
+    return 0
+
+
 def _parse_shard(spec: str) -> tuple[str | int, int]:
     """Parse ``--shard i/n`` (or ``full/n``) into (index | "full", count)."""
     try:
@@ -218,9 +247,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
     )
 
+    exporter = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsHTTPServer
+
+        exporter = MetricsHTTPServer(server.metrics, port=args.metrics_port)
+
     async def serve() -> None:
         host, port = await server.start(args.host, args.port)
         print(f"repro query service on {host}:{port}")
+        if exporter is not None:
+            print(f"  metrics : {exporter.url} (Prometheus text exposition)")
         if shard_label:
             print(f"  shard   : {shard_label} "
                   f"({db.total_rows()} rows on this shard)")
@@ -244,6 +281,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(serve())
     except KeyboardInterrupt:
         print("\nshutting down")
+    finally:
+        if exporter is not None:
+            exporter.close()
     return 0
 
 
@@ -264,11 +304,19 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
         base_port=args.base_port,
     )
     processes = [fallback] + [p for group in groups for p in group]
+    exporter = None
+    registry = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsHTTPServer, MetricsRegistry
+
+        registry = MetricsRegistry()
+        exporter = MetricsHTTPServer(registry, port=args.metrics_port)
     supervisor = Supervisor(
         processes,
         backoff_base=args.backoff_base,
         crash_loop_threshold=args.crash_loop_threshold,
         check_interval=args.check_interval,
+        metrics=registry,
     )
     print(
         f"repro supervised deployment: {args.shards} shards × "
@@ -277,6 +325,8 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
     for process in processes:
         durable = f"  [{process.data_dir}]" if process.data_dir else ""
         print(f"  {process.label:>8} @ 127.0.0.1:{process.port}{durable}")
+    if exporter is not None:
+        print(f"  metrics @ {exporter.url} (supervision events)")
     print("supervising (Ctrl-C drains and exits)")
     try:
         while True:
@@ -286,6 +336,9 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\ndraining fleet")
         supervisor.stop(drain_grace=args.drain_grace)
+    finally:
+        if exporter is not None:
+            exporter.close()
     return 0
 
 
@@ -366,6 +419,12 @@ def main(argv: list[str] | None = None) -> int:
         help="print optimised vs unoptimised SQL plus SQLite's EXPLAIN "
         "QUERY PLAN for every package member (implies both variants)",
     )
+    sql.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable explain payload (engine, optimizer, "
+        "statements, diagnostics) instead of raw SQL text",
+    )
     sql.set_defaults(fn=_cmd_sql)
 
     run = sub.add_parser(
@@ -392,6 +451,25 @@ def main(argv: list[str] | None = None) -> int:
         "running",
     )
     run.set_defaults(fn=_cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a paper query once with tracing on and print the nested "
+        "span tree (compile stages, per-rule optimizer timings, "
+        "per-statement execution, stitch)",
+    )
+    trace.add_argument("query")
+    trace.add_argument(
+        "--engine",
+        choices=["auto", "per-path", "batched", "parallel"],
+        default="auto",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="full explain payload with the span tree under \"trace\"",
+    )
+    trace.set_defaults(fn=_cmd_trace)
 
     serve = sub.add_parser(
         "serve",
@@ -460,6 +538,15 @@ def main(argv: list[str] | None = None) -> int:
         "(default: unbounded)",
     )
     serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="additionally serve Prometheus text exposition over HTTP "
+        "GET /metrics on this port (0 = OS-assigned); the same text is "
+        "always available in-band via the 'metrics' wire op",
+    )
+    serve.add_argument(
         "--drain-grace",
         type=float,
         default=10.0,
@@ -504,6 +591,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PORT",
         help="fallback binds PORT, shard i replica j binds "
         "PORT+1+i·replicas+j (default: OS-assigned free ports)",
+    )
+    supervise.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the supervisor's restart/crash-loop counters as "
+        "Prometheus text exposition on this port (0 = OS-assigned)",
     )
     supervise.add_argument("--backoff-base", type=float, default=0.25)
     supervise.add_argument("--crash-loop-threshold", type=int, default=5)

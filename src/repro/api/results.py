@@ -51,9 +51,10 @@ class Runnable:
     def sql_by_path(self) -> list[tuple[str, str]]:
         return self.prepare().sql_by_path
 
-    def explain(self) -> str:
-        """Human-readable compilation + engine report."""
-        return self.prepare().explain()
+    def explain(self, **kwargs: Any) -> "str | dict":
+        """Compilation + engine report; ``trace=True`` adds a traced run's
+        span tree, ``json=True`` returns the structured dict."""
+        return self.prepare().explain(**kwargs)
 
     def to_dicts(self, **kwargs: Any) -> list:
         """Run and return the nested value as plain dicts/lists."""
@@ -83,8 +84,11 @@ class Prepared(Runnable):
     @property
     def compiled(self) -> "CompiledQuery":
         """The underlying :class:`~repro.pipeline.shredder.CompiledQuery`."""
+        return self._ensure_compiled()
+
+    def _ensure_compiled(self, tracer=None) -> "CompiledQuery":
         if self._compiled is None:
-            self._compiled = self._session._compile(self._term)
+            self._compiled = self._session._compile(self._term, tracer=tracer)
         return self._compiled
 
     @property
@@ -113,6 +117,7 @@ class Prepared(Runnable):
         engine: str | None = None,
         collection: str = "bag",
         stats: ExecutionStats | None = None,
+        trace: object = None,
         **kwargs: Any,
     ) -> "Result":
         """Execute on the session's database and stitch the nested result.
@@ -125,22 +130,49 @@ class Prepared(Runnable):
         ``create_indexes``, ``one_pass_stitch``, ``connection``) pass
         through to :meth:`~repro.pipeline.shredder.CompiledQuery.run`.
         ``stats`` (if given) additionally accumulates this run's stats.
+
+        ``trace=True`` (or an existing :class:`repro.obs.Tracer`) records
+        a nested span tree for the whole run — compile (on first use),
+        per-statement execution, stitch — surfaced on
+        :attr:`Result.trace`.
         """
-        compiled = self.compiled
-        resolved = self._session.resolve_engine(engine, compiled)
-        run_stats = ExecutionStats()
-        value = compiled.run(
-            self._session.db,
-            engine=resolved,
-            collection=collection,
-            stats=run_stats,
-            **kwargs,
-        )
+        tracer = None
+        if trace:
+            from repro.obs import Tracer
+
+            tracer = trace if isinstance(trace, Tracer) else Tracer()
+        if tracer is None:
+            compiled = self._ensure_compiled()
+            resolved = self._session.resolve_engine(engine, compiled)
+            run_stats = ExecutionStats()
+            value = compiled.run(
+                self._session.db,
+                engine=resolved,
+                collection=collection,
+                stats=run_stats,
+                **kwargs,
+            )
+        else:
+            with tracer.span("query") as root:
+                compiled = self._ensure_compiled(tracer)
+                resolved = self._session.resolve_engine(engine, compiled)
+                root.set(engine=resolved, statements=compiled.query_count)
+                run_stats = ExecutionStats()
+                value = compiled.run(
+                    self._session.db,
+                    engine=resolved,
+                    collection=collection,
+                    stats=run_stats,
+                    tracer=tracer,
+                    **kwargs,
+                )
         self._last_stats = run_stats
         self._session._merge_stats(run_stats)
         if stats is not None:
             stats.merge(run_stats)
-        return Result(value=value, stats=run_stats, engine=resolved)
+        return Result(
+            value=value, stats=run_stats, engine=resolved, trace=tracer
+        )
 
     def stats(self) -> ExecutionStats:
         """The :class:`ExecutionStats` of the most recent :meth:`run`."""
@@ -161,9 +193,73 @@ class Prepared(Runnable):
 
         return collect_diagnostics(self.compiled, placement=placement)
 
-    def explain(self) -> str:
+    def explain(
+        self, trace: object = False, json: bool = False
+    ) -> "str | dict":
         """The pipeline's compilation report plus the façade's engine and
-        optimizer summary for this query."""
+        optimizer summary for this query.
+
+        ``trace=True`` *executes the query once* with tracing on and
+        appends the rendered span tree (or pass an existing
+        :class:`repro.obs.Tracer` to render spans already recorded).
+        ``json=True`` returns the same content as one machine-readable
+        dict — the shared shape of explain/trace/diagnostics structured
+        output (also ``repro sql --json`` and ``repro trace --json``).
+        """
+        tracer = None
+        if trace:
+            from repro.obs import Tracer
+
+            if isinstance(trace, Tracer):
+                tracer = trace
+            else:
+                tracer = self.run(trace=True).trace
+        if json:
+            return self.explain_payload(tracer)
+        report = self._explain_text()
+        if tracer is not None:
+            from repro.obs import render_trace
+
+            report += "\n\ntrace:\n" + render_trace(tracer)
+        return report
+
+    def explain_payload(self, tracer: object = None) -> dict:
+        """:meth:`explain` as one JSON-serialisable dict."""
+        from dataclasses import asdict
+
+        compiled = self.compiled
+        resolved = self._session.resolve_engine(None, compiled)
+        payload: dict = {
+            "engine": {
+                "policy": self._session.engine,
+                "resolved": resolved,
+            },
+            "optimizer": {
+                "enabled": compiled.options.optimize,
+                "fired_rules": list(compiled.fired_rules),
+                "shared_scans": len(compiled.shared_scans),
+            },
+            "plan_cache": self._session.pipeline.cache is not None,
+            "result_type": str(compiled.result_type),
+            "index_scheme": compiled.options.scheme,
+            "statement_count": compiled.query_count,
+            "params": [
+                {"name": name, "type": str(ptype)}
+                for name, ptype in compiled.param_specs
+            ],
+            "statements": [
+                {"path": path, "sql": sql}
+                for path, sql in compiled.sql_by_path
+            ],
+            "diagnostics": [
+                asdict(diag) for diag in self.diagnostics()
+            ],
+        }
+        if tracer is not None:
+            payload["trace"] = tracer.to_dict()
+        return payload
+
+    def _explain_text(self) -> str:
         compiled = self.compiled
         resolved = self._session.resolve_engine(None, compiled)
         header = [
@@ -197,17 +293,24 @@ class Result:
     """A stitched nested value plus the stats of the run that produced it.
 
     Iterates (and indexes) like the underlying list of rows; ``engine`` is
-    the concrete engine the run used after ``"auto"`` resolution.
+    the concrete engine the run used after ``"auto"`` resolution;
+    ``trace`` is the :class:`repro.obs.Tracer` of the run when it was
+    traced (``run(trace=True)``), else None.
     """
 
-    __slots__ = ("value", "stats", "engine")
+    __slots__ = ("value", "stats", "engine", "trace")
 
     def __init__(
-        self, value: NestedValue, stats: ExecutionStats, engine: str
+        self,
+        value: NestedValue,
+        stats: ExecutionStats,
+        engine: str,
+        trace: object = None,
     ) -> None:
         self.value = value
         self.stats = stats
         self.engine = engine
+        self.trace = trace
 
     def to_dicts(self) -> list:
         """The nested value as a plain list of dicts/lists/base values."""

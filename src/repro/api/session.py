@@ -20,6 +20,7 @@ connection pool.  Explicit engines are validated against
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import replace
 from typing import Any, Iterable, Mapping
@@ -45,6 +46,13 @@ __all__ = ["Session", "connect", "connect_sharded", "PARALLEL_THRESHOLD"]
 #: prefers the parallel executor: below this, thread fan-out costs more
 #: than overlapping two or fewer statements can recover.
 PARALLEL_THRESHOLD = 3
+
+#: Cap on the session-lifetime per-query sample lists: after each merge,
+#: samples beyond this are folded into exact aggregates
+#: (:meth:`ExecutionStats.compact`) so a long-running server's stats stay
+#: O(1) while ``queries``/``rows_fetched``/``total_millis`` remain exact.
+#: Per-run stats are never compacted.
+STATS_SAMPLE_CAP = int(os.environ.get("REPRO_STATS_SAMPLE_CAP", "2048"))
 
 
 class Session:
@@ -83,6 +91,7 @@ class Session:
         engine: str = "auto",
         cache: object = True,
         validate: bool = False,
+        metrics: object = None,
     ) -> None:
         if database is None:
             if schema is None:
@@ -111,6 +120,87 @@ class Session:
         #: through one shared session.
         self.stats = ExecutionStats()
         self._stats_lock = threading.Lock()
+        #: Optional :class:`repro.obs.MetricsRegistry` — every merged
+        #: run's stats are mirrored into bounded counters/histograms
+        #: (the server's ``/metrics`` surface).  None keeps the hot path
+        #: at a single attribute check.
+        self.metrics = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, registry: object) -> None:
+        """Mirror this session's stats into ``registry`` from now on —
+        families are declared here (idempotently) so the exposition shows
+        them at zero before the first query."""
+        self._m_statements = registry.counter(
+            "statements_total",
+            "Flat SQL statements executed (the query-avalanche metric)",
+        )
+        self._m_rows = registry.counter(
+            "rows_fetched_total", "Rows fetched from SQLite"
+        )
+        self._m_query_ms = registry.histogram(
+            "statement_latency_ms",
+            "Per-statement wall time (execute + decode), milliseconds",
+        )
+        self._m_cache_hits = registry.counter(
+            "plan_cache_hits_total", "Plan cache hits"
+        )
+        self._m_cache_misses = registry.counter(
+            "plan_cache_misses_total", "Plan cache misses"
+        )
+        self._m_indexes = registry.counter(
+            "indexes_created_total", "Advisory SQLite indexes created"
+        )
+        self._m_rules = registry.counter(
+            "rules_fired_total",
+            "Compiles whose plan a given optimizer rule rewrote",
+            labels=("rule",),
+        )
+        self._m_sharded = registry.counter(
+            "sharded_runs_total",
+            "Sharded executions by routing mode",
+            labels=("mode",),
+        )
+        self._m_reroutes = registry.counter(
+            "failover_reroutes_total",
+            "Runs planned around a known-down shard",
+        )
+        self._m_retries = registry.counter(
+            "failover_retries_total",
+            "Runs retried on the fallback after a mid-run shard failure",
+        )
+        self.metrics = registry
+
+    def _observe_stats(self, run_stats: ExecutionStats) -> None:
+        """Fold one run's stats into the metrics registry (outside the
+        stats lock — registry children have their own leaf locks)."""
+        if run_stats.queries:
+            self._m_statements.inc(run_stats.queries)
+        if run_stats.rows_fetched:
+            self._m_rows.inc(run_stats.rows_fetched)
+        for millis in run_stats.per_query_millis:
+            self._m_query_ms.observe(millis)
+        if run_stats.cache_hits:
+            self._m_cache_hits.inc(run_stats.cache_hits)
+        if run_stats.cache_misses:
+            self._m_cache_misses.inc(run_stats.cache_misses)
+        if run_stats.indexes_created:
+            self._m_indexes.inc(run_stats.indexes_created)
+        for rule, count in run_stats.rules_fired.items():
+            self._m_rules.labels(rule=rule).inc(count)
+        for mode, count in (
+            ("fanout", run_stats.sharded_fanouts),
+            ("routed", run_stats.sharded_routed),
+            ("single", run_stats.sharded_singles),
+            ("fallback", run_stats.sharded_fallbacks),
+        ):
+            if count:
+                self._m_sharded.labels(mode=mode).inc(count)
+        if run_stats.failover_reroutes:
+            self._m_reroutes.inc(run_stats.failover_reroutes)
+        if run_stats.failover_retries:
+            self._m_retries.inc(run_stats.failover_retries)
 
     # ------------------------------------------------------------- building
 
@@ -179,18 +269,22 @@ class Session:
         """
         return self.prepare(source).diagnostics(placement=placement)
 
-    def _compile(self, term: ast.Term) -> CompiledQuery:
+    def _compile(self, term: ast.Term, tracer=None) -> CompiledQuery:
         # Record cache counters into a local carrier first, then fold under
         # the lock: compile work itself (possibly slow) stays unlocked.
         local = ExecutionStats()
-        compiled = self.pipeline.compile(term, stats=local)
+        compiled = self.pipeline.compile(term, stats=local, tracer=tracer)
         self._merge_stats(local)
         return compiled
 
     def _merge_stats(self, run_stats: ExecutionStats) -> None:
-        """Fold one run's stats into the session total (thread-safe)."""
+        """Fold one run's stats into the session total (thread-safe), then
+        compact the lifetime sample lists to :data:`STATS_SAMPLE_CAP`."""
+        if self.metrics is not None:
+            self._observe_stats(run_stats)
         with self._stats_lock:
             self.stats.merge(run_stats)
+            self.stats.compact(STATS_SAMPLE_CAP)
 
     def stats_snapshot(self) -> dict[str, object]:
         """A consistent point-in-time view of the session counters —
@@ -245,6 +339,7 @@ class Session:
             engine=self.engine,
             cache=self.pipeline.cache,
             validate=self.pipeline.validate,
+            metrics=self.metrics,
         )
         session.stats = self.stats  # one accumulation stream per family
         session._stats_lock = self._stats_lock
@@ -277,6 +372,7 @@ def connect(
     engine: str = "auto",
     cache: object = True,
     validate: bool = False,
+    metrics: object = None,
 ) -> Session:
     """Open a :class:`Session` — the library's front door.
 
@@ -291,6 +387,7 @@ def connect(
         engine=engine,
         cache=cache,
         validate=validate,
+        metrics=metrics,
     )
 
 

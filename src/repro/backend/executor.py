@@ -86,6 +86,15 @@ class ExecutionStats:
     ``per_query_millis[i]`` is the wall time (execute + decode) of the
     ``i``-th recorded query.  ``cache_hits`` / ``cache_misses`` count plan
     cache consultations made by the pipeline that carried these stats.
+
+    Per-run stats keep the full per-query lists (tests and explain depend
+    on exact samples).  *Session-lifetime* stats, which accumulate
+    forever on a server, call :meth:`compact` after each merge: the
+    oldest samples beyond a cap are folded into ``folded_rows`` /
+    ``folded_millis`` / ``folded_samples`` aggregates, so ``queries``,
+    ``rows_fetched`` and :attr:`total_millis` stay exact while memory
+    stays bounded (distribution shape lives in the metrics registry's
+    histograms, not here).
     """
 
     queries: int = 0
@@ -114,6 +123,11 @@ class ExecutionStats:
     #: by these stats whose plan that rule rewrote (cache hits included —
     #: the rule shaped the plan the compile used).
     rules_fired: dict = field(default_factory=dict)
+    #: Aggregates of per-query samples folded out by :meth:`compact` —
+    #: zero on per-run stats, where the lists stay intact.
+    folded_rows: int = 0
+    folded_millis: float = 0.0
+    folded_samples: int = 0
 
     def record(self, rows: int, millis: float = 0.0) -> None:
         self.queries += 1
@@ -151,11 +165,32 @@ class ExecutionStats:
         self.failover_retries += other.failover_retries
         for rule, count in other.rules_fired.items():
             self.rules_fired[rule] = self.rules_fired.get(rule, 0) + count
+        self.folded_rows += other.folded_rows
+        self.folded_millis += other.folded_millis
+        self.folded_samples += other.folded_samples
+
+    def compact(self, cap: int) -> int:
+        """Fold the oldest per-query samples so at most ``cap`` remain.
+
+        Aggregate counters (``queries``, ``rows_fetched``,
+        :attr:`total_millis`) are unchanged; only the sample *lists*
+        shrink.  Returns the number of samples folded this call.
+        """
+        excess = len(self.per_query_millis) - cap
+        if excess <= 0:
+            return 0
+        self.folded_rows += sum(self.per_query_rows[:excess])
+        self.folded_millis += sum(self.per_query_millis[:excess])
+        self.folded_samples += excess
+        del self.per_query_rows[:excess]
+        del self.per_query_millis[:excess]
+        return excess
 
     @property
     def total_millis(self) -> float:
-        """Total recorded query wall time (execute + decode)."""
-        return sum(self.per_query_millis)
+        """Total recorded query wall time (execute + decode), including
+        samples folded out by :meth:`compact`."""
+        return self.folded_millis + sum(self.per_query_millis)
 
 
 def bind_params(compiled: CompiledSql, params) -> dict[str, object]:
@@ -184,6 +219,7 @@ def execute_compiled(
     batch_size: int | None = None,
     params=None,
     connection=None,
+    tracer=None,
 ) -> list[tuple[object, object]]:
     """Run one compiled shredded query and decode its ⟨index, value⟩ pairs.
 
@@ -191,10 +227,13 @@ def execute_compiled(
     ``REPRO_FETCH_BATCH``, 1024) instead of one monolithic ``fetchall``,
     bounding peak raw-row memory; decoding happens per chunk.  ``params``
     supplies host-parameter values (bound per statement); ``connection``
-    routes execution to a specific (pooled) connection.
+    routes execution to a specific (pooled) connection.  ``tracer`` (a
+    :class:`repro.obs.Tracer`) receives a ``statement`` span with
+    ``sql``/``decode`` children.
     """
     batch = DEFAULT_FETCH_BATCH if batch_size is None else batch_size
     started = time.perf_counter()
+    decode_seconds = 0.0
     pairs: list[tuple[object, object]] = []
     for chunk in db.execute_sql_chunks(
         compiled.sql,
@@ -202,10 +241,28 @@ def execute_compiled(
         batch_size=batch,
         connection=connection,
     ):
+        decode_started = time.perf_counter()
         pairs.extend(compiled.decode_rows(chunk))
+        decode_seconds += time.perf_counter() - decode_started
+    millis = (time.perf_counter() - started) * 1000.0
     if stats is not None:
-        stats.record(len(pairs), (time.perf_counter() - started) * 1000.0)
+        stats.record(len(pairs), millis)
+    if tracer is not None:
+        _record_statement_span(
+            tracer, len(pairs), millis, decode_seconds * 1000.0
+        )
     return pairs
+
+
+def _record_statement_span(
+    tracer, rows: int, millis: float, decode_millis: float, **attributes
+) -> None:
+    """Attach one executed statement's span (with ``sql``/``decode``
+    children) at the tracer's current position.  Always called from the
+    coordinating thread, in package order — never from workers."""
+    span = tracer.record("statement", millis, rows=rows, **attributes)
+    span.record("sql", max(millis - decode_millis, 0.0))
+    span.record("decode", decode_millis)
 
 
 @contextmanager
@@ -238,16 +295,19 @@ def _run_one_grouped(
     batch: int,
     connection=None,
     params=None,
-) -> tuple[dict, int, float]:
+) -> tuple[dict, int, float, float]:
     """Execute one compiled query, pre-grouping by outer index.
 
-    Returns ``(grouped, rows, millis)`` so callers can record stats in a
-    deterministic order regardless of which connection/thread ran it.
+    Returns ``(grouped, rows, millis, decode_millis)`` so callers can
+    record stats (and trace spans) in a deterministic order regardless
+    of which connection/thread ran it; ``decode_millis`` is the share of
+    ``millis`` spent in Python-side row decoding.
     """
     started = time.perf_counter()
     decode_outer, decode_item = compiled.key_decoders()
     grouped: dict = {}
     rows = 0
+    decode_seconds = 0.0
     for chunk in db.execute_sql_chunks(
         compiled.sql,
         params=bind_params(compiled, params),
@@ -255,6 +315,7 @@ def _run_one_grouped(
         connection=connection,
     ):
         rows += len(chunk)
+        decode_started = time.perf_counter()
         for raw in chunk:
             outer = decode_outer(raw)
             bucket = grouped.get(outer)
@@ -262,7 +323,9 @@ def _run_one_grouped(
                 grouped[outer] = [decode_item(raw)]
             else:
                 bucket.append(decode_item(raw))
-    return grouped, rows, (time.perf_counter() - started) * 1000.0
+        decode_seconds += time.perf_counter() - decode_started
+    millis = (time.perf_counter() - started) * 1000.0
+    return grouped, rows, millis, decode_seconds * 1000.0
 
 
 def execute_package_batched(
@@ -276,6 +339,7 @@ def execute_package_batched(
     shared_scans=(),
     params=None,
     connection=None,
+    tracer=None,
 ):
     """Run all shredded queries of a package in one pass.
 
@@ -305,6 +369,12 @@ def execute_package_batched(
     specific pooled connection — the service layer leases one per request
     so concurrent requests never contend on the writer connection; the
     parallel path manages its own pool and ignores it.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) receives one ``statement``
+    span per member with ``sql``/``decode`` children.  Workers never
+    touch the tracer: like stats, spans are attached post-hoc in package
+    order after all workers join, so a parallel run's trace is
+    deterministic.
     """
     from repro.shred.packages import annotations, pmap
 
@@ -323,7 +393,7 @@ def execute_package_batched(
         )
         if parallel and workers > 1:
             connections = db.read_connections(workers)
-            outcomes: dict[int, tuple[dict, int, float]] = {}
+            outcomes: dict[int, tuple[dict, int, float, float]] = {}
 
             def run_member(task: tuple[int, CompiledSql]):
                 position, compiled = task
@@ -351,19 +421,26 @@ def execute_package_batched(
                     for position, outcome in lane_result:
                         outcomes[position] = outcome
             results = [outcomes[i][0] for i in range(len(compiled_members))]
-            if stats is not None:
-                for _grouped, rows, millis in (
-                    outcomes[i] for i in range(len(compiled_members))
-                ):
+            for position in range(len(compiled_members)):
+                _grouped, rows, millis, decode_millis = outcomes[position]
+                if stats is not None:
                     stats.record(rows, millis)
+                if tracer is not None:
+                    _record_statement_span(
+                        tracer, rows, millis, decode_millis, index=position
+                    )
         else:
             results = []
-            for compiled in compiled_members:
-                grouped, rows, millis = _run_one_grouped(
+            for position, compiled in enumerate(compiled_members):
+                grouped, rows, millis, decode_millis = _run_one_grouped(
                     db, compiled, batch, connection=connection, params=params
                 )
                 if stats is not None:
                     stats.record(rows, millis)
+                if tracer is not None:
+                    _record_statement_span(
+                        tracer, rows, millis, decode_millis, index=position
+                    )
                 results.append(grouped)
 
     # pmap's traversal order differs from annotations() (element before

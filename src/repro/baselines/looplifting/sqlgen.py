@@ -13,8 +13,12 @@ layer is wrapped into a subquery only when forced:
 * unions and products always start fresh layers.
 
 The essential loop-lifting shape is preserved exactly: each level's SQL
-still contains the parent's full numbered union as a nested subquery, with
-its own ROW_NUMBER over the product on top.
+still contains the parent's full numbered union, with its own ROW_NUMBER
+over the product on top.  Forced wraps and union arms are hoisted into a
+flat WITH list rather than textually nested — nested derived tables grow
+the SQLite parser stack with plan *composition* depth and overflow it
+around 20 levels (hypothesis-discovered), while CTE references keep parse
+depth constant however deep the plan composes.
 """
 
 from __future__ import annotations
@@ -68,10 +72,33 @@ _OPS = {
 class _Aliases:
     def __init__(self) -> None:
         self._counter = 0
+        #: (name, body) in dependency order — children are hoisted before
+        #: the layers that reference them.
+        self.ctes: list[tuple[str, str]] = []
 
     def fresh(self) -> str:
         self._counter += 1
         return f"p{self._counter}"
+
+    def hoist(self, sql: str) -> str:
+        """Name ``sql`` as a CTE and return the name.
+
+        Materialised layers become WITH entries instead of nested derived
+        tables: textual nesting grows the SQLite parser stack with plan
+        *composition* depth (deep unions/products overflow it around 20
+        levels), while a flat WITH list keeps parse depth constant.
+        """
+        name = self.fresh()
+        self.ctes.append((name, sql))
+        return name
+
+    def with_prefix(self) -> str:
+        if not self.ctes:
+            return ""
+        entries = ", ".join(
+            f"{qi(name)} AS ({body})" for name, body in self.ctes
+        )
+        return f"WITH {entries} "
 
 
 @dataclass
@@ -121,13 +148,12 @@ def _literal(value: object) -> str:
 
 
 def _wrap(layer: _Layer, aliases: _Aliases) -> _Layer:
-    """Materialise a layer as a subquery and start a fresh one over it."""
-    alias = aliases.fresh()
-    from_item = f"({layer.render()}) AS {qi(alias)}"
+    """Materialise a layer as a CTE and start a fresh one over it."""
+    alias = aliases.hoist(layer.render())
     columns = {
         name: _Snippet(f"{qi(alias)}.{qi(name)}") for name in layer.order
     }
-    return _Layer([from_item], columns, list(layer.order))
+    return _Layer([qi(alias)], columns, list(layer.order))
 
 
 def _pred_sql(
@@ -215,14 +241,12 @@ def _build(plan: Plan, aliases: _Aliases) -> _Layer:
         # Align the right side's emission order with the left's.
         right_layer.order = list(left_layer.order)
         union_sql = f"{left_layer.render()} UNION ALL {right_layer.render()}"
-        alias = aliases.fresh()
+        alias = aliases.hoist(union_sql)
         columns = {
             name: _Snippet(f"{qi(alias)}.{qi(name)}")
             for name in left_layer.order
         }
-        return _Layer(
-            [f"({union_sql}) AS {qi(alias)}"], columns, list(left_layer.order)
-        )
+        return _Layer([qi(alias)], columns, list(left_layer.order))
 
     if isinstance(plan, Select):
         layer = _build(plan.child, aliases)
@@ -274,11 +298,18 @@ def _build(plan: Plan, aliases: _Aliases) -> _Layer:
     raise LoopLiftingError(f"cannot render plan node {plan!r}")
 
 
+def _render_plan(plan: Plan) -> tuple[str, str]:
+    """Build ``plan``; returns (WITH prefix — possibly empty, core SELECT)."""
+    aliases = _Aliases()
+    layer = _build(plan, aliases)
+    layer.order = list(plan.columns)
+    return aliases.with_prefix(), layer.render()
+
+
 def plan_to_sql(plan: Plan) -> str:
     """Render ``plan`` to a SELECT producing exactly ``plan.columns``."""
-    layer = _build(plan, _Aliases())
-    layer.order = list(plan.columns)
-    return layer.render()
+    prefix, core = _render_plan(plan)
+    return prefix + core
 
 
 def render_level_sql(
@@ -292,7 +323,8 @@ def render_level_sql(
         f"{qi(alias)}.{qi(src)} AS {qi(out)}" for out, src in select_columns
     )
     order = ", ".join(f"{qi(alias)}.{qi(c)}" for c in order_by)
+    prefix, core = _render_plan(plan)
     return (
-        f"SELECT {items} FROM ({plan_to_sql(plan)}) AS {qi(alias)} "
+        f"{prefix}SELECT {items} FROM ({core}) AS {qi(alias)} "
         f"ORDER BY {order}"
     )

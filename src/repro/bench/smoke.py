@@ -14,16 +14,29 @@ The sweep ends with the *service* rows: an in-process
 instance and one query is round-tripped over the wire per execution engine,
 value-checked against a direct ``Session.run`` — so the serving path (wire
 protocol, connection leases, thread offload) can't rot either.
+
+The service sweep also scrapes the server's metrics twice — once over the
+in-band ``metrics`` wire op and once over the HTTP ``/metrics`` endpoint —
+and runs both bodies through the strict Prometheus parser, so the
+observability surface is exercised on every CI run.  The HTTP body is
+written to ``metrics-snapshot.prom`` (override with
+``REPRO_METRICS_SNAPSHOT``; empty disables) for CI to upload as an
+artifact.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.bench.harness import SYSTEMS, run_system
 from repro.data.generator import scaled_database
 
 __all__ = ["SMOKE_SYSTEMS", "SERVICE_ENGINES", "run_smoke", "format_smoke"]
+
+#: Where the service smoke writes the scraped Prometheus text.
+SNAPSHOT_ENV = "REPRO_METRICS_SNAPSHOT"
+DEFAULT_SNAPSHOT_PATH = "metrics-snapshot.prom"
 
 #: Engines the service smoke round-trips one query through.
 SERVICE_ENGINES = ("per-path", "batched", "parallel")
@@ -113,6 +126,7 @@ def _service_smoke(
                             else f"over budget ({budget_ms:.0f}ms)"
                         )
                         rows.append((system, query_name, millis, note))
+                rows.append(_metrics_smoke(handle, client, budget_ms))
     except Exception as error:  # noqa: BLE001 — server startup failure
         rows.append(
             (
@@ -123,6 +137,54 @@ def _service_smoke(
             )
         )
     return rows
+
+
+def _metrics_smoke(
+    handle, client, budget_ms: float
+) -> tuple[str, str, float | None, str]:
+    """Scrape the server's metrics over both surfaces and parse them.
+
+    Asserts the in-band ``metrics`` op and the HTTP ``/metrics`` endpoint
+    both respond with valid Prometheus text exposing the same metric
+    families, then writes the HTTP body to the snapshot path.
+    """
+    import urllib.request
+
+    from repro.obs import MetricsHTTPServer, parse_prometheus
+
+    system = "service[metrics]"
+    started = time.perf_counter()
+    try:
+        inband = parse_prometheus(client.metrics())
+        http = MetricsHTTPServer(handle.server.metrics)
+        try:
+            with urllib.request.urlopen(http.url, timeout=10.0) as response:
+                if response.status != 200:
+                    raise RuntimeError(f"/metrics returned {response.status}")
+                body = response.read().decode("utf-8")
+        finally:
+            http.close()
+        scraped = parse_prometheus(body)
+        if not inband or set(scraped) != set(inband):
+            raise RuntimeError(
+                "in-band and HTTP expositions disagree on metric families"
+            )
+        sample = "repro_requests_total"
+        if sample not in scraped:
+            raise RuntimeError(f"{sample} missing from exposition")
+        _write_snapshot(body)
+    except Exception as error:  # noqa: BLE001 — any failure must surface
+        return (system, "—", None, f"{type(error).__name__}: {error}")
+    millis = (time.perf_counter() - started) * 1000.0
+    note = "" if millis <= budget_ms else f"over budget ({budget_ms:.0f}ms)"
+    return (system, "—", millis, note)
+
+
+def _write_snapshot(body: str) -> None:
+    path = os.environ.get(SNAPSHOT_ENV, DEFAULT_SNAPSHOT_PATH)
+    if path:
+        with open(path, "w", encoding="utf-8") as snapshot:
+            snapshot.write(body)
 
 
 def format_smoke(

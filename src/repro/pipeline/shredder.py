@@ -35,6 +35,7 @@ Performance knobs (see ROADMAP.md "Performance architecture"):
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.backend.database import Database
@@ -82,6 +83,15 @@ KNOWN_ENGINES = ("per-path", "batched", "parallel")
 #: excluded from Int — it is a subclass, but binding True to an Int
 #: parameter is almost always a typo).
 _PARAM_PYTHON_TYPES = {"Int": int, "Bool": bool, "String": str}
+
+
+def _span(tracer, name: str, **attributes):
+    """``tracer.span(...)`` when tracing, a no-op context otherwise —
+    keeps every instrumented stage a single None check when tracing is
+    off."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, **attributes)
 
 
 def collect_param_specs(query: ast.Term) -> tuple:
@@ -244,6 +254,7 @@ class CompiledQuery:
         create_indexes: bool = True,
         params=None,
         connection=None,
+        tracer=None,
     ) -> NestedValue:
         """Execute all shredded queries on SQLite and stitch (§5.2).
 
@@ -278,6 +289,9 @@ class CompiledQuery:
         declared :attr:`param_specs` — the compile-once / re-bind-per-call
         prepared-statement path).  ``connection`` routes the batched engine
         onto a specific pooled read connection (service-layer leases).
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) receives ``execute``
+        (with per-statement children) and ``stitch`` spans.
         """
         validate_engine(engine)
         bound = self.check_params(params)
@@ -294,36 +308,42 @@ class CompiledQuery:
                     "results; use one_pass_stitch=True (or the per-path "
                     "engine)"
                 )
-            results = execute_package_batched(
-                db,
-                self.sql_package,
-                stats=stats,
-                create_indexes=create_indexes,
-                batch_size=batch_size,
-                parallel=(engine == "parallel"),
-                shared_scans=self.shared_scans,
-                params=bound,
-                connection=connection,
-            )
-            value = stitch_grouped(results, self._top_key())
+            with _span(tracer, "execute", engine=engine):
+                results = execute_package_batched(
+                    db,
+                    self.sql_package,
+                    stats=stats,
+                    create_indexes=create_indexes,
+                    batch_size=batch_size,
+                    parallel=(engine == "parallel"),
+                    shared_scans=self.shared_scans,
+                    params=bound,
+                    connection=connection,
+                    tracer=tracer,
+                )
+            with _span(tracer, "stitch"):
+                value = stitch_grouped(results, self._top_key())
         elif engine == "per-path":
             from repro.backend.executor import shared_scan_tables
 
-            with shared_scan_tables(db, self.shared_scans):
-                results = package_from(
-                    self.result_type,
-                    lambda path: execute_compiled(
-                        db,
-                        self.sql_at(path),
-                        stats,
-                        batch_size=batch_size,
-                        params=bound,
-                        connection=connection,
-                    ),
+            with _span(tracer, "execute", engine=engine):
+                with shared_scan_tables(db, self.shared_scans):
+                    results = package_from(
+                        self.result_type,
+                        lambda path: execute_compiled(
+                            db,
+                            self.sql_at(path),
+                            stats,
+                            batch_size=batch_size,
+                            params=bound,
+                            connection=connection,
+                            tracer=tracer,
+                        ),
+                    )
+            with _span(tracer, "stitch"):
+                value = stitch(
+                    results, self._top_index_fn(), one_pass=one_pass_stitch
                 )
-            value = stitch(
-                results, self._top_index_fn(), one_pass=one_pass_stitch
-            )
         else:
             raise ShreddingError(f"unknown execution engine {engine!r}")
         if collection == "set":
@@ -398,26 +418,47 @@ class ShreddingPipeline:
         self.cache: PlanCache | None = cache
 
     def compile(
-        self, query: ast.Term, stats: ExecutionStats | None = None
+        self,
+        query: ast.Term,
+        stats: ExecutionStats | None = None,
+        tracer=None,
     ) -> CompiledQuery:
         """Compile ``query`` to its package of flat SQL queries.
 
         With a plan cache configured, a repeat compile of a structurally
         identical term is a single hash + dict lookup; ``stats`` (if
-        given) receives the hit/miss count.
+        given) receives the hit/miss count.  ``tracer`` (a
+        :class:`repro.obs.Tracer`) receives a ``compile`` span — with
+        ``normalise``/``shred``/``codegen`` children on a cache miss, or
+        just the ``cached=True`` attribute on a hit.
         """
+        if tracer is None:
+            return self._compile(query, stats)
+        with tracer.span("compile") as span:
+            compiled = self._compile(query, stats, tracer=tracer, span=span)
+        return compiled
+
+    def _compile(
+        self,
+        query: ast.Term,
+        stats: ExecutionStats | None,
+        tracer=None,
+        span=None,
+    ) -> CompiledQuery:
         if self.cache is None:
-            compiled = self._compile_cold(query, None)
+            compiled = self._compile_cold(query, None, tracer=tracer)
             self._record_rules(compiled, stats)
             return compiled
         key = plan_key(query, self.schema, self.options, self.validate)
         cached = self.cache.lookup(key)
         if stats is not None:
             stats.record_cache(cached is not None)
+        if span is not None:
+            span.set(cached=cached is not None)
         if cached is not None:
             self._record_rules(cached, stats)
             return cached
-        compiled = self._compile_cold(query, key)
+        compiled = self._compile_cold(query, key, tracer=tracer)
         self.cache.store(key, compiled)
         self._record_rules(compiled, stats)
         return compiled
@@ -434,37 +475,42 @@ class ShreddingPipeline:
             stats.rules_fired[rule] = stats.rules_fired.get(rule, 0) + 1
 
     def _compile_cold(
-        self, query: ast.Term, cache_key: PlanKey | None
+        self, query: ast.Term, cache_key: PlanKey | None, tracer=None
     ) -> CompiledQuery:
         from repro.check.verifier import verification_enabled
 
         verify = verification_enabled(self.options)
         do_normalise = normalise if self.cache is None else normalise_cached
-        normal_form = do_normalise(query, self.schema)
+        with _span(tracer, "normalise"):
+            normal_form = do_normalise(query, self.schema)
         result_type = self._result_type(normal_form, query)
         if verify:
             from repro.check.verifier import verify_normalisation
 
             verify_normalisation(query, normal_form, result_type, self.schema)
-        shredded_package = shred_query_package(normal_form, result_type)
+        with _span(tracer, "shred"):
+            shredded_package = shred_query_package(normal_form, result_type)
         if verify:
             from repro.check.verifier import verify_shredded_package
 
             verify_shredded_package(shredded_package, result_type, self.schema)
         if self.validate:
             self._validate(shredded_package, result_type)
+
         # compile_shredded runs the codegen-stage verifier (and, with the
         # optimizer on, the per-rule rewrite verifier) on each member.
-        sql_package = package_from(
-            result_type,
-            lambda path: compile_shredded(
-                annotation_at(shredded_package, path),
-                self._element_type(result_type, path),
-                self.schema,
-                self.options,
-                cache_key=cache_key,
-            ),
-        )
+        def codegen_at(path: Path) -> CompiledSql:
+            with _span(tracer, "codegen", path=str(path)):
+                return compile_shredded(
+                    annotation_at(shredded_package, path),
+                    self._element_type(result_type, path),
+                    self.schema,
+                    self.options,
+                    cache_key=cache_key,
+                    tracer=tracer,
+                )
+
+        sql_package = package_from(result_type, codegen_at)
         shared_scans: tuple = ()
         if self.options.optimize and self.options.opt_shared:
             sql_package, shared_scans = _hoist_shared_scans(

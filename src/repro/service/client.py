@@ -275,9 +275,15 @@ class ServiceClient:
         engine: str | None = None,
         collection: str | None = None,
         deadline_ms: object = _USE_DEFAULT,
+        trace_id: str | None = None,
     ) -> dict:
         """Like :meth:`execute`, but returns the whole response frame
-        (rows + engine + per-run stats)."""
+        (rows + engine + per-run stats + server-side wall time).
+
+        ``trace_id`` (protocol v1.3) stamps the request so the server
+        echoes it — the sharded fan-out client correlates a traced run's
+        sub-requests with it.
+        """
         payload: dict = {"op": "execute", "query": query}
         if params:
             payload["params"] = params
@@ -285,6 +291,8 @@ class ServiceClient:
             payload["engine"] = engine
         if collection:
             payload["collection"] = collection
+        if trace_id:
+            payload["trace_id"] = trace_id
         return self.request(payload, deadline_ms=deadline_ms)
 
     def insert(
@@ -324,6 +332,10 @@ class ServiceClient:
     def stats(self) -> dict:
         """Server, session and plan-cache counters."""
         return self.request({"op": "stats"})
+
+    def metrics(self) -> str:
+        """The server's metrics as Prometheus text exposition (v1.3)."""
+        return self.request({"op": "metrics"})["exposition"]
 
     def ping(self, deadline_ms: object = _USE_DEFAULT) -> dict:
         """Liveness probe: answered inline by the server (no lease, no
@@ -518,6 +530,10 @@ class AsyncServiceClient:
 
     async def stats(self) -> dict:
         return await self.request({"op": "stats"})
+
+    async def metrics(self) -> str:
+        """Prometheus text exposition, in-band (protocol v1.3)."""
+        return (await self.request({"op": "metrics"}))["exposition"]
 
     async def ping(self, deadline_ms: object = _USE_DEFAULT) -> dict:
         started = self.clock()

@@ -57,6 +57,18 @@ server journals applied keys, so application is exactly-once — a
 re-delivered key answers ``"applied": false`` with nothing written.
 Durable stores (``serve --data-dir``) persist the journal next to the
 rows in the same transaction, so dedup survives a crash-restart.
+
+Protocol **v1.3** (observability) additions, again backwards compatible:
+
+* ``metrics`` — renders the server's metrics registry as Prometheus text
+  exposition, in-band: ``{"ok": true, "exposition": "# HELP …"}``.
+  Fleet tooling scrapes through the query port; ``--metrics-port``
+  additionally serves the same text over plain HTTP ``GET /metrics``.
+* ``trace_id`` — any request may carry an opaque ``trace_id`` string
+  (≤64 chars); the response echoes it, and execute responses add the
+  server-side wall time so a fan-out client can attribute each shard's
+  share of a traced run.  The sharded client stamps its
+  :class:`~repro.obs.Tracer`'s id on every sub-request.
 """
 
 from __future__ import annotations
@@ -86,14 +98,24 @@ __all__ = [
 #: length prefix must not look like a 4 GiB allocation request.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
-#: v1.2: the ``insert`` write op with idempotency-key dedup (on top of
+#: v1.3: the ``metrics`` op (Prometheus exposition in-band) and the
+#: ``trace_id`` request field (on top of v1.2's idempotent ``insert`` and
 #: v1.1's ping + request-id echo + per-request deadlines + load shedding).
-PROTOCOL_VERSION = "1.2"
+PROTOCOL_VERSION = "1.3"
 
 _LENGTH = struct.Struct(">I")
 
 #: The operations the server dispatches (protocol reference, README).
-OPS = ("prepare", "execute", "insert", "explain", "stats", "ping", "close")
+OPS = (
+    "prepare",
+    "execute",
+    "insert",
+    "explain",
+    "stats",
+    "metrics",
+    "ping",
+    "close",
+)
 
 #: Error-frame types that deserialise to dedicated exception classes, so
 #: callers branch on ``except OverloadedError`` instead of string-matching

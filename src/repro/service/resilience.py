@@ -128,12 +128,16 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_timeout: float = 2.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str], None]] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(f"failure threshold must be ≥1, got {failure_threshold}")
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self._clock = clock
+        #: Observer called with ``"open"`` / ``"closed"`` on state changes
+        #: (outside the lock — it may take its own, e.g. a metric's).
+        self.on_transition = on_transition
         self._lock = threading.Lock()
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
@@ -180,11 +184,15 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
+            recovered = self._opened_at is not None
             self._consecutive_failures = 0
             self._opened_at = None
             self._probing = False
+        if recovered and self.on_transition is not None:
+            self.on_transition("closed")
 
     def record_failure(self) -> None:
+        opened = False
         with self._lock:
             self._consecutive_failures += 1
             self._probing = False
@@ -193,6 +201,9 @@ class CircuitBreaker:
                 if self._opened_at is None:
                     self.trips += 1
                 self._opened_at = self._clock()
+                opened = True
+        if opened and self.on_transition is not None:
+            self.on_transition("open")
 
     def snapshot(self) -> dict:
         """Point-in-time state for stats surfaces."""

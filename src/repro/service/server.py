@@ -95,6 +95,7 @@ class QueryServer:
         shard_label: str | None = None,
         max_pending: int | None = None,
         default_deadline_ms: float | None = None,
+        metrics: object = None,
     ) -> None:
         if pool_size < 1:
             raise ServiceError(f"pool size must be ≥1, got {pool_size}")
@@ -132,6 +133,61 @@ class QueryServer:
         self.connections_served = 0
         self.shed_count = 0
         self.deadline_count = 0
+        #: The server's :class:`repro.obs.MetricsRegistry` — always on
+        #: (registry mutation is a couple of lock-guarded adds per
+        #: request; rendering only happens when something scrapes).  The
+        #: session mirrors its stats into the same registry, so one
+        #: exposition covers wire-level and engine-level counters.
+        from repro.obs import MetricsRegistry
+
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        if self.session.metrics is None:
+            self.session.attach_metrics(self.metrics)
+        self._m_requests = self.metrics.counter(
+            "requests_total", "Wire requests served, by op", labels=("op",)
+        )
+        self._m_request_ms = self.metrics.histogram(
+            "request_latency_ms",
+            "Wire request service time (dispatch to response), milliseconds",
+            labels=("op",),
+        )
+        self._m_errors = self.metrics.counter(
+            "request_errors_total", "Requests answered with an error frame"
+        )
+        self._m_shed = self.metrics.counter(
+            "requests_shed_total",
+            "Executes/inserts refused at the admission limit",
+        )
+        self._m_deadline = self.metrics.counter(
+            "deadline_exceeded_total",
+            "Executes answered with a DeadlineExceeded frame",
+        )
+        self._m_connections = self.metrics.counter(
+            "connections_total", "Client connections accepted"
+        )
+        self.metrics.gauge(
+            "pending_requests",
+            "Executes/inserts admitted and not yet answered",
+            callback=lambda: self._pending,
+        )
+        self.metrics.gauge(
+            "admission_limit",
+            "Admission bound (requests beyond this are shed)",
+            callback=lambda: self.max_pending,
+        )
+        self.metrics.gauge(
+            "lease_pool_size", "Leased read connections this server holds",
+            callback=lambda: self.pool_size,
+        )
+        self.metrics.gauge(
+            "leases_free",
+            "Read-connection leases currently parked (0 = saturated)",
+            callback=lambda: (
+                self._leases.qsize() if self._leases is not None else 0
+            ),
+        )
 
     # ------------------------------------------------------------- lifecycle
 
@@ -227,6 +283,7 @@ class QueryServer:
             self._handlers.add(task)
             task.add_done_callback(self._handlers.discard)
         self.connections_served += 1
+        self._m_connections.inc()
         try:
             while True:
                 if self._draining:
@@ -243,6 +300,7 @@ class QueryServer:
                     # payload bytes as a length.  Answer and hang up.
                     writer.write(pack_frame(error_payload(error)))
                     self.error_count += 1
+                    self._m_errors.inc()
                     try:
                         await writer.drain()
                     except ConnectionResetError:
@@ -270,6 +328,7 @@ class QueryServer:
                             False,
                         )
                         self.error_count += 1
+                        self._m_errors.inc()
                     if request_id is not None:
                         response.setdefault("id", request_id)
                     try:
@@ -287,6 +346,7 @@ class QueryServer:
                         # client still deserves a structured answer.
                         frame = pack_frame(error_payload(error, request_id))
                         self.error_count += 1
+                        self._m_errors.inc()
                     writer.write(frame)
                     try:
                         await writer.drain()
@@ -315,6 +375,13 @@ class QueryServer:
     async def _dispatch(self, request: dict) -> tuple[dict, bool]:
         op = request.get("op")
         started = time.perf_counter()
+        trace_id = request.get("trace_id")
+        if trace_id is not None and (
+            not isinstance(trace_id, str) or len(trace_id) > 64
+        ):
+            raise ServiceError(
+                "'trace_id' must be a string of at most 64 characters"
+            )
         if op == "close":
             self._count("close", started)
             return {"ok": True, "closing": True}, True
@@ -338,12 +405,21 @@ class QueryServer:
             response = await self._explain(request)
         elif op == "stats":
             response = self._stats()
+        elif op == "metrics":
+            # Prometheus text exposition in-band (protocol v1.3): fleet
+            # tooling scrapes through the query port; gauge callbacks
+            # read event-loop state, so render right here on the loop.
+            from repro.obs import render_prometheus
+
+            response = {"ok": True, "exposition": render_prometheus(self.metrics)}
         else:
             raise ServiceError(
                 f"unknown op {op!r}; one of: prepare, execute, insert, "
-                f"explain, stats, ping, close"
+                f"explain, stats, metrics, ping, close"
             )
         self._count(op, started)
+        if trace_id is not None:
+            response.setdefault("trace_id", trace_id)
         return response, False
 
     def _count(self, op: str, started: float) -> None:
@@ -353,6 +429,8 @@ class QueryServer:
         self.request_counts[key] = round(
             self.request_counts.get(key, 0.0) + millis, 3
         )
+        self._m_requests.labels(op=op).inc()
+        self._m_request_ms.labels(op=op).observe(millis)
 
     def _entry(self, request: dict):
         name = request.get("query")
@@ -381,6 +459,7 @@ class QueryServer:
         # immediately — an error frame now beats a timeout later.
         if self._pending >= self.max_pending:
             self.shed_count += 1
+            self._m_shed.inc()
             raise OverloadedError(
                 f"server at admission limit ({self.max_pending} requests "
                 f"in flight); retry with backoff or divert"
@@ -392,6 +471,7 @@ class QueryServer:
             self._pending -= 1
 
     async def _execute_admitted(self, request: dict) -> dict:
+        admitted = time.perf_counter()
         entry = self._entry(request)
         params = request.get("params") or {}
         if not isinstance(params, dict):
@@ -435,6 +515,7 @@ class QueryServer:
                 # The worker thread runs on (SQLite steps are not
                 # interruptible); its done callback reclaims the lease.
                 self.deadline_count += 1
+                self._m_deadline.inc()
                 raise DeadlineExceededError(
                     f"server-side deadline of {deadline_ms:.0f}ms exceeded "
                     f"executing {entry.name!r}"
@@ -445,6 +526,11 @@ class QueryServer:
             "query": entry.name,
             "rows": result.to_dicts(),
             "engine": result.engine,
+            # Wall time from admission to result, lease wait included —
+            # what a tracing fan-out client attributes to this shard.
+            "server_millis": round(
+                (time.perf_counter() - admitted) * 1000.0, 3
+            ),
             "stats": {
                 "queries": stats.queries,
                 "rows_fetched": stats.rows_fetched,
@@ -466,6 +552,7 @@ class QueryServer:
         """
         if self._pending >= self.max_pending:
             self.shed_count += 1
+            self._m_shed.inc()
             raise OverloadedError(
                 f"server at admission limit ({self.max_pending} requests "
                 f"in flight); retry with backoff or divert"
@@ -602,6 +689,7 @@ def serve_in_background(
     shard_label: str | None = None,
     max_pending: int | None = None,
     default_deadline_ms: float | None = None,
+    metrics: object = None,
 ) -> ServerHandle:
     """Start a :class:`QueryServer` on its own thread; returns its handle.
 
@@ -618,6 +706,7 @@ def serve_in_background(
         shard_label=shard_label,
         max_pending=max_pending,
         default_deadline_ms=default_deadline_ms,
+        metrics=metrics,
     )
     started: "threading.Event" = threading.Event()
     box: dict = {}

@@ -83,6 +83,15 @@ from repro.shard.placement import Placement
 
 __all__ = ["ShardedServiceClient", "SHARD_UNAVAILABLE"]
 
+
+def _span(tracer, name: str, **attributes):
+    """A tracer span, or a no-op context when tracing is off."""
+    if tracer is None:
+        from contextlib import nullcontext
+
+        return nullcontext()
+    return tracer.span(name, **attributes)
+
 #: The failures that mean "this shard cannot answer right now" — transport
 #: breakage, a spent deadline, or deliberate load-shedding.  A structured
 #: query error (unknown query, type error, …) is *deterministic*: it would
@@ -134,6 +143,7 @@ class ShardedServiceClient:
         breaker_threshold: int = 5,
         breaker_reset: float = 2.0,
         clock: Callable[[], float] = time.monotonic,
+        metrics: object = None,
     ) -> None:
         if not shard_addresses:
             raise ShardingError("need at least one shard address")
@@ -200,6 +210,57 @@ class ShardedServiceClient:
             max_workers=endpoint_count,
             thread_name_prefix="repro-shard-client",
         )
+        self.metrics: object = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror this client's routing/failover counters into a
+        :class:`~repro.obs.MetricsRegistry` and subscribe every endpoint's
+        circuit breaker to ``breaker_transitions_total`` — the registry
+        view of what :meth:`stats_snapshot` reports as plain dicts."""
+        from repro.obs import DEFAULT_LATENCY_BUCKETS_MS
+
+        self._m_subrequests = registry.counter(
+            "shard_subrequests_total",
+            "Per-endpoint execute sub-requests issued by the fan-out client.",
+            labels=("shard",),
+        )
+        self._m_subrequest_ms = registry.histogram(
+            "shard_subrequest_latency_ms",
+            "Client-observed wall time of one shard sub-request.",
+            labels=("shard",),
+            buckets=DEFAULT_LATENCY_BUCKETS_MS,
+        )
+        self._m_breaker = registry.counter(
+            "breaker_transitions_total",
+            "Circuit-breaker state changes, per endpoint.",
+            labels=("endpoint", "state"),
+        )
+        self._m_replica_failovers = registry.counter(
+            "replica_failovers_total",
+            "Sub-requests retried on a sibling replica.",
+        )
+        self._m_reroutes = registry.counter(
+            "failover_reroutes_total",
+            "Whole-query runs proactively diverted to the fallback.",
+        )
+        self._m_retries = registry.counter(
+            "failover_retries_total",
+            "Whole-query runs re-run on the fallback after a mid-run failure.",
+        )
+
+        def subscribe(endpoint: str, breaker: CircuitBreaker) -> None:
+            def on_transition(state: str) -> None:
+                self._m_breaker.labels(endpoint=endpoint, state=state).inc()
+
+            breaker.on_transition = on_transition
+
+        for index, group in enumerate(self._groups):
+            for replica, client in enumerate(group):
+                subscribe(self.replica_label(index, replica), client.breaker)
+        subscribe(self.shard_label(None), self._fallback.breaker)
+        self.metrics = registry
 
     # ------------------------------------------------------------- analysis
 
@@ -344,12 +405,19 @@ class ShardedServiceClient:
         engine: Optional[str] = None,
         collection: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        tracer: object = None,
     ) -> dict:
         """Like :meth:`execute`, plus route, shards hit and merged stats.
 
         ``deadline_ms`` bounds each *attempt*; a run that fails over pays
         at most two attempts (primary + fallback), so the caller waits at
         most twice the deadline in the worst case.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records one ``route``
+        span per attempt with a ``shard`` sub-span per endpoint hit —
+        each carrying the shard/replica label, the client-observed wall
+        time and the server-reported ``server_millis`` — and stamps the
+        tracer's id on every sub-request so server logs correlate.
         """
         if deadline_ms is None:
             deadline_ms = self.deadline_ms
@@ -364,9 +432,11 @@ class ShardedServiceClient:
         per_shard = decision.per_shard_collection
         retried = False
         try:
-            rows, stats, resolved_engine = self._run_decision(
-                decision, query, bound, engine, per_shard, deadline_ms
-            )
+            with _span(tracer, "route", mode=decision.mode, route=decision.route):
+                rows, stats, resolved_engine = self._run_decision(
+                    decision, query, bound, engine, per_shard, deadline_ms,
+                    tracer=tracer,
+                )
         except SHARD_UNAVAILABLE as error:
             if not decision.shards:
                 # The full-copy fallback itself failed: nothing stands in.
@@ -387,9 +457,13 @@ class ShardedServiceClient:
                 f"fallback",
             )
             try:
-                rows, stats, resolved_engine = self._run_decision(
-                    decision, query, bound, engine, per_shard, deadline_ms
-                )
+                with _span(
+                    tracer, "route", mode=decision.mode, route=decision.route
+                ):
+                    rows, stats, resolved_engine = self._run_decision(
+                        decision, query, bound, engine, per_shard,
+                        deadline_ms, tracer=tracer,
+                    )
             except SHARD_UNAVAILABLE as fallback_error:
                 raise ShardUnavailableError(
                     f"shard {self.shard_label(failed)} failed executing "
@@ -403,10 +477,14 @@ class ShardedServiceClient:
             self.failover_retries += 1
             stats = dict(stats)
             stats["failover_retries"] = 1
+            if self.metrics is not None:
+                self._m_retries.inc()
         elif decision.mode == "failover":
             self.failover_reroutes += 1
             stats = dict(stats)
             stats["failover_reroutes"] = 1
+            if self.metrics is not None:
+                self._m_reroutes.inc()
 
         if collection == "set":
             from repro.values import dedup_nested
@@ -430,6 +508,7 @@ class ShardedServiceClient:
         engine: Optional[str],
         per_shard: str,
         deadline_ms: Optional[float],
+        tracer: object = None,
     ) -> tuple[list, dict, str]:
         """Execute one resolved route; shard failures carry the culprit's
         index as ``error._repro_shard`` (and the last replica tried as
@@ -440,12 +519,19 @@ class ShardedServiceClient:
         still untried hands the sub-request to the sibling
         (``replica_failovers``) — the whole-query fallback only triggers
         once a group is exhausted.
-        """
 
-        def shard_execute(index: int) -> dict:
+        When tracing, every sub-request's measurement comes back with its
+        response and is attached *after* the joins, in shard order, on
+        the coordinating thread — workers never touch the tracer, so the
+        span tree is deterministic however the fan-out interleaves.
+        """
+        trace_id = getattr(tracer, "trace_id", None)
+
+        def shard_execute(index: int) -> tuple[dict, dict]:
             order = self._replica_order(index)
             last_error: Optional[Exception] = None
             for position, replica in enumerate(order):
+                started = time.perf_counter()
                 try:
                     response = self._groups[index][replica].execute_full(
                         query,
@@ -453,6 +539,7 @@ class ShardedServiceClient:
                         engine,
                         per_shard,
                         deadline_ms=deadline_ms,
+                        trace_id=trace_id,
                     )
                 except SHARD_UNAVAILABLE as error:
                     error._repro_shard = index
@@ -461,11 +548,37 @@ class ShardedServiceClient:
                     if position < len(order) - 1:
                         with self._counter_lock:
                             self.replica_failovers += 1
+                        if self.metrics is not None:
+                            self._m_replica_failovers.inc()
                     continue
                 self.replica_requests[index][replica] += 1
-                return response
+                millis = (time.perf_counter() - started) * 1000.0
+                label = self.replica_label(index, replica)
+                if self.metrics is not None:
+                    self._m_subrequests.labels(shard=label).inc()
+                    self._m_subrequest_ms.labels(shard=label).observe(millis)
+                measure = {
+                    "shard": label,
+                    "replica": replica,
+                    "millis": millis,
+                    "server_millis": response.get("server_millis"),
+                    "attempts": position + 1,
+                }
+                return response, measure
             assert last_error is not None
             raise last_error
+
+        def record_span(measure: dict) -> None:
+            if tracer is None:
+                return
+            attrs = {
+                "shard": measure["shard"],
+                "replica": measure["replica"],
+                "attempts": measure["attempts"],
+            }
+            if measure["server_millis"] is not None:
+                attrs["server_millis"] = measure["server_millis"]
+            tracer.record("shard", measure["millis"], **attrs)
 
         if decision.mode == "fanout":
             # Submit + drain *every* future before raising: per-endpoint
@@ -476,10 +589,10 @@ class ShardedServiceClient:
                 self._pool.submit(shard_execute, index)
                 for index in decision.shards
             ]
-            responses, first_error = [], None
+            outcomes, first_error = [], None
             for future in futures:
                 try:
-                    responses.append(future.result())
+                    outcomes.append(future.result())
                 except Exception as error:  # noqa: BLE001 — re-raised below
                     if first_error is None:
                         first_error = error  # first in shard order wins
@@ -487,22 +600,41 @@ class ShardedServiceClient:
                 raise first_error
             for index in decision.shards:
                 self.shard_requests[index] += 1
+            for _response, measure in outcomes:
+                record_span(measure)
             rows: list = []
             stats = {"queries": 0, "rows_fetched": 0, "millis": 0.0}
-            for response in responses:
+            for response, _measure in outcomes:
                 rows.extend(response["rows"])
                 for key in stats:
                     stats[key] += response["stats"][key]
             stats["millis"] = round(stats["millis"], 3)
-            return rows, stats, responses[0]["engine"]
+            return rows, stats, outcomes[0][0]["engine"]
         if decision.mode in ("fallback", "failover"):
+            started = time.perf_counter()
             response = self._fallback.execute_full(
-                query, bound, engine, per_shard, deadline_ms=deadline_ms
+                query, bound, engine, per_shard, deadline_ms=deadline_ms,
+                trace_id=trace_id,
             )
             self.fallback_requests += 1
+            millis = (time.perf_counter() - started) * 1000.0
+            label = self.shard_label(None)
+            if self.metrics is not None:
+                self._m_subrequests.labels(shard=label).inc()
+                self._m_subrequest_ms.labels(shard=label).observe(millis)
+            record_span(
+                {
+                    "shard": label,
+                    "replica": 0,
+                    "millis": millis,
+                    "server_millis": response.get("server_millis"),
+                    "attempts": 1,
+                }
+            )
         else:  # routed / single: exactly one partition shard
-            response = shard_execute(decision.shards[0])
+            response, measure = shard_execute(decision.shards[0])
             self.shard_requests[decision.shards[0]] += 1
+            record_span(measure)
         return response["rows"], dict(response["stats"]), response["engine"]
 
     def insert(

@@ -313,6 +313,7 @@ class Supervisor:
         crash_loop_threshold: int = 5,
         crash_loop_window: float = 30.0,
         check_interval: float = 0.25,
+        metrics: object = None,
     ) -> None:
         if crash_loop_threshold < 2:
             raise ShardingError(
@@ -330,6 +331,42 @@ class Supervisor:
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        self.metrics: object = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, registry) -> None:
+        """Count supervision events (deaths, restarts, crash loops) into a
+        :class:`~repro.obs.MetricsRegistry`, and expose how many shards are
+        currently declared failed as a gauge."""
+        self._m_events = {
+            "died": registry.counter(
+                "supervisor_deaths_total",
+                "Shard process deaths observed by the supervisor.",
+                labels=("shard",),
+            ),
+            "restarted": registry.counter(
+                "supervisor_restarts_total",
+                "Shard processes restarted by the supervisor.",
+                labels=("shard",),
+            ),
+            "restart-failed": registry.counter(
+                "supervisor_restart_failures_total",
+                "Restart attempts that came up dead.",
+                labels=("shard",),
+            ),
+            "crash-loop": registry.counter(
+                "supervisor_crash_loops_total",
+                "Shards declared failed after repeated rapid deaths.",
+                labels=("shard",),
+            ),
+        }
+        registry.gauge(
+            "supervisor_failed_shards",
+            "Shards the supervisor has given up restarting.",
+            callback=lambda: sum(1 for s in self._states if s.failed),
+        )
+        self.metrics = registry
 
     # ------------------------------------------------------------------ step
 
@@ -405,6 +442,11 @@ class Supervisor:
                             }
                         )
             self.events.extend(events)
+        if self.metrics is not None:
+            for event in events:
+                counter = self._m_events.get(event["event"])
+                if counter is not None:
+                    counter.labels(shard=event["shard"]).inc()
         return events
 
     # -------------------------------------------------------------- threaded

@@ -323,11 +323,14 @@ def compile_shredded(
     schema: Schema,
     options: SqlOptions = SqlOptions(),
     cache_key: object = None,
+    tracer=None,
 ) -> CompiledSql:
     """Compile one shredded query whose bag element type is ``element_type``.
 
     ``cache_key`` (threaded down from the plan cache, when one is active)
     is recorded on the compiled statement for provenance/debugging.
+    ``tracer`` (a :class:`repro.obs.Tracer`) receives an ``optimize``
+    span with one child per attempted rule.
     """
     item_type = inner_shred(element_type)
     row_type = RecordType((("item", item_type), ("outer", INDEX)))
@@ -342,14 +345,27 @@ def compile_shredded(
         from repro.sql.optimizer import optimize_statement
 
         trace: list[str] = []
+        timings: list[tuple[str, float, bool]] | None = (
+            [] if tracer is not None else None
+        )
         on_rewrite = None
         if verify:
             from repro.check.verifier import rewrite_hook
 
             on_rewrite = rewrite_hook(schema)
         optimized = optimize_statement(
-            compiled.statement, options, trace=trace, on_rewrite=on_rewrite
+            compiled.statement,
+            options,
+            trace=trace,
+            on_rewrite=on_rewrite,
+            timings=timings,
         )
+        if tracer is not None and timings is not None:
+            span = tracer.record(
+                "optimize", sum(m for _r, m, _f in timings)
+            )
+            for rule, millis, fired in timings:
+                span.record(rule, millis, fired=fired)
         if optimized != compiled.statement:
             compiled.statement = optimized
             compiled.sql = render_statement(optimized, options.pretty)

@@ -613,6 +613,7 @@ def optimize_statement(
     options: object,
     trace: list[str] | None = None,
     on_rewrite: Callable[[str, Statement, Statement], None] | None = None,
+    timings: list[tuple[str, float, bool]] | None = None,
 ) -> Statement:
     """Apply the enabled statement-local rules, in order.
 
@@ -627,12 +628,25 @@ def optimize_statement(
     rewrite — the per-rule verify hook
     (:func:`repro.check.verifier.rewrite_hook`), LLVM's ``-verify-each``
     for this rewrite engine.
+
+    ``timings`` (a list, if given) receives ``(rule, millis, fired)`` for
+    every *attempted* rule — inert attempts included, since the time a
+    rule spends deciding not to fire is still compile time; the tracer's
+    per-rule ``optimize`` children are built from this.
     """
+    import time as _time
+
     for flag, _description in statement_rule_names:
         if not getattr(options, flag, True):
             continue
+        started = _time.perf_counter()
         rewritten = STATEMENT_RULES[flag](statement)
-        if rewritten == statement:
+        fired = rewritten != statement
+        if timings is not None:
+            timings.append(
+                (flag, (_time.perf_counter() - started) * 1000.0, fired)
+            )
+        if not fired:
             continue
         if trace is not None:
             trace.append(flag)

@@ -76,11 +76,15 @@ class TestFigures:
 
 
 class TestBenchSmoke:
-    def test_bench_smoke_passes(self, capsys):
+    def test_bench_smoke_passes(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_METRICS_SNAPSHOT", str(tmp_path / "snapshot.prom")
+        )
         assert main(["bench", "--smoke"]) == 0
         out = capsys.readouterr().out
         assert "smoke PASSED" in out
         assert "shredding_cached" in out
+        assert "service[metrics]" in out
 
     def test_bench_without_smoke_flag_exits(self):
         with pytest.raises(SystemExit):

@@ -220,3 +220,26 @@ class TestCorrectness:
         out1 = loop_lift_run(queries.Q4, db)
         out2 = loop_lift_run(queries.Q4, db)
         assert out1 == out2
+
+
+class TestDeepComposition:
+    def test_deep_union_chain_stays_within_parser_stack(self, schema, db):
+        """A 40-arm union chain must render to SQL SQLite can parse.
+
+        Nested derived tables grow the parser stack with composition
+        depth (hypothesis found an overflow around 20 levels); the
+        renderer hoists wraps and union arms into a flat WITH list, so
+        depth stays constant however deep the plan composes.
+        """
+        from repro.nrc.ast import For, Project, Return, Table, Union, Var
+
+        arm = For(
+            var="e",
+            source=Table(name="employees"),
+            body=Return(element=Project(record=Var(name="e"), label="salary")),
+        )
+        query = arm
+        for _ in range(39):
+            query = Union(left=query, right=arm)
+        out = loop_lift_run(query, db)
+        assert bag_equal(out, evaluate(query, db))
