@@ -1,26 +1,40 @@
-"""Shard-scaling benchmark: Q1–Q6 fan-out at 1/2/4 shards → BENCH_shard.json.
+"""Shard-scaling benchmark: Q1–Q6 over **process groups** at 1/2/4 shards
+→ BENCH_shard.json.
 
-Each paper query runs on a sharded deployment whose placement makes it
-distributive (the DBA's job in any real deployment: partition the table
-the workload pivots on): Q1/Q2/Q4/Q6 shard ``departments``, Q3 shards
-``employees``, Q5 shards ``tasks``.  Every cell is value-checked against
-single-session execution before any timing is recorded, and the routed
-point lookup (``dept_staff(:dept)``) is asserted to hit **exactly one
-shard** via the per-shard run counters.
+Each paper query runs against a deployment the session spawns and owns
+(``connect_sharded(processes=True)``): one ``serve --shard i/n``
+subprocess per partition plus the full-copy fallback, fanned out over
+the wire.  Every shard evaluates on its own interpreter and its own
+SQLite store — no GIL, no shared page cache — so 4-shard fan-out can
+physically beat 1 shard on a multi-core host, which the thread-backed
+substrate never could (its fan-out serialises on one interpreter).
 
-Fan-out runs one worker thread per shard over *independent* SQLite
-stores, so per-shard evaluation overlaps on real cores.  The acceptance
-bar — 4-shard wall time ≤ 0.75× single-shard, aggregated over Q1–Q6 at
-the largest seed scale — therefore needs hardware that can physically
-parallelise: on a single-core host the fan-out's total CPU work is the
-same work serialised (the per-query ratios are still recorded, typically
-≈1.0×), so the bar is enforced when ``os.cpu_count() ≥ 2`` (every CI
-runner) or ``REPRO_BENCH_FORCE_SHARD_BAR=1``, mirroring how the service
-throughput benchmark models its single-core limits with think time.
+The placements are the PR 10 co-partitioned ones (the DBA's job in any
+real deployment: align the tables the workload joins on):
 
-Hardware-independent invariants are asserted everywhere: partition
-balance (the sharded table's rows split across shards without loss or
-duplication) and single-shard routing.
+* ``departments`` by ``name`` ⟂ ``employees`` by ``dept`` (aligned)
+  makes Q1/Q2/Q3/Q4/Q6 fan out;
+* ``tasks`` by ``employee`` ⟂ ``employees`` by ``name`` (aligned) makes
+  the nested-reference Q5 — previously a guaranteed fallback — classify
+  as ``fanout``.
+
+Every cell is value-checked against single-session execution before any
+timing is recorded; plan caches are warmed on every server (one
+``prepare`` fleet-wide + one checked run) so the medians measure
+execution, not compilation.  The routed point lookup (``dept_staff``)
+is asserted to hit **exactly one shard** via the client's per-shard
+request counters.
+
+The acceptance bar — 4-shard wall ≤ 0.75× single-shard, aggregated over
+Q1–Q6 at the largest seed scale — needs hardware that can physically
+parallelise: on a single-core host the per-shard processes time-slice
+one core, so the bar is enforced when ``os.cpu_count() ≥ 2`` (every CI
+runner) or ``REPRO_BENCH_FORCE_SHARD_BAR=1``; the measured ratio is
+recorded honestly either way, alongside ``cpu_count`` and the
+transport, so a reader can tell a passing bar from an unenforceable one.
+
+Per-shard server logs land in ``$REPRO_SUPERVISOR_LOG_DIR`` when set
+(the CI bench job sets it and uploads the directory on failure).
 """
 
 from __future__ import annotations
@@ -49,15 +63,28 @@ BAR_ENFORCED = (os.cpu_count() or 1) >= 2 or bool(
     os.environ.get("REPRO_BENCH_FORCE_SHARD_BAR")
 )
 
-#: The workload-appropriate placement per query: the table its top-level
-#: comprehensions range over partitions; everything else replicates.
+#: The two co-partitioned placements that make every paper query
+#: distributive.  ``dept_co`` anchors on departments (employees aligned
+#: by their ``dept`` foreign key); ``task_co`` anchors on tasks
+#: (employees aligned by ``name`` = ``tasks.employee``), which is what
+#: turns Q5's nested reference into a fan-out.
+P_DEPT_CO = Placement.of(
+    {"departments": sharded(key="name"), "employees": sharded(key="dept")},
+    aligned=[("departments", "employees")],
+)
+P_TASK_CO = Placement.of(
+    {"tasks": sharded(key="employee"), "employees": sharded(key="name")},
+    aligned=[("tasks", "employees")],
+)
+
+#: Which placement each query measures under.
 PLACEMENTS = {
-    "Q1": Placement.of({"departments": sharded(key="name")}),
-    "Q2": Placement.of({"departments": sharded(key="name")}),
-    "Q3": Placement.of({"employees": sharded(key="id")}),
-    "Q4": Placement.of({"departments": sharded(key="name")}),
-    "Q5": Placement.of({"tasks": sharded(key="id")}),
-    "Q6": Placement.of({"departments": sharded(key="name")}),
+    "Q1": ("dept_co", P_DEPT_CO),
+    "Q2": ("dept_co", P_DEPT_CO),
+    "Q3": ("dept_co", P_DEPT_CO),
+    "Q4": ("dept_co", P_DEPT_CO),
+    "Q5": ("task_co", P_TASK_CO),
+    "Q6": ("dept_co", P_DEPT_CO),
 }
 
 _RESULT_PATH = (
@@ -70,7 +97,9 @@ def sweep_results():
     config = BenchConfig()
     departments = config.max_departments
     rows = config.employees_per_dept
-    full = scaled_database(departments, seed=config.seed, scale_rows=rows)
+    # The reference: the same deterministic instance every server process
+    # regenerates (serve --scale N --rows R, seed 0).
+    full = scaled_database(departments, seed=0, scale_rows=rows)
     full.connection()
     single = connect(full, cache=PlanCache())
     expected = {
@@ -78,45 +107,44 @@ def sweep_results():
     }
 
     cells: dict[str, dict[int, float]] = {name: {} for name in QUERIES}
-    balance: dict[str, list[int]] = {}
-    sessions: dict[tuple[str, int], object] = {}
+    clusters: dict[tuple[str, int], object] = {}
 
-    def deployment(name: str, shards: int):
-        key = (name, shards)
-        if key not in sessions:
-            sessions[key] = connect_sharded(
-                sharded_scaled_database(
-                    departments,
-                    shards,
-                    placement=PLACEMENTS[name],
-                    seed=config.seed,
-                    scale_rows=rows,
-                ),
-                cache=PlanCache(),
+    def cluster(placement_key: str, placement: Placement, shards: int):
+        key = (placement_key, shards)
+        if key not in clusters:
+            clusters[key] = connect_sharded(
+                placement=placement,
+                shards=shards,
+                processes=True,
+                scale=departments,
+                rows=rows,
             )
-        return sessions[key]
+        return clusters[key]
 
     def measure(name: str, shards: int) -> float:
-        session = deployment(name, shards)
-        prepared = session.prepare(NESTED_QUERIES[name])
+        placement_key, placement = PLACEMENTS[name]
+        session = cluster(placement_key, placement, shards)
+        prepared = session.prepare(name)
         assert prepared.plan.mode == "fanout", (name, prepared.plan)
-        # One worker thread per shard, batched within each shard: fan-out
-        # parallelism comes from the independent per-shard stores, not
-        # from nesting the per-shard parallel executor's own pool.
-        warm = prepared.run(engine="batched")  # compile + indexes + check
+        warm = prepared.run()  # server-side compile + indexes + check
         assert bag_equal(warm.value, expected[name]), (name, shards)
-        return median_millis(
-            lambda: prepared.run(engine="batched"), REPEATS
-        )
+        return median_millis(lambda: prepared.run(), REPEATS)
 
     for name in QUERIES:
         for shards in SHARD_COUNTS:
             cells[name][shards] = measure(name, shards)
-        # Partition balance: the sharded table's rows split without loss.
-        table = PLACEMENTS[name].sharded_tables[0]
-        counts = deployment(name, 4).db.row_counts(table)
-        assert sum(counts) == full.row_count(table), (name, table)
+
+    # Partition balance (hardware-independent): under the co-partitioned
+    # placement both aligned tables split across shards without loss.
+    balance: dict[str, list[int]] = {}
+    balance_db = sharded_scaled_database(
+        departments, 4, placement=P_DEPT_CO, seed=0, scale_rows=rows
+    )
+    for table in P_DEPT_CO.sharded_tables:
+        counts = balance_db.row_counts(table)
+        assert sum(counts) == full.row_count(table), table
         balance[table] = counts
+    balance_db.dispose()
 
     def aggregate(shards: int) -> float:
         return sum(cells[name][shards] for name in QUERIES)
@@ -133,18 +161,9 @@ def sweep_results():
                 if attempt < cells[name][shards]:
                     cells[name][shards] = attempt
 
-    # Routed point lookup at 4 shards: exactly one shard executes.
-    routed_placement = Placement.of({"departments": sharded(key="name")})
-    routed_session = connect_sharded(
-        sharded_scaled_database(
-            departments,
-            4,
-            placement=routed_placement,
-            seed=config.seed,
-            scale_rows=rows,
-        ),
-        cache=PlanCache(),
-    )
+    # Routed point lookup at 4 shards: exactly one shard process
+    # executes, asserted via the fan-out client's per-shard counters.
+    routed_session = cluster("dept_co", P_DEPT_CO, 4)
     dept_staff = paper_registry().lookup("dept_staff").term
     sample_depts = [
         row["name"] for row in full.rows("departments")
@@ -152,7 +171,7 @@ def sweep_results():
     routed_hits = []
     for dept in sample_depts:
         before = routed_session.run_counts()["per_shard"]
-        result = routed_session.run(dept_staff, params={"dept": dept})
+        result = routed_session.run("dept_staff", params={"dept": dept})
         after = routed_session.run_counts()["per_shard"]
         deltas = [b - a for a, b in zip(before, after)]
         owner = shard_for(dept, 4)
@@ -165,11 +184,12 @@ def sweep_results():
         routed_hits.append({"dept": dept, "shard": owner})
     routed_millis = median_millis(
         lambda: routed_session.run(
-            dept_staff, params={"dept": sample_depts[0]}
+            "dept_staff", params={"dept": sample_depts[0]}
         )
     )
 
     results = {
+        "transport": "process",
         "scale": {
             "departments": departments,
             "rows_per_department": rows,
@@ -178,11 +198,7 @@ def sweep_results():
             "cpu_count": os.cpu_count(),
         },
         "placements": {
-            name: {
-                table: f"sharded(key={PLACEMENTS[name].routing_column(table)})"
-                for table in PLACEMENTS[name].sharded_tables
-            }
-            for name in QUERIES
+            name: PLACEMENTS[name][1].to_spec() for name in QUERIES
         },
         "fanout_millis": {
             name: {str(shards): cells[name][shards] for shards in SHARD_COUNTS}
@@ -204,9 +220,8 @@ def sweep_results():
     }
     write_bench_json(_RESULT_PATH, results)
 
-    for session in sessions.values():
+    for session in clusters.values():
         session.close()
-    routed_session.close()
     single.close()
     return results
 
@@ -214,12 +229,23 @@ def sweep_results():
 class TestShardScaling:
     def test_results_recorded(self, sweep_results):
         assert _RESULT_PATH.exists()
+        assert sweep_results["transport"] == "process"
         for name in QUERIES:
             for shards in SHARD_COUNTS:
                 assert sweep_results["fanout_millis"][name][str(shards)] > 0
 
+    def test_q5_fans_out_under_copartitioning(self, sweep_results):
+        # The tentpole classification: the nested-reference query is a
+        # fan-out (not a fallback) under the task⟂employee alignment —
+        # already asserted per-run inside measure(); recorded here too.
+        assert sweep_results["placements"]["Q5"] == P_TASK_CO.to_spec()
+
     def test_partitions_are_exact(self, sweep_results):
-        for table, counts in sweep_results["partition_balance"].items():
+        assert set(sweep_results["partition_balance"]) == {
+            "departments",
+            "employees",
+        }
+        for counts in sweep_results["partition_balance"].values():
             assert len(counts) == 4
             assert all(count >= 0 for count in counts)
 
@@ -231,10 +257,10 @@ class TestShardScaling:
         ratio = sweep_results["ratio_4_vs_1"]
         if not sweep_results["bar_enforced"]:
             pytest.skip(
-                f"single-core host: fan-out cannot beat serial wall time "
-                f"by construction (recorded ratio {ratio:.2f}×)"
+                f"single-core host: shard processes time-slice one core "
+                f"(recorded ratio {ratio:.2f}×); bar enforced on ≥2 cores"
             )
         assert ratio <= BAR, (
-            f"4-shard aggregate wall time is {ratio:.2f}× single-shard; "
-            f"bar is {BAR}×"
+            f"4-shard aggregate wall time is {ratio:.2f}× single-shard "
+            f"over the process transport; bar is {BAR}×"
         )

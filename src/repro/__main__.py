@@ -204,6 +204,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.shard:
         index, count = _parse_shard(args.shard)
         shard_label = f"{index}/{count}"
+    placement = None
+    if getattr(args, "placement", ""):
+        from repro.shard.placement import Placement
+
+        placement = Placement.from_spec(args.placement)
     if args.scale:
         if index is not None and index != "full":
             # Every server process regenerates the same seeded instance
@@ -211,16 +216,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             from repro.data.generator import scaled_shard
 
             db = scaled_shard(
-                args.scale, index, count, seed=0, scale_rows=args.rows
+                args.scale,
+                index,
+                count,
+                placement=placement,
+                seed=0,
+                scale_rows=args.rows,
             )
         else:
             db = scaled_database(args.scale, seed=0, scale_rows=args.rows)
     else:
         db = figure3_database()
         if index is not None and index != "full":
-            from repro.data.organisation import organisation_placement
+            if placement is None:
+                from repro.data.organisation import organisation_placement
 
-            placement = organisation_placement().validate(db.schema)
+                placement = organisation_placement()
+            placement = placement.validate(db.schema)
             db = db.partitioned(placement.owner_fn(count), index)
     if args.data_dir:
         from pathlib import Path
@@ -293,12 +305,18 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
 
     from repro.shard.supervisor import Supervisor, spawn_group
 
+    placement = None
+    if getattr(args, "placement", ""):
+        from repro.shard.placement import Placement
+
+        placement = Placement.from_spec(args.placement)
     groups, fallback = spawn_group(
         args.shards,
         replication=args.replicas,
         pool=args.pool,
         scale=args.scale,
         rows=args.rows,
+        placement=placement,
         data_dir=args.data_dir or None,
         log_dir=args.log_dir or None,
         base_port=args.base_port,
@@ -506,6 +524,15 @@ def main(argv: list[str] | None = None) -> int:
         "fallback shard",
     )
     serve.add_argument(
+        "--placement",
+        default="",
+        metavar="SPEC",
+        help="partition the regenerated data under this placement spec "
+        "(Placement.to_spec() text, e.g. "
+        "'departments=name,employees=dept;aligned=departments+employees'); "
+        "default: departments sharded by name, everything replicated",
+    )
+    serve.add_argument(
         "--data-dir",
         default="",
         metavar="DIR",
@@ -571,6 +598,12 @@ def main(argv: list[str] | None = None) -> int:
     supervise.add_argument("--pool", type=int, default=1)
     supervise.add_argument("--scale", type=int, default=0)
     supervise.add_argument("--rows", type=int, default=20)
+    supervise.add_argument(
+        "--placement",
+        default="",
+        metavar="SPEC",
+        help="placement spec forwarded to every child as serve --placement",
+    )
     supervise.add_argument(
         "--data-dir",
         default="",

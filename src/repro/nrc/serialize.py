@@ -1,0 +1,311 @@
+"""JSON (de)serialisation for λNRC terms and types.
+
+The wire protocol's ``register`` op ships an *ad-hoc* query — a λNRC
+term, not a registry name — to a remote :class:`~repro.service.server.
+QueryServer` so process-per-shard deployments can serve queries that
+were never baked into ``paper_registry()``.  JSON frames are the
+protocol's only currency, so terms cross the wire as plain dicts.
+
+The encoding is positional-free and self-describing: every node is a
+dict with a ``"k"`` discriminator naming the constructor, and the
+decoder rejects anything it does not recognise (a malformed term must
+fail loudly at the frame boundary, not deep inside normalisation).
+Round-trip is exact: ``term_from_json(term_to_json(t))`` is structurally
+equal to ``t`` (same :func:`~repro.nrc.ast.term_fingerprint`), including
+the optional type annotations on ``Lam``/``Empty``/``Param`` that the
+typechecker needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.nrc.ast import (
+    App,
+    Const,
+    Empty,
+    For,
+    If,
+    IsEmpty,
+    Lam,
+    Param,
+    Prim,
+    Project,
+    Record,
+    Return,
+    Table,
+    Term,
+    Union,
+    Var,
+)
+from repro.nrc.types import (
+    BagType,
+    BaseType,
+    FunType,
+    RecordType,
+    Type,
+)
+
+__all__ = [
+    "term_to_json",
+    "term_from_json",
+    "type_to_json",
+    "type_from_json",
+    "SerializationError",
+]
+
+
+class SerializationError(ValueError):
+    """A term/type payload that does not decode to a valid λNRC node."""
+
+
+# --------------------------------------------------------------------------
+# Types.
+
+
+def type_to_json(type_: Type) -> dict[str, Any]:
+    """Encode a λNRC type as a JSON-compatible dict."""
+    if isinstance(type_, BaseType):
+        return {"k": "base", "name": type_.name}
+    if isinstance(type_, RecordType):
+        return {
+            "k": "record",
+            "fields": [
+                [label, type_to_json(field)] for label, field in type_.fields
+            ],
+        }
+    if isinstance(type_, BagType):
+        return {"k": "bag", "element": type_to_json(type_.element)}
+    if isinstance(type_, FunType):
+        return {
+            "k": "fun",
+            "param": type_to_json(type_.param),
+            "result": type_to_json(type_.result),
+        }
+    raise SerializationError(f"unknown type node: {type_!r}")
+
+
+def type_from_json(payload: object) -> Type:
+    """Decode :func:`type_to_json` output back into a λNRC type."""
+    if not isinstance(payload, dict):
+        raise SerializationError(f"type payload must be a dict: {payload!r}")
+    kind = payload.get("k")
+    if kind == "base":
+        return BaseType(_str_field(payload, "name"))
+    if kind == "record":
+        fields = payload.get("fields")
+        if not isinstance(fields, list):
+            raise SerializationError("record type needs a list of fields")
+        entries: list[tuple[str, Type]] = []
+        for entry in fields:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise SerializationError(
+                    f"record type field must be [label, type]: {entry!r}"
+                )
+            label, field = entry
+            if not isinstance(label, str):
+                raise SerializationError(
+                    f"record type label must be a string: {label!r}"
+                )
+            entries.append((label, type_from_json(field)))
+        return RecordType(tuple(entries))
+    if kind == "bag":
+        return BagType(type_from_json(payload.get("element")))
+    if kind == "fun":
+        return FunType(
+            type_from_json(payload.get("param")),
+            type_from_json(payload.get("result")),
+        )
+    raise SerializationError(f"unknown type kind: {kind!r}")
+
+
+def _opt_type_to_json(type_: Optional[Type]) -> Optional[dict[str, Any]]:
+    return None if type_ is None else type_to_json(type_)
+
+
+def _opt_type_from_json(payload: object) -> Optional[Type]:
+    return None if payload is None else type_from_json(payload)
+
+
+# --------------------------------------------------------------------------
+# Terms.
+
+
+def term_to_json(term: Term) -> dict[str, Any]:
+    """Encode a λNRC term as a JSON-compatible dict."""
+    if isinstance(term, Var):
+        return {"k": "var", "name": term.name}
+    if isinstance(term, Const):
+        if not isinstance(term.value, (bool, int, str)):
+            raise SerializationError(
+                f"constants carry int/bool/str, got {term.value!r}"
+            )
+        return {"k": "const", "value": term.value}
+    if isinstance(term, Prim):
+        return {
+            "k": "prim",
+            "op": term.op,
+            "args": [term_to_json(arg) for arg in term.args],
+        }
+    if isinstance(term, Lam):
+        return {
+            "k": "lam",
+            "param": term.param,
+            "body": term_to_json(term.body),
+            "param_type": _opt_type_to_json(term.param_type),
+        }
+    if isinstance(term, App):
+        return {
+            "k": "app",
+            "fun": term_to_json(term.fun),
+            "arg": term_to_json(term.arg),
+        }
+    if isinstance(term, Record):
+        return {
+            "k": "rec",
+            "fields": [
+                [label, term_to_json(value)] for label, value in term.fields
+            ],
+        }
+    if isinstance(term, Project):
+        return {
+            "k": "proj",
+            "record": term_to_json(term.record),
+            "label": term.label,
+        }
+    if isinstance(term, If):
+        return {
+            "k": "if",
+            "cond": term_to_json(term.cond),
+            "then": term_to_json(term.then),
+            "orelse": term_to_json(term.orelse),
+        }
+    if isinstance(term, Return):
+        return {"k": "ret", "element": term_to_json(term.element)}
+    if isinstance(term, Empty):
+        return {
+            "k": "empty",
+            "element_type": _opt_type_to_json(term.element_type),
+        }
+    if isinstance(term, Union):
+        return {
+            "k": "union",
+            "left": term_to_json(term.left),
+            "right": term_to_json(term.right),
+        }
+    if isinstance(term, For):
+        return {
+            "k": "for",
+            "var": term.var,
+            "source": term_to_json(term.source),
+            "body": term_to_json(term.body),
+        }
+    if isinstance(term, Table):
+        return {"k": "table", "name": term.name}
+    if isinstance(term, IsEmpty):
+        return {"k": "isempty", "bag": term_to_json(term.bag)}
+    if isinstance(term, Param):
+        return {
+            "k": "param",
+            "name": term.name,
+            "type": type_to_json(term.type),
+        }
+    raise SerializationError(f"unknown term node: {term!r}")
+
+
+def _str_field(payload: "dict[str, Any]", field: str) -> str:
+    value = payload.get(field)
+    if not isinstance(value, str):
+        raise SerializationError(
+            f"field {field!r} must be a string, got {value!r}"
+        )
+    return value
+
+
+def _term_field(payload: "dict[str, Any]", field: str) -> Term:
+    return term_from_json(payload.get(field))
+
+
+def term_from_json(payload: object) -> Term:
+    """Decode :func:`term_to_json` output back into a λNRC term."""
+    if not isinstance(payload, dict):
+        raise SerializationError(f"term payload must be a dict: {payload!r}")
+    kind = payload.get("k")
+    if kind == "var":
+        return Var(_str_field(payload, "name"))
+    if kind == "const":
+        value = payload.get("value")
+        if not isinstance(value, (bool, int, str)):
+            raise SerializationError(
+                f"constants carry int/bool/str, got {value!r}"
+            )
+        return Const(value)
+    if kind == "prim":
+        args = payload.get("args")
+        if not isinstance(args, list):
+            raise SerializationError("prim needs a list of args")
+        return Prim(
+            _str_field(payload, "op"),
+            tuple(term_from_json(arg) for arg in args),
+        )
+    if kind == "lam":
+        return Lam(
+            _str_field(payload, "param"),
+            _term_field(payload, "body"),
+            param_type=_opt_type_from_json(payload.get("param_type")),
+        )
+    if kind == "app":
+        return App(_term_field(payload, "fun"), _term_field(payload, "arg"))
+    if kind == "rec":
+        fields = payload.get("fields")
+        if not isinstance(fields, list):
+            raise SerializationError("record needs a list of fields")
+        entries: list[tuple[str, Term]] = []
+        for entry in fields:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise SerializationError(
+                    f"record field must be [label, term]: {entry!r}"
+                )
+            label, value = entry
+            if not isinstance(label, str):
+                raise SerializationError(
+                    f"record label must be a string: {label!r}"
+                )
+            entries.append((label, term_from_json(value)))
+        return Record(tuple(entries))
+    if kind == "proj":
+        return Project(
+            _term_field(payload, "record"), _str_field(payload, "label")
+        )
+    if kind == "if":
+        return If(
+            _term_field(payload, "cond"),
+            _term_field(payload, "then"),
+            _term_field(payload, "orelse"),
+        )
+    if kind == "ret":
+        return Return(_term_field(payload, "element"))
+    if kind == "empty":
+        return Empty(
+            element_type=_opt_type_from_json(payload.get("element_type"))
+        )
+    if kind == "union":
+        return Union(
+            _term_field(payload, "left"), _term_field(payload, "right")
+        )
+    if kind == "for":
+        return For(
+            _str_field(payload, "var"),
+            _term_field(payload, "source"),
+            _term_field(payload, "body"),
+        )
+    if kind == "table":
+        return Table(_str_field(payload, "name"))
+    if kind == "isempty":
+        return IsEmpty(_term_field(payload, "bag"))
+    if kind == "param":
+        return Param(
+            _str_field(payload, "name"),
+            type_from_json(payload.get("type")),
+        )
+    raise SerializationError(f"unknown term kind: {kind!r}")

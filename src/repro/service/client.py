@@ -255,6 +255,30 @@ class ServiceClient:
         statement count, host-parameter signature and resolved engine."""
         return self.request({"op": "prepare", "query": query})
 
+    def register(
+        self, query: str, source: object, description: str = ""
+    ) -> dict:
+        """Add ``source`` (anything the façade lowers — a fluent query, a
+        ``@query`` capture, a raw λNRC term) to the *server's* catalogue
+        under ``query`` (protocol v1.4).
+
+        The term is serialised with :mod:`repro.nrc.serialize`; the
+        server answers ``"registered": false`` when a structurally
+        identical term is already catalogued under the name, so retried
+        registrations converge instead of churning the plan cache.
+        """
+        from repro.api.fluent import to_term
+        from repro.nrc.serialize import term_to_json
+
+        payload: dict = {
+            "op": "register",
+            "query": query,
+            "term": term_to_json(to_term(source)),
+        }
+        if description:
+            payload["description"] = description
+        return self.request(payload)
+
     def execute(
         self,
         query: str,
@@ -482,6 +506,24 @@ class AsyncServiceClient:
 
     async def prepare(self, query: str) -> dict:
         return await self.request({"op": "prepare", "query": query})
+
+    async def register(
+        self, query: str, source: object, description: str = ""
+    ) -> dict:
+        """Protocol v1.4 dynamic registration — the blocking client's
+        contract verbatim (term serialised client-side, convergent on
+        re-delivery)."""
+        from repro.api.fluent import to_term
+        from repro.nrc.serialize import term_to_json
+
+        payload: dict = {
+            "op": "register",
+            "query": query,
+            "term": term_to_json(to_term(source)),
+        }
+        if description:
+            payload["description"] = description
+        return await self.request(payload)
 
     async def execute(
         self,

@@ -69,6 +69,23 @@ Protocol **v1.3** (observability) additions, again backwards compatible:
   server-side wall time so a fan-out client can attribute each shard's
   share of a traced run.  The sharded client stamps its
   :class:`~repro.obs.Tracer`'s id on every sub-request.
+
+Protocol **v1.4** (process-per-shard deployments) adds dynamic query
+registration::
+
+    {"op": "register", "query": "rq_17",
+     "term": {"k": "for", "var": "d", ...},
+     "description": "ad-hoc differential query"}
+    {"ok": true, "query": "rq_17", "registered": true,
+     "fingerprint": "ab12…"}
+
+``term`` is a λNRC term serialised by :mod:`repro.nrc.serialize` — the
+same AST the in-process façade lowers sources to, so a process-group
+deployment can serve queries that were never baked into the server's
+start-up registry.  Re-registering a name with a structurally identical
+term answers ``"registered": false`` (a no-op: fan-out clients register
+on every shard and retries must converge); a *different* term under an
+existing name replaces it, exactly like the in-process registry.
 """
 
 from __future__ import annotations
@@ -98,16 +115,19 @@ __all__ = [
 #: length prefix must not look like a 4 GiB allocation request.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
-#: v1.3: the ``metrics`` op (Prometheus exposition in-band) and the
-#: ``trace_id`` request field (on top of v1.2's idempotent ``insert`` and
-#: v1.1's ping + request-id echo + per-request deadlines + load shedding).
-PROTOCOL_VERSION = "1.3"
+#: v1.4: the ``register`` op (ship an ad-hoc λNRC term to a running
+#: server — what lets process-per-shard deployments serve queries beyond
+#: the start-up registry), on top of v1.3's ``metrics`` + ``trace_id``,
+#: v1.2's idempotent ``insert`` and v1.1's ping + request-id echo +
+#: per-request deadlines + load shedding.
+PROTOCOL_VERSION = "1.4"
 
 _LENGTH = struct.Struct(">I")
 
 #: The operations the server dispatches (protocol reference, README).
 OPS = (
     "prepare",
+    "register",
     "execute",
     "insert",
     "explain",

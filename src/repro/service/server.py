@@ -397,6 +397,8 @@ class QueryServer:
             }
         elif op == "prepare":
             response = await self._prepare(request)
+        elif op == "register":
+            response = await self._register(request)
         elif op == "execute":
             response = await self._execute(request)
         elif op == "insert":
@@ -414,8 +416,8 @@ class QueryServer:
             response = {"ok": True, "exposition": render_prometheus(self.metrics)}
         else:
             raise ServiceError(
-                f"unknown op {op!r}; one of: prepare, execute, insert, "
-                f"explain, stats, metrics, ping, close"
+                f"unknown op {op!r}; one of: prepare, register, execute, "
+                f"insert, explain, stats, metrics, ping, close"
             )
         self._count(op, started)
         if trace_id is not None:
@@ -452,6 +454,48 @@ class QueryServer:
             },
             "engine": self.session.resolve_engine(None, compiled),
             "description": entry.description,
+        }
+
+    async def _register(self, request: dict) -> dict:
+        """The protocol v1.4 dynamic-registration op.
+
+        Decodes the shipped λNRC term (:mod:`repro.nrc.serialize`) and
+        adds it to the catalogue.  Registration is *convergent*: a
+        structurally identical term already registered under the name is
+        a no-op answering ``"registered": false`` — fan-out clients
+        register on every shard and retry on failure, so re-delivery
+        must not churn the catalogue (replacing an entry is harmless but
+        would defeat the plan cache's compile-once accounting).
+        """
+        from repro.nrc.ast import term_fingerprint
+        from repro.nrc.serialize import SerializationError, term_from_json
+
+        name = request.get("query")
+        if not isinstance(name, str) or not name:
+            raise ServiceError(
+                "register requests need a 'query' field naming the query"
+            )
+        payload = request.get("term")
+        try:
+            term = term_from_json(payload)
+        except SerializationError as error:
+            raise ServiceError(f"bad 'term' payload: {error}") from error
+        description = request.get("description") or ""
+        if not isinstance(description, str):
+            raise ServiceError("'description' must be a string")
+        fingerprint = term_fingerprint(term)
+        registered = True
+        if name in self.registry:
+            existing = self.registry.lookup(name)
+            if term_fingerprint(existing.term) == fingerprint:
+                registered = False
+        if registered:
+            self.registry.register(name, term, description=description)
+        return {
+            "ok": True,
+            "query": name,
+            "registered": registered,
+            "fingerprint": fingerprint,
         }
 
     async def _execute(self, request: dict) -> dict:

@@ -44,6 +44,8 @@ from repro.shard.placement import (
     sharded,
 )
 from repro.shard.deployment import (
+    ProcessShardedPrepared,
+    ProcessShardedSession,
     ShardedDatabase,
     ShardedPrepared,
     ShardedResult,
@@ -74,6 +76,8 @@ __all__ = [
     "ShardedSession",
     "ShardedPrepared",
     "ShardedResult",
+    "ProcessShardedSession",
+    "ProcessShardedPrepared",
     "connect_sharded",
     "ShardedServiceClient",
     "ShardProcess",

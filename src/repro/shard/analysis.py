@@ -199,13 +199,19 @@ def _equalities(
 
 
 class _PinCollector:
-    """Walks the normal form collecting, for every generator over the
+    """Walks the normal form collecting, for every generator over a
     sharded table, the set of ground atoms (consts/params) its routing
-    column is provably equal to in scope."""
+    column is provably equal to in scope.
 
-    def __init__(self, table: str, key: str) -> None:
-        self.table = table
-        self.key = key
+    ``targets`` maps each sharded table to its routing column; with more
+    than one entry the collector gathers pins for *all* of them, which is
+    how a multi-sharded-table query can still be ``routed``: if every
+    generator over every sharded table is pinned to one common ground
+    value, all contributing rows share :func:`shard_for` of that value
+    (the hash reads the value, never the table name)."""
+
+    def __init__(self, targets: "dict[str, str]") -> None:
+        self.targets = dict(targets)
         self.pins: list[set[Atom]] = []
         self._next_id = 0
 
@@ -228,8 +234,9 @@ class _PinCollector:
         for generator in comp.generators:
             self._next_id += 1
             scope[generator.var] = self._next_id
-            if generator.table == self.table:
-                targets.append(("f", self._next_id, self.key))
+            key = self.targets.get(generator.table)
+            if key is not None:
+                targets.append(("f", self._next_id, key))
         env = env + _equalities(comp.where, scope)
         uf = _UnionFind()
         for left, right in env:
@@ -262,10 +269,10 @@ class _PinCollector:
 
 
 def _routing_pin(
-    query: NormQuery, table: str, key: str
+    query: NormQuery, targets: "dict[str, str]"
 ) -> Optional[tuple[str, object]]:
-    """The common pin of every generator over ``table``, or None."""
-    collector = _PinCollector(table, key)
+    """The common pin of every generator over the target tables, or None."""
+    collector = _PinCollector(targets)
     collector.query(query, {}, [])
     if not collector.pins:
         return None
@@ -301,6 +308,126 @@ def _distributive(query: NormQuery, table: str) -> bool:
 
 
 # --------------------------------------------------------------------------
+# Co-partitioned fanout.
+
+
+class _AlignmentChecker:
+    """Checks every generator over an aligned table is pinned — by the
+    equality closure of the conjuncts in scope — to the routing column of
+    an *in-scope* generator over the anchor table.
+
+    If it is, all rows of the aligned table that can contribute for a
+    given anchor row carry the anchor row's routing value, so they live
+    on the anchor row's shard (:func:`shard_for` hashes values, not table
+    names, and the placement declared the key domains aligned).  Nested
+    bodies and emptiness probes over the aligned table's *partition* then
+    equal the same expressions over the full table for exactly the rows
+    that matter, and the per-shard bag-union is exact."""
+
+    def __init__(
+        self, anchor: str, anchor_key: str, aligned: "dict[str, str]"
+    ) -> None:
+        self.anchor = anchor
+        self.anchor_key = anchor_key
+        self.aligned = dict(aligned)
+        self.ok = True
+        self._next_id = 0
+
+    def query(
+        self,
+        query: NormQuery,
+        scope: dict[str, int],
+        env: list[tuple[Atom, Atom]],
+        anchors: list[int],
+    ) -> None:
+        for comp in query.comprehensions:
+            self._comprehension(comp, dict(scope), list(env), list(anchors))
+
+    def _comprehension(
+        self,
+        comp: Comprehension,
+        scope: dict[str, int],
+        env: list[tuple[Atom, Atom]],
+        anchors: list[int],
+    ) -> None:
+        targets: list[tuple[Atom, str]] = []
+        for generator in comp.generators:
+            self._next_id += 1
+            scope[generator.var] = self._next_id
+            if generator.table == self.anchor:
+                anchors.append(self._next_id)
+            key = self.aligned.get(generator.table)
+            if key is not None:
+                targets.append(
+                    (("f", self._next_id, key), generator.table)
+                )
+        env = env + _equalities(comp.where, scope)
+        uf = _UnionFind()
+        for left, right in env:
+            uf.union(left, right)
+        for target, _table in targets:
+            cls = uf.class_of(target)
+            if not any(
+                ("f", aid, self.anchor_key) in cls for aid in anchors
+            ):
+                self.ok = False
+        self._base(comp.where, scope, env, anchors)
+        self._term(comp.body, scope, env, anchors)
+
+    def _term(self, term, scope, env, anchors) -> None:
+        if isinstance(term, NormQuery):
+            self.query(term, scope, env, anchors)
+        elif isinstance(term, RecordNF):
+            for _label, value in term.fields:
+                self._term(value, scope, env, anchors)
+        elif isinstance(term, BaseExpr):
+            self._base(term, scope, env, anchors)
+
+    def _base(self, expr: BaseExpr, scope, env, anchors) -> None:
+        if isinstance(expr, PrimNF):
+            for arg in expr.args:
+                self._base(arg, scope, env, anchors)
+        elif isinstance(expr, EmptyNF) and isinstance(expr.query, NormQuery):
+            self.query(expr.query, scope, env, anchors)
+
+
+def _copartitioned_fanout(
+    query: NormQuery,
+    placement: Placement,
+    sharded_refs: list[str],
+    keys: "dict[str, str]",
+) -> Optional[ShardPlan]:
+    """Try each sharded table as the fan-out anchor: the query must be
+    distributive over it, every other sharded table must be declared
+    aligned with it, and every generator over those tables must be pinned
+    to an in-scope anchor generator's routing column."""
+    for anchor in sharded_refs:
+        others = [t for t in sharded_refs if t != anchor]
+        if not all(placement.is_aligned(anchor, t) for t in others):
+            continue
+        if not _distributive(query, anchor):
+            continue
+        checker = _AlignmentChecker(
+            anchor, keys[anchor], {t: keys[t] for t in others}
+        )
+        checker.query(query, {}, [], [])
+        if not checker.ok:
+            continue
+        pinned = ", ".join(f"{t}.{keys[t]}" for t in others)
+        return ShardPlan(
+            "fanout",
+            table=anchor,
+            key_column=keys[anchor],
+            reason=(
+                f"distributive over {anchor} (partitioned by "
+                f"{keys[anchor]}); co-partitioned {pinned} pinned to the "
+                f"anchor in every scope"
+            ),
+        )
+    return None
+
+
+# --------------------------------------------------------------------------
 # The verdict.
 
 
@@ -312,25 +439,34 @@ def analyse(query: NormQuery, placement: Placement) -> ShardPlan:
         return ShardPlan(
             "single", reason="references only replicated tables"
         )
-    if len(sharded_refs) > 1:
-        return ShardPlan(
-            "fallback",
-            reason="references multiple sharded tables: "
-            + ", ".join(sharded_refs),
-        )
-    table = sharded_refs[0]
-    key = placement.routing_column(table)
-    pin = _routing_pin(query, table, key)
+    keys = {
+        table: placement.routing_column(table) or ""
+        for table in sharded_refs
+    }
+    pin = _routing_pin(query, keys)
     if pin is not None:
         kind, value = pin
         detail = f":{value}" if kind == "param" else repr(value)
+        pinned = ", ".join(f"{t}.{keys[t]}" for t in sharded_refs)
+        table = sharded_refs[0]
         return ShardPlan(
             "routed",
             table=table,
-            key_column=key,
+            key_column=keys[table],
             pin=pin,
-            reason=f"every {table}.{key} generator pinned to {detail}",
+            reason=f"every generator over {pinned} pinned to {detail}",
         )
+    if len(sharded_refs) > 1:
+        plan = _copartitioned_fanout(query, placement, sharded_refs, keys)
+        if plan is not None:
+            return plan
+        return ShardPlan(
+            "fallback",
+            reason="references multiple sharded tables without a common "
+            "pin or co-partitioned alignment: " + ", ".join(sharded_refs),
+        )
+    table = sharded_refs[0]
+    key = keys[table]
     if _distributive(query, table):
         return ShardPlan(
             "fanout",

@@ -204,6 +204,7 @@ class ShardedServiceClient:
         #: replica failed — the failovers that *don't* cost a fallback run.
         #: Incremented from fan-out worker threads, hence the lock.
         self.replica_failovers = 0
+        self._closed = False
         self._counter_lock = threading.Lock()
         endpoint_count = sum(len(group) for group in self._groups) + 1
         self._pool = ThreadPoolExecutor(
@@ -383,6 +384,50 @@ class ShardedServiceClient:
             fallback_response = None
         response = dict(template if template is not None else fallback_response)
         response["shards"] = self.shard_count
+        return response
+
+    def register(
+        self, query: str, source: object, description: str = ""
+    ) -> dict:
+        """Register an ad-hoc query on the *whole* deployment (protocol
+        v1.4): the term is shipped to every live replica of every shard
+        plus the fallback, and added to this client's local catalogue so
+        :meth:`plan_for` can analyse it.
+
+        Registration must land on the fallback (the shard every route can
+        divert to) and on at least one endpoint overall; a dead replica
+        is skipped exactly like :meth:`prepare` — its supervisor restart
+        re-runs with the same term and converges (the op is idempotent by
+        structural fingerprint).
+        """
+        from repro.api.fluent import to_term
+
+        term = to_term(source)
+
+        def ship(client: ServiceClient) -> Optional[dict]:
+            if client.breaker is not None and client.breaker.is_open:
+                return None
+            try:
+                return client.register(query, term, description=description)
+            except SHARD_UNAVAILABLE:
+                return None
+        replicas = [client for group in self._groups for client in group]
+        responses = [r for r in self._pool.map(ship, replicas)]
+        try:
+            fallback_response = self._fallback.register(
+                query, term, description=description
+            )
+        except SHARD_UNAVAILABLE as error:
+            raise ShardUnavailableError(
+                f"full-copy shard could not register {query!r}: {error}",
+                shard=self.shard_label(None),
+                op="register",
+            ) from error
+        self.registry.register(query, term, description=description)
+        self._plans.pop(query, None)  # the name may now mean a new term
+        shipped = sum(1 for r in responses if r is not None) + 1
+        response = dict(fallback_response)
+        response["endpoints"] = shipped
         return response
 
     def execute(
@@ -790,6 +835,14 @@ class ShardedServiceClient:
         }
 
     def close(self) -> None:
+        """Shut the worker pool and close every endpoint client.
+
+        Idempotent: a second close is a no-op (the underlying
+        :class:`~repro.service.client.ServiceClient` close is best-effort
+        already, so dead endpoints never make closing raise)."""
+        if self._closed:
+            return
+        self._closed = True
         self._pool.shutdown(wait=True)
         for group in self._groups:
             for client in group:

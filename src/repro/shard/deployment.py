@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Iterable, Mapping, Optional
 
@@ -86,6 +87,8 @@ __all__ = [
     "ShardedSession",
     "ShardedPrepared",
     "ShardedResult",
+    "ProcessShardedSession",
+    "ProcessShardedPrepared",
     "connect_sharded",
 ]
 
@@ -118,6 +121,10 @@ class ShardedDatabase:
         self.shards: list[Database] = database.partition_all(
             placement.owner_fn(shard_count), shard_count
         )
+        #: The idempotency key of the most recent :meth:`insert` (minted
+        #: when the caller passed none) — what a caller re-sends after a
+        #: partial failure to converge without double-applying.
+        self.last_insert_key: str | None = None
 
     def insert(
         self,
@@ -144,7 +151,18 @@ class ShardedDatabase:
         (e.g. a crash between the full copy and a partition) converges on
         redelivery — stores that applied it skip, the rest catch up.
         Returns ``False`` iff the full copy had already applied the key.
+
+        A key is **minted** when the caller passes none, exactly like the
+        wire clients (:meth:`~repro.service.client.ServiceClient.insert`,
+        :meth:`~repro.shard.client.ShardedServiceClient.insert`): every
+        sharded write journals through the same exactly-once path, so an
+        in-process batch that raises part-way (say, after the full copy
+        but before a partition) and is re-sent whole with
+        ``last_insert_key`` cannot double-apply anywhere.
         """
+        if idempotency_key is None:
+            idempotency_key = uuid.uuid4().hex
+        self.last_insert_key = idempotency_key
         materialised = [dict(row) for row in rows]
         column = self.placement.routing_column(table)
         groups: dict[int, list[dict]] = {}
@@ -471,6 +489,7 @@ class ShardedSession:
         #: (``failover_reroutes``) until :meth:`mark_shard_up` /
         #: :meth:`check_health` clears them.
         self._down: set[int] = set()
+        self._closed = False
         self._pool = ThreadPoolExecutor(
             max_workers=self.shard_count,
             thread_name_prefix="repro-shard",
@@ -602,6 +621,14 @@ class ShardedSession:
         return self.db.insert(table, rows, idempotency_key=idempotency_key)
 
     def close(self) -> None:
+        """Shut the fan-out pool and every per-shard session.
+
+        Idempotent: sharded sessions get closed from ``finally`` blocks,
+        context-manager exits *and* explicit teardown paths, often more
+        than once — a second close is a no-op, never an exception."""
+        if self._closed:
+            return
+        self._closed = True
         self._pool.shutdown(wait=True)
         for session in self.sessions:
             session.close()
@@ -620,6 +647,249 @@ class ShardedSession:
         )
 
 
+class ProcessShardedPrepared:
+    """A named query bound to a :class:`ProcessShardedSession` — the
+    process-group analogue of :class:`ShardedPrepared`: preparing warms
+    the plan cache on *every* server (and the local analysis cache), so
+    repeated runs measure execution, not compilation."""
+
+    def __init__(self, session: "ProcessShardedSession", name: str) -> None:
+        self._session = session
+        self.name = name
+
+    def term(self) -> ast.Term:
+        return self._session.client.registry.lookup(self.name).term
+
+    @property
+    def plan(self) -> ShardPlan:
+        return self._session.client.plan_for(self.name)
+
+    def run(self, **kwargs: Any) -> ShardedResult:
+        return self._session.run(self.name, **kwargs)
+
+
+class ProcessShardedSession:
+    """The fan-out façade over a **process group**: one ``serve --shard
+    i/n`` subprocess per partition (plus the full-copy fallback server),
+    spawned, supervised and owned by this session.
+
+    Same surface as :class:`ShardedSession` — ``prepare`` / ``run`` /
+    ``plan_for`` / ``insert`` / ``run_counts`` / ``stats_snapshot`` /
+    ``check_health`` / ``close`` — but execution crosses process
+    boundaries: each shard evaluates on its own interpreter and its own
+    SQLite store, so a fan-out overlaps *for real* on a multi-core host
+    (no GIL, no shared page cache).  Routing is identical; the client
+    carries the same placement and catalogue the servers were deployed
+    with, and only names + parameter values travel on the wire.
+
+    The data substrate is the seeded deterministic organisation instance
+    (``serve --scale N --rows R``): every server regenerates its own
+    partition under ``placement`` (forwarded as ``--placement``), so the
+    session takes **no** database/tables — pass those to the thread-backed
+    :class:`ShardedSession` instead (``connect_sharded(processes=False)``).
+
+    Ad-hoc queries (anything that is not already a catalogue name) are
+    shipped to every server via the protocol v1.4 ``register`` op under a
+    fingerprint-derived name, then run like any named query.
+
+    ``close()`` tears the whole group down deterministically — client
+    sockets first, then the supervisor loop, then a graceful drain of
+    every child — and is idempotent and tolerant of already-dead children.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        placement: Placement | None = None,
+        registry: object = None,
+        schema: Schema | None = None,
+        replication: int | None = None,
+        pool: int = 1,
+        scale: int = 0,
+        rows: int = 20,
+        data_dir: object = None,
+        log_dir: object = None,
+        base_port: int = 0,
+        supervise: bool = True,
+        client_options: Optional[dict] = None,
+        supervisor_options: Optional[dict] = None,
+    ) -> None:
+        from repro.data.organisation import (
+            ORGANISATION_SCHEMA,
+            organisation_placement,
+        )
+        from repro.service.registry import paper_registry
+        from repro.shard.supervisor import SupervisedDeployment
+
+        if placement is None:
+            placement = organisation_placement()
+        if registry is None:
+            registry = paper_registry()
+        if schema is None:
+            schema = ORGANISATION_SCHEMA
+        self.placement = placement
+        self.schema = schema
+        self.shard_count = shards
+        self.deployment = SupervisedDeployment(
+            shards,
+            placement=placement,
+            registry=registry,
+            schema=schema,
+            replication=replication,
+            pool=pool,
+            scale=scale,
+            rows=rows,
+            data_dir=data_dir,
+            log_dir=log_dir,
+            base_port=base_port,
+            supervise=supervise,
+            client_options=client_options,
+            supervisor_options=supervisor_options,
+        )
+        self.client = self.deployment.client
+        self._closed = False
+
+    # ------------------------------------------------------------- building
+
+    def _resolve(self, source: object) -> str:
+        """The catalogue name for ``source``: names pass through, anything
+        else lowers to a term and registers fleet-wide under a
+        fingerprint-derived name (idempotent — re-resolving the same term
+        re-registers structurally identically, which every server answers
+        ``registered: false``)."""
+        registry = self.client.registry
+        if isinstance(source, str):
+            if source in registry:
+                return source
+            raise ShardingError(
+                f"unknown query {source!r}: register it first "
+                f"(session.register(name, term)) or pass a term"
+            )
+        if isinstance(source, (ShardedPrepared, ProcessShardedPrepared)):
+            if isinstance(source, ProcessShardedPrepared):
+                return source.name
+            source = source.term()
+        from repro.api.fluent import to_term
+        from repro.nrc.ast import term_fingerprint
+
+        term = to_term(source)
+        name = f"adhoc_{term_fingerprint(term)[:12]}"
+        if name not in registry:
+            self.client.register(name, term, description="ad-hoc query")
+        return name
+
+    def register(
+        self, name: str, source: object, description: str = ""
+    ) -> dict:
+        """Register ``source`` under ``name`` on every server + locally."""
+        return self.client.register(name, source, description=description)
+
+    def prepare(self, source: object) -> ProcessShardedPrepared:
+        name = self._resolve(source)
+        self.client.prepare(name)  # warm every server's plan cache
+        self.client.plan_for(name)  # …and the local analysis cache
+        return ProcessShardedPrepared(self, name)
+
+    def query(self, source: object) -> ProcessShardedPrepared:
+        return self.prepare(source)
+
+    def plan_for(self, source: object) -> ShardPlan:
+        """The shardability verdict for ``source`` under this placement."""
+        return self.client.plan_for(self._resolve(source))
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        source: object,
+        *,
+        engine: str | None = None,
+        collection: str = "bag",
+        params: Mapping[str, object] | None = None,
+        deadline_ms: float | None = None,
+    ) -> ShardedResult:
+        name = self._resolve(source)
+        response = self.client.execute_full(
+            name,
+            params,
+            engine,
+            collection,
+            deadline_ms=deadline_ms,
+        )
+        route = response["route"]
+        mode = route.split(":", 1)[0]
+        wire = response.get("stats") or {}
+        stats = ExecutionStats()
+        stats.queries = int(wire.get("queries", 0))
+        stats.rows_fetched = int(wire.get("rows_fetched", 0))
+        # total_millis derives from folded aggregates — fold the servers'
+        # summed wall time in whole (no per-query samples on the wire).
+        stats.folded_millis = float(wire.get("millis", 0.0))
+        stats.folded_samples = stats.queries
+        stats.failover_retries = int(wire.get("failover_retries", 0))
+        stats.failover_reroutes = int(wire.get("failover_reroutes", 0))
+        marker = STATS_MARKERS.get(mode)
+        if marker is not None and not stats.failover_retries:
+            setattr(stats, marker, 1)
+        return ShardedResult(
+            value=response["rows"],
+            stats=stats,
+            engine=response.get("engine", ""),
+            route=route,
+            shards=tuple(response.get("shards") or ()),
+        )
+
+    # -------------------------------------------------------------- surface
+
+    def insert(
+        self,
+        table: str,
+        rows: Iterable[Mapping[str, object]],
+        idempotency_key: str | None = None,
+    ) -> dict:
+        """Insert over the wire (write-all replicas of each owning shard;
+        see :meth:`~repro.shard.client.ShardedServiceClient.insert`)."""
+        return self.client.insert(table, rows, idempotency_key=idempotency_key)
+
+    def check_health(self, deadline_ms: float | None = 1000.0) -> dict:
+        return self.client.check_health(deadline_ms=deadline_ms)
+
+    def run_counts(self) -> dict[str, object]:
+        """Per-shard execute counters, shaped like
+        :meth:`ShardedSession.run_counts` so routing assertions port
+        across transports unchanged."""
+        return {
+            "per_shard": list(self.client.shard_requests),
+            "fallback": self.client.fallback_requests,
+        }
+
+    def stats_snapshot(self) -> dict:
+        return self.client.stats_snapshot()
+
+    def close(self, drain_grace: float = 10.0) -> None:
+        """Tear the owned process group down: client sockets, supervisor
+        loop, then a graceful drain of every child.  Idempotent, and a
+        child that already crashed (or was killed by a test) is skipped,
+        not waited on."""
+        if self._closed:
+            return
+        self._closed = True
+        self.deployment.close(drain_grace=drain_grace)
+
+    def __enter__(self) -> "ProcessShardedSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ProcessShardedSession shards={self.shard_count} "
+            f"sharded_tables={self.placement.sharded_tables}>"
+        )
+
+
 def connect_sharded(
     database: "ShardedDatabase | Database | None" = None,
     *,
@@ -631,13 +901,62 @@ def connect_sharded(
     engine: str = "auto",
     cache: object = True,
     validate: bool = False,
-) -> ShardedSession:
-    """Open a :class:`ShardedSession` — the sharded front door.
+    processes: bool | None = None,
+    **process_options: Any,
+) -> "ShardedSession | ProcessShardedSession":
+    """Open a sharded session — the sharded front door.
+
+    Two substrates behind one call:
+
+    * ``processes=False`` (and the default whenever a ``database`` /
+      ``tables`` / ``schema`` is passed): the in-process
+      :class:`ShardedSession` — one thread per shard over partitioned
+      SQLite stores.  Zero startup cost, but fan-out shares one
+      interpreter, so 4 shards ≈ 1 shard on CPU-bound queries.
+    * ``processes=True`` (and the default when *no* data source is
+      passed): a :class:`ProcessShardedSession` — the session spawns and
+      owns one ``serve --shard i/n`` subprocess per partition plus the
+      full-copy fallback, fans out over the wire, and tears the group
+      down on ``close()``.  Each shard gets its own interpreter and
+      store, so fan-out scales with cores.  The data substrate is the
+      seeded deterministic instance (``scale=N, rows=R`` forwarded to
+      every server), regenerated per process under ``placement``.
+
+    Extra keyword arguments (``scale``, ``rows``, ``registry``, ``pool``,
+    ``replication``, ``data_dir``, ``log_dir``, ``base_port``,
+    ``supervise``, ``client_options``, ``supervisor_options``) configure
+    the process group and are rejected for the thread substrate.
 
     >>> session = connect_sharded(db, placement=placement, shards=4)
     >>> session.run(Q4).route
     'fanout'
+    >>> cluster = connect_sharded(placement=placement, shards=4,
+    ...                           processes=True, scale=64)
+    >>> cluster.run("Q4").route
+    'fanout'
     """
+    if processes is None:
+        processes = database is None and tables is None and schema is None
+    if processes:
+        if database is not None or tables is not None:
+            raise ShardingError(
+                "a process-group session regenerates its own deterministic "
+                "data in each server (scale=/rows=); pass processes=False "
+                "to shard an existing Database or tables in-process"
+            )
+        return ProcessShardedSession(
+            2 if shards is None else shards,
+            placement=placement,
+            schema=schema,
+            **process_options,
+        )
+    if process_options:
+        unexpected = ", ".join(sorted(process_options))
+        raise ShardingError(
+            f"unexpected arguments for an in-process sharded session: "
+            f"{unexpected} (they configure the process group; pass "
+            f"processes=True)"
+        )
     return ShardedSession(
         database,
         schema=schema,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional
+from typing import Callable, Iterable, Mapping, Optional
 
 from repro.errors import ShardingError
 from repro.nrc.schema import Schema
@@ -105,18 +105,49 @@ class Placement:
     #: to one logical shard; it changes how many endpoints serve that
     #: shard's partition (reads go to any live one, writes go to all).
     replication: int = 1
+    #: Co-partitioning declarations: groups of sharded tables whose
+    #: routing keys draw values from the same domain.  Because
+    #: :func:`shard_for` hashes the *value* only (not the table name),
+    #: declaring ``aligned=[("departments", "employees")]`` with
+    #: departments sharded by ``name`` and employees by ``dept`` means a
+    #: department row and every employee row referencing it land on the
+    #: same shard — the fact the analysis exploits to fan out joins that
+    #: would otherwise fall back to the full-copy shard.
+    aligned: tuple[tuple[str, ...], ...] = ()
 
     def __post_init__(self) -> None:
         if self.replication < 1:
             raise ShardingError(
                 f"replication factor must be ≥1, got {self.replication}"
             )
+        groups = tuple(
+            tuple(sorted(set(group))) for group in self.aligned
+        )
+        object.__setattr__(self, "aligned", tuple(sorted(groups)))
+        seen: set[str] = set()
+        for group in self.aligned:
+            if len(group) < 2:
+                raise ShardingError(
+                    f"an aligned group needs ≥2 tables, got {group!r}"
+                )
+            for table in group:
+                if not self.is_sharded(table):
+                    raise ShardingError(
+                        f"aligned table {table!r} is not sharded; "
+                        "co-partitioning only applies to sharded tables"
+                    )
+                if table in seen:
+                    raise ShardingError(
+                        f"table {table!r} appears in two aligned groups"
+                    )
+                seen.add(table)
 
     @classmethod
     def of(
         cls,
         mapping: Mapping[str, "Sharded | _Replicated"],
         replication: int = 1,
+        aligned: "Iterable[Iterable[str]]" = (),
     ) -> "Placement":
         entries = []
         for table, marker in mapping.items():
@@ -128,12 +159,87 @@ class Placement:
                     f"or replicated, got {marker!r}"
                 )
             entries.append((table, marker))
-        return cls(tuple(sorted(entries)), replication=replication)
+        return cls(
+            tuple(sorted(entries)),
+            replication=replication,
+            aligned=tuple(tuple(group) for group in aligned),
+        )
 
     def with_replication(self, replication: int) -> "Placement":
         """This placement with a different replication factor (the same
         tables and routing — ownership is unaffected by replication)."""
-        return Placement(self.tables, replication=replication)
+        return Placement(
+            self.tables, replication=replication, aligned=self.aligned
+        )
+
+    def aligned_with(self, table: str) -> frozenset[str]:
+        """The tables declared co-partitioned with ``table`` (excluding
+        ``table`` itself); empty when it is in no aligned group."""
+        for group in self.aligned:
+            if table in group:
+                return frozenset(group) - {table}
+        return frozenset()
+
+    def is_aligned(self, left: str, right: str) -> bool:
+        return right in self.aligned_with(left)
+
+    def to_spec(self) -> str:
+        """A textual form ``python -m repro serve --placement`` accepts;
+        round-trips through :meth:`from_spec`."""
+        parts = [
+            ",".join(f"{name}={marker.key}" for name, marker in self.tables)
+        ]
+        for group in self.aligned:
+            parts.append("aligned=" + "+".join(group))
+        if self.replication != 1:
+            parts.append(f"replication={self.replication}")
+        return ";".join(parts)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "Placement":
+        """Parse ``table=key,table=key;aligned=a+b;replication=N``."""
+        mapping: dict[str, "Sharded | _Replicated"] = {}
+        aligned: list[tuple[str, ...]] = []
+        replication = 1
+        for index, segment in enumerate(spec.split(";")):
+            segment = segment.strip()
+            if not segment:
+                continue
+            if segment.startswith("aligned="):
+                group = tuple(
+                    t.strip() for t in segment[len("aligned="):].split("+")
+                )
+                aligned.append(group)
+                continue
+            if segment.startswith("replication="):
+                try:
+                    replication = int(segment[len("replication="):])
+                except ValueError:
+                    raise ShardingError(
+                        f"bad replication in placement spec: {segment!r}"
+                    ) from None
+                continue
+            if index != 0:
+                raise ShardingError(
+                    f"unrecognised placement spec segment {segment!r}"
+                )
+            for entry in segment.split(","):
+                entry = entry.strip()
+                if not entry:
+                    continue
+                table, sep, key = entry.partition("=")
+                if not sep or not table.strip() or not key.strip():
+                    raise ShardingError(
+                        f"placement spec entries look like table=column, "
+                        f"got {entry!r}"
+                    )
+                mapping[table.strip()] = Sharded(key.strip())
+        if not mapping:
+            raise ShardingError(
+                f"placement spec {spec!r} shards no table — expected "
+                f"'table=column[,table=column…][;aligned=a+b][;replication=N]'"
+            )
+        return cls.of(mapping, replication=replication, aligned=aligned)
 
     @property
     def sharded_tables(self) -> tuple[str, ...]:

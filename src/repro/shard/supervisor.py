@@ -93,6 +93,7 @@ class ShardProcess:
         replica: int = 0,
         scale: int = 0,
         rows: int = 20,
+        placement_spec: Optional[str] = None,
         data_dir: "str | os.PathLike | None" = None,
         log_dir: "str | os.PathLike | None" = None,
         ready_timeout: float = 30.0,
@@ -106,6 +107,10 @@ class ShardProcess:
         self.pool = pool
         self.scale = scale
         self.rows = rows
+        #: ``Placement.to_spec()`` text forwarded as ``serve --placement``
+        #: so the child partitions its regenerated data exactly like the
+        #: deployment's client routes (None = the server default).
+        self.placement_spec = placement_spec
         self.data_dir = os.fspath(data_dir) if data_dir is not None else None
         log_dir = (
             log_dir
@@ -155,6 +160,8 @@ class ShardProcess:
             argv += ["--shard", self.shard]
         if self.scale:
             argv += ["--scale", str(self.scale), "--rows", str(self.rows)]
+        if self.placement_spec:
+            argv += ["--placement", self.placement_spec]
         if self.data_dir is not None:
             argv += ["--data-dir", self.data_dir]
         if self.replica:
@@ -177,7 +184,15 @@ class ShardProcess:
         self.process = subprocess.Popen(
             self.argv(), env=env, stdout=stdout, stderr=stderr
         )
-        self._await_ready(self.ready_timeout)
+        try:
+            self._await_ready(self.ready_timeout)
+        except BaseException:
+            # A child that never became ready (bad argv, port stolen,
+            # boot hang) must not outlive the exception: kill and *reap*
+            # it here, or a spawning loop that fails midway strands live
+            # subprocesses no caller holds a handle to.
+            self.kill()
+            raise
 
     def _open_logs(self):
         if not self.log_dir:
@@ -331,6 +346,7 @@ class Supervisor:
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        self._stopped = False
         self.metrics: object = None
         if metrics is not None:
             self.attach_metrics(metrics)
@@ -456,6 +472,7 @@ class Supervisor:
         thread until :meth:`stop`."""
         if self._thread is not None:
             return
+        self._stopped = False  # a restarted loop may be stopped again
         self._stop.clear()
         self._thread = threading.Thread(
             target=self._loop, name="repro-supervisor", daemon=True
@@ -471,7 +488,15 @@ class Supervisor:
             self._stop.wait(self.check_interval)
 
     def stop(self, drain_grace: float = 10.0) -> None:
-        """Stop the loop, then gracefully drain every managed process."""
+        """Stop the loop, then gracefully drain every managed process.
+
+        Idempotent and crash-tolerant: a second stop is a no-op, and
+        children that already died (crash, explicit kill, a sibling's
+        teardown) are skipped by :meth:`ShardProcess.terminate` instead
+        of raising or waiting out the drain grace."""
+        if self._stopped:
+            return
+        self._stopped = True
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=30)
@@ -514,6 +539,7 @@ def spawn_group(
     pool: int = 1,
     scale: int = 0,
     rows: int = 20,
+    placement: object = None,
     data_dir: "str | os.PathLike | None" = None,
     log_dir: "str | os.PathLike | None" = None,
     base_port: int = 0,
@@ -522,10 +548,19 @@ def spawn_group(
     replica group of ``replication`` processes (primary first), plus the
     full-copy fallback server.  Returns ``(groups, fallback)``.
 
+    ``placement`` (a :class:`~repro.shard.placement.Placement`) is
+    forwarded to every child as ``serve --placement`` so the servers
+    partition their regenerated data under the same policy the client
+    routes with; None keeps the server default.
+
     ``base_port=0`` takes OS-assigned free ports; otherwise the fallback
     binds ``base_port`` and shard ``i`` replica ``j`` binds
     ``base_port + 1 + i·replication + j`` (stable, scriptable).  On any
-    spawn failure the processes already started are killed — no orphans.
+    spawn failure *every* process of the partial group — including the
+    child whose own readiness probe failed — is killed and reaped before
+    the exception propagates: constructors run with ``start_now=False``
+    so a process is tracked before its subprocess ever exists, and no
+    spawn path can strand an orphan.
     """
     if shards < 1:
         raise ShardingError(f"shard count must be ≥1, got {shards}")
@@ -533,6 +568,10 @@ def spawn_group(
         raise ShardingError(
             f"replication factor must be ≥1, got {replication}"
         )
+    spec: Optional[str] = None
+    if placement is not None:
+        to_spec = getattr(placement, "to_spec", None)
+        spec = to_spec() if callable(to_spec) else str(placement)
 
     def port_for(slot: int) -> Optional[int]:
         return None if not base_port else base_port + slot
@@ -545,8 +584,10 @@ def spawn_group(
             pool=pool,
             scale=scale,
             rows=rows,
+            placement_spec=spec,
             data_dir=data_dir,
             log_dir=log_dir,
+            start_now=False,
         )
         started.append(fallback)
         groups: list[list[ShardProcess]] = []
@@ -560,12 +601,16 @@ def spawn_group(
                     replica=replica,
                     scale=scale,
                     rows=rows,
+                    placement_spec=spec,
                     data_dir=data_dir,
                     log_dir=log_dir,
+                    start_now=False,
                 )
                 started.append(process)
                 group.append(process)
             groups.append(group)
+        for process in started:
+            process.start()
     except BaseException:
         for process in started:
             process.kill()
@@ -615,12 +660,14 @@ class SupervisedDeployment:
 
         if replication is None:
             replication = placement.replication
+        self._closed = False
         self.groups, self.fallback = spawn_group(
             shards,
             replication=replication,
             pool=pool,
             scale=scale,
             rows=rows,
+            placement=placement,
             data_dir=data_dir,
             log_dir=log_dir,
             base_port=base_port,
@@ -647,8 +694,19 @@ class SupervisedDeployment:
         ]
 
     def close(self, drain_grace: float = 10.0) -> None:
+        """Tear the deployment down: close the client, stop supervising,
+        drain every child.  Idempotent (a second close is a no-op) and
+        tolerant of children that already died — a crashed shard must not
+        turn shutdown into an exception or a full drain-grace hang."""
+        if self._closed:
+            return
+        self._closed = True
         self.client.close()
         self.supervisor.stop(drain_grace=drain_grace)
+
+    def stop(self, drain_grace: float = 10.0) -> None:
+        """Alias for :meth:`close` (deployments read naturally either way)."""
+        self.close(drain_grace=drain_grace)
 
     def __enter__(self) -> "SupervisedDeployment":
         return self

@@ -184,6 +184,52 @@ def test_sync_and_async_clients_agree_step_for_step():
     assert async_db.row_count("departments") == 4 + 2
 
 
+def test_in_process_insert_matches_wire_idempotency():
+    """PR 10 (satellite 3): ``ShardedDatabase.insert`` journals through
+    the same idempotency-key path as the wire op.  Before, an in-process
+    insert without an explicit key skipped the journal entirely, so a
+    retried batch double-applied — while the identical wire insert
+    (whose client always mints a key) deduped.  Now both transports mint
+    a key when the caller passes none and both answer a redelivery with
+    ``applied: false`` and zero new rows."""
+    from repro.data.organisation import organisation_placement
+    from repro.shard import ShardedDatabase
+
+    batch = [{"id": 9300, "name": "ParityShard"}]
+
+    # In-process: first delivery applies, the minted key is recorded,
+    # and re-sending the whole batch with it is a no-op everywhere.
+    sdb = ShardedDatabase(figure3_database(), organisation_placement(), 2)
+    assert sdb.insert("departments", batch) is True
+    minted = sdb.last_insert_key
+    assert minted  # the journal path ran even without a caller key
+    assert (
+        sdb.insert("departments", batch, idempotency_key=minted) is False
+    )
+    assert sdb.full.row_count("departments") == 4 + 1
+    assert sum(db.row_count("departments") for db in sdb.shards) == 4 + 1
+
+    # Wire: the same script through a live server — same verdicts, same
+    # final row count.
+    db, handle = _server()
+    try:
+        client = ServiceClient(handle.host, handle.port, timeout=5)
+        try:
+            first = client.insert("departments", batch)
+            again = client.insert(
+                "departments",
+                batch,
+                idempotency_key=first["idempotency_key"],
+            )
+        finally:
+            client.close()
+    finally:
+        handle.stop()
+    assert first["applied"] is True
+    assert again["applied"] is False
+    assert db.row_count("departments") == 4 + 1
+
+
 def test_both_transports_fail_identically_against_a_dead_endpoint():
     port = free_port()  # bound and released: nothing listens here
 

@@ -360,11 +360,28 @@ class TestShardedDatabase:
 
 
 class TestShardedSession:
-    def test_needs_a_placement(self):
+    def test_substrate_requirements_are_enforced(self):
+        # An in-process session needs a placement for its store…
         with pytest.raises(ShardingError):
             connect_sharded(figure3_database())
+        # …and a store to partition (bare placement now means "spawn a
+        # process group"; asking for threads without data is the error).
         with pytest.raises(ShardingError):
-            connect_sharded(placement=PLACEMENT)
+            connect_sharded(placement=PLACEMENT, processes=False)
+        # A process group regenerates its own data: an existing store
+        # cannot ride along.
+        with pytest.raises(ShardingError):
+            connect_sharded(
+                figure3_database(), placement=PLACEMENT, processes=True
+            )
+        # Process-group knobs are rejected on the thread substrate.
+        with pytest.raises(ShardingError):
+            connect_sharded(
+                figure3_database(),
+                placement=PLACEMENT,
+                processes=False,
+                scale=8,
+            )
 
     def test_placement_conflict_is_rejected(self):
         sdb = ShardedDatabase(figure3_database(), PLACEMENT, 2)
